@@ -1,0 +1,10 @@
+// Figure 2 (f-j): Citrus-tree throughput across workload mixes.
+// See fig2_skiplist.cpp for flags reproducing the paper's configuration.
+
+#include "fig2_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bref;
+  return bench::run_fig2<BundleCitrusSet, UnsafeCitrusSet, EbrRqCitrusSet,
+                         EbrRqLfCitrusSet, RluCitrusSet>("CT", argc, argv);
+}

@@ -1,0 +1,73 @@
+#pragma once
+// Shared driver for Figure 2 (throughput vs thread count across workload
+// mixes) — instantiated for the skip list and the Citrus tree families.
+// Prints one panel per U-C-RQ mix with one column per technique, matching
+// the paper's series, plus a shape-check summary of who wins each panel.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace bref::bench {
+
+struct Mix {
+  int u, c, rq;
+};
+
+inline const std::vector<Mix>& fig2_mixes() {
+  static const std::vector<Mix> mixes{
+      {2, 88, 10}, {10, 80, 10}, {50, 40, 10}, {90, 0, 10}, {0, 90, 10}};
+  return mixes;
+}
+
+template <typename BundleT, typename UnsafeT, typename EbrT, typename EbrLfT,
+          typename RluT>
+int run_fig2(const char* structure_tag, int argc, char** argv) {
+  Args args(argc, argv);
+  Config base = config_from_args(args);
+  if (!args.has("--keyrange")) base.key_range = 20000;  // quick default
+  if (!args.has("--duration")) base.duration_ms = 150;
+
+  std::printf("=== Figure 2: %s throughput (Mops/s), workloads U-C-RQ ===\n",
+              structure_tag);
+  print_header(structure_tag, base);
+
+  const char* names[5] = {"Unsafe", "EBR-RQ", "EBR-RQ-LF", "RLU", "Bundle"};
+  for (const Mix& mix : fig2_mixes()) {
+    Config cfg = base;
+    cfg.u_pct = mix.u;
+    cfg.c_pct = mix.c;
+    cfg.rq_pct = mix.rq;
+    std::printf("\n-- %s, %d-%d-%d --\n", structure_tag, mix.u, mix.c,
+                mix.rq);
+    std::printf("%8s %10s %10s %10s %10s %10s\n", "threads", names[0],
+                names[1], names[2], names[3], names[4]);
+    double best_bundle = 0, best_competitor = 0;
+    for (int threads : cfg.thread_counts) {
+      double m[5];
+      m[0] = measure([] { return std::make_unique<UnsafeT>(); }, threads, cfg);
+      m[1] = measure([] { return std::make_unique<EbrT>(); }, threads, cfg);
+      m[2] = measure([] { return std::make_unique<EbrLfT>(); }, threads, cfg);
+      m[3] = measure([] { return std::make_unique<RluT>(); }, threads, cfg);
+      m[4] = measure([] { return std::make_unique<BundleT>(); }, threads, cfg);
+      std::printf("%8d %10.3f %10.3f %10.3f %10.3f %10.3f\n", threads, m[0],
+                  m[1], m[2], m[3], m[4]);
+      if (threads == cfg.thread_counts.back()) {
+        best_bundle = m[4];
+        best_competitor = std::max(std::max(m[1], m[2]), m[3]);
+      }
+    }
+    std::printf("shape-check [%d-%d-%d @max threads]: Bundle/best-"
+                "linearizable-competitor = %.2fx %s\n",
+                mix.u, mix.c, mix.rq, best_bundle / best_competitor,
+                best_bundle >= best_competitor
+                    ? "(Bundle wins or ties)"
+                    : "(competitor wins - paper expects this only in the "
+                      "90-0-10 / 0-90-10 corner cases)");
+  }
+  return 0;
+}
+
+}  // namespace bref::bench

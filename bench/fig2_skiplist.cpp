@@ -1,0 +1,14 @@
+// Figure 2 (a-e): skip-list throughput across workload mixes.
+// Paper config: key range 100k, prefill 50%, RQ length 50, threads up to
+// 192. Quick defaults here: key range 20k, threads {1,2,4}; pass
+// --keyrange 100000 --threads 1,48,96,144,192 --duration 3000 --runs 3 to
+// match the paper.
+
+#include "fig2_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bref;
+  return bench::run_fig2<BundleSkipListSet, UnsafeSkipListSet,
+                         EbrRqSkipListSet, EbrRqLfSkipListSet,
+                         RluSkipListSet>("SL", argc, argv);
+}

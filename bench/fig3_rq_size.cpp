@@ -1,0 +1,68 @@
+// Figure 3: throughput relative to Unsafe for range-query lengths
+// {1,10,50,100,250,500} under the 50-0-50 mix, for the skip list (top) and
+// Citrus tree (bottom). Bars in the paper are grouped per length by
+// competitor (EBR-RQ, EBR-RQ-LF, RLU, Bundle) and ordered by thread count;
+// we print one block per length with a row per thread count.
+
+#include <memory>
+
+#include "harness.h"
+
+namespace {
+
+using namespace bref;
+using namespace bref::bench;
+
+template <typename BundleT, typename UnsafeT, typename EbrT, typename EbrLfT,
+          typename RluT>
+void run_family(const char* tag, const Config& base) {
+  std::printf("\n=== Figure 3 (%s): relative throughput vs Unsafe, "
+              "50-0-50 ===\n", tag);
+  const int kSizes[6] = {1, 10, 50, 100, 250, 500};
+  for (int size : kSizes) {
+    Config cfg = base;
+    cfg.u_pct = 50;
+    cfg.c_pct = 0;
+    cfg.rq_pct = 50;
+    cfg.rq_size = size;
+    std::printf("-- RQ size %d --\n", size);
+    std::printf("%8s %10s %10s %10s %10s | rel: %9s %9s %9s %9s\n", "threads",
+                "Unsafe", "EBR-RQ", "EBR-RQ-LF", "RLU", "EBR-RQ", "EBR-LF",
+                "RLU", "Bundle");
+    for (int threads : cfg.thread_counts) {
+      double unsafe =
+          measure([] { return std::make_unique<UnsafeT>(); }, threads, cfg);
+      double ebr =
+          measure([] { return std::make_unique<EbrT>(); }, threads, cfg);
+      double ebrlf =
+          measure([] { return std::make_unique<EbrLfT>(); }, threads, cfg);
+      double rlu =
+          measure([] { return std::make_unique<RluT>(); }, threads, cfg);
+      double bundle =
+          measure([] { return std::make_unique<BundleT>(); }, threads, cfg);
+      std::printf("%8d %10.3f %10.3f %10.3f %10.3f | %9.3f %9.3f %9.3f %9.3f\n",
+                  threads, unsafe, ebr, ebrlf, rlu, ebr / unsafe,
+                  ebrlf / unsafe, rlu / unsafe, bundle / unsafe);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bref;
+  using namespace bref::bench;
+  Args args(argc, argv);
+  Config base = config_from_args(args);
+  if (!args.has("--keyrange")) base.key_range = 20000;
+  if (!args.has("--duration")) base.duration_ms = 120;
+  print_header("fig3 rq-size sweep", base);
+  const std::string ds = args.get_str("--ds", "both");
+  if (ds == "sl" || ds == "both")
+    run_family<BundleSkipListSet, UnsafeSkipListSet, EbrRqSkipListSet,
+               EbrRqLfSkipListSet, RluSkipListSet>("skip list", base);
+  if (ds == "ct" || ds == "both")
+    run_family<BundleCitrusSet, UnsafeCitrusSet, EbrRqCitrusSet,
+               EbrRqLfCitrusSet, RluCitrusSet>("citrus tree", base);
+  return 0;
+}

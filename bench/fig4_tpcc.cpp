@@ -1,0 +1,114 @@
+// Figure 4: TPC-C on MiniDB (DBx1000 stand-in; DESIGN.md §1) — throughput
+// of *index operations* with the library's structures serving as the
+// database indexes. Transaction mix: NEW_ORDER 50%, PAYMENT 45%, DELIVERY
+// 5%; PAYMENT looks customers up by name (range query) 60% of the time;
+// DELIVERY scans the last 100 new-orders of a district for the oldest
+// undelivered order and deletes it.
+//
+// Paper config: 10 warehouses, threads up to 192. Quick defaults: 2
+// warehouses, threads {1,2,4}; pass --warehouses 10 --threads ... to match.
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <thread>
+
+#include "db/tpcc.h"
+#include "harness.h"
+
+namespace {
+
+using namespace bref;
+using namespace bref::bench;
+
+bool g_full_mix = false;  // --fullmix: spec mix 45/43/4/4/4 (see tpcc.h)
+
+template <typename Index>
+double run_tpcc(int threads, const db::TpccScale& scale, int duration_ms,
+                uint64_t seed) {
+  auto dbp = std::make_unique<db::TpccDb<Index>>(scale);
+  std::vector<CachePadded<db::TpccStats>> stats(threads);
+  std::atomic<bool> stop{false};
+  std::barrier start(threads + 1);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Xoshiro256 rng(seed + t * 7919);
+      start.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (g_full_mix)
+          dbp->run_full_mix_txn(t, rng, *stats[t]);
+        else
+          dbp->run_mixed_txn(t, rng, *stats[t]);
+      }
+    });
+  }
+  start.arrive_and_wait();
+  const auto t0 = now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : ts) th.join();
+  uint64_t index_ops = 0;
+  for (auto& s : stats) index_ops += s->index_ops;
+  return static_cast<double>(index_ops) / elapsed_s(t0) / 1e6;
+}
+
+template <typename BundleT, typename UnsafeT, typename EbrT, typename EbrLfT,
+          typename RluT>
+void run_family(const char* tag, const std::vector<int>& thread_counts,
+                const db::TpccScale& scale, int duration_ms, uint64_t seed) {
+  std::printf("\n-- Figure 4 (%s indexes): TPC-C index ops Mops/s --\n", tag);
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "threads", "Unsafe", "EBR-RQ",
+              "EBR-RQ-LF", "RLU", "Bundle");
+  for (int threads : thread_counts) {
+    double u = run_tpcc<UnsafeT>(threads, scale, duration_ms, seed);
+    double e = run_tpcc<EbrT>(threads, scale, duration_ms, seed);
+    double elf = run_tpcc<EbrLfT>(threads, scale, duration_ms, seed);
+    double r = run_tpcc<RluT>(threads, scale, duration_ms, seed);
+    double b = run_tpcc<BundleT>(threads, scale, duration_ms, seed);
+    std::printf("%8d %10.3f %10.3f %10.3f %10.3f %10.3f\n", threads, u, e,
+                elf, r, b);
+    if (threads == thread_counts.back()) {
+      double best = std::max(std::max(e, elf), r);
+      std::printf("shape-check [@%d threads]: Bundle/best-competitor = "
+                  "%.2fx (paper: ~1.2x at high thread counts); "
+                  "Bundle/Unsafe = %.2fx\n",
+                  threads, b / best, b / u);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bref;
+  using namespace bref::bench;
+  Args args(argc, argv);
+  db::TpccScale scale;
+  scale.warehouses = static_cast<int>(args.get_long("--warehouses", 2));
+  scale.customers_per_district =
+      static_cast<int>(args.get_long("--customers", 300));
+  scale.initial_orders_per_district =
+      static_cast<int>(args.get_long("--orders", 100));
+  const int duration_ms = static_cast<int>(args.get_long("--duration", 200));
+  const auto thread_counts = args.get_int_list("--threads", {1, 2, 4});
+  const uint64_t seed = args.get_long("--seed", 11);
+  std::printf("=== Figure 4: DBx1000-substitute (MiniDB) + TPC-C ===\n");
+  std::printf("# warehouses=%d customers/district=%d duration=%dms "
+              "(NEW_ORDER 50%% / PAYMENT 45%% / DELIVERY 5%%)\n",
+              scale.warehouses, scale.customers_per_district, duration_ms);
+  g_full_mix = args.has("--fullmix");
+  if (g_full_mix)
+    std::printf("# --fullmix: NEW_ORDER 45%% / PAYMENT 43%% / ORDER_STATUS "
+                "4%% / DELIVERY 4%% / STOCK_LEVEL 4%%\n");
+  const std::string which = args.get_str("--index", "both");
+  if (which == "sl" || which == "both")
+    run_family<BundleSkipListSet, UnsafeSkipListSet, EbrRqSkipListSet,
+               EbrRqLfSkipListSet, RluSkipListSet>(
+        "skip list", thread_counts, scale, duration_ms, seed);
+  if (which == "ct" || which == "both")
+    run_family<BundleCitrusSet, UnsafeCitrusSet, EbrRqCitrusSet,
+               EbrRqLfCitrusSet, RluCitrusSet>(
+        "citrus tree", thread_counts, scale, duration_ms, seed);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Section 8.1 "Linked Lists": the paper reports (in text) relative
+// throughput vs Unsafe for the lazy-list family at key range 10k with 10%
+// range queries — RLU degrading from 0.97x (0-90-10) to 0.40x (90-0-10)
+// while Bundle and the EBR variants track Unsafe closely. This bench
+// regenerates that table.
+
+#include <memory>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace bref;
+  using namespace bref::bench;
+  Args args(argc, argv);
+  Config base = config_from_args(args);
+  if (!args.has("--keyrange")) base.key_range = 10000;  // paper value
+  if (!args.has("--duration")) base.duration_ms = 150;
+  std::printf("=== Linked list workloads (rel. throughput vs Unsafe) ===\n");
+  print_header("lazy list family", base);
+  const int mixes[5][3] = {
+      {0, 90, 10}, {2, 88, 10}, {10, 80, 10}, {50, 40, 10}, {90, 0, 10}};
+  std::printf("%12s %8s %10s | rel: %8s %8s %8s %8s %8s\n", "workload",
+              "threads", "Unsafe", "EBR-RQ", "EBR-LF", "RLU", "Bundle",
+              "SnapC");
+  for (const auto& mix : mixes) {
+    Config cfg = base;
+    cfg.u_pct = mix[0];
+    cfg.c_pct = mix[1];
+    cfg.rq_pct = mix[2];
+    const int threads = cfg.thread_counts.back();
+    double unsafe =
+        measure([] { return std::make_unique<UnsafeListSet>(); }, threads, cfg);
+    double ebr =
+        measure([] { return std::make_unique<EbrRqListSet>(); }, threads, cfg);
+    double ebrlf = measure([] { return std::make_unique<EbrRqLfListSet>(); },
+                           threads, cfg);
+    double rlu =
+        measure([] { return std::make_unique<RluListSet>(); }, threads, cfg);
+    double bundle =
+        measure([] { return std::make_unique<BundleListSet>(); }, threads, cfg);
+    double snapc = measure([] { return std::make_unique<SnapCollectorListSet>(); },
+                           threads, cfg);
+    std::printf("%4d-%3d-%3d %8d %10.3f | %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+                mix[0], mix[1], mix[2], threads, unsafe, ebr / unsafe,
+                ebrlf / unsafe, rlu / unsafe, bundle / unsafe,
+                snapc / unsafe);
+  }
+  std::printf("shape-check: paper expects RLU to fall from ~0.97x "
+              "(read-only) to ~0.40x (update-heavy) while Bundle/EBR stay "
+              "near 1x; Snapcollector (excluded from the paper's plots) "
+              "should trail everyone.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Reclamation-substrate microbenches: EBR (DEBRA-style) vs hazard pointers.
+//
+// Section 7 / supplementary B justify building bundling's reclamation on
+// EBR: (a) an epoch pin is one per *operation* while hazard pointers cost
+// one fenced announce per *pointer hop*, and (b) a range query's snapshot
+// path is unbounded, which a fixed slot set cannot protect at all. These
+// benches quantify (a); (b) is an API impossibility, documented in
+// src/reclaim/hazard.h.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "epoch/ebr.h"
+#include "reclaim/hazard.h"
+
+namespace {
+
+using namespace bref;
+
+struct Node {
+  std::atomic<Node*> next{nullptr};
+  int64_t payload = 0;
+};
+
+// ---- per-operation protection cost -----------------------------------------
+
+void BM_Ebr_GuardEnterExit(benchmark::State& state) {
+  static Ebr ebr;
+  const int tid = static_cast<int>(state.thread_index());
+  for (auto _ : state) {
+    Ebr::Guard g(ebr, tid);
+    benchmark::DoNotOptimize(&g);
+  }
+}
+BENCHMARK(BM_Ebr_GuardEnterExit)->ThreadRange(1, 4);
+
+void BM_Hp_ProtectClear(benchmark::State& state) {
+  static HazardPointers<Node, 2> hp;
+  static Node node;
+  static std::atomic<Node*> src{&node};
+  const int tid = static_cast<int>(state.thread_index());
+  for (auto _ : state) {
+    Node* p = hp.protect(tid, 0, src);
+    benchmark::DoNotOptimize(p);
+    hp.clear_slot(tid, 0);
+  }
+}
+BENCHMARK(BM_Hp_ProtectClear)->ThreadRange(1, 4);
+
+// ---- traversal protection: one pin vs per-hop announces ---------------------
+
+constexpr int kChainLen = 64;
+
+Node* build_chain() {
+  Node* head = new Node;
+  Node* cur = head;
+  for (int i = 1; i < kChainLen; ++i) {
+    Node* n = new Node;
+    n->payload = i;
+    cur->next.store(n, std::memory_order_relaxed);
+    cur = n;
+  }
+  return head;
+}
+
+void BM_Ebr_ChainTraversal(benchmark::State& state) {
+  static Ebr ebr;
+  static Node* head = build_chain();
+  const int tid = static_cast<int>(state.thread_index());
+  for (auto _ : state) {
+    Ebr::Guard g(ebr, tid);  // one pin covers the whole walk
+    int64_t sum = 0;
+    for (Node* n = head; n != nullptr;
+         n = n->next.load(std::memory_order_acquire))
+      sum += n->payload;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kChainLen);
+}
+BENCHMARK(BM_Ebr_ChainTraversal)->ThreadRange(1, 4);
+
+void BM_Hp_ChainTraversal(benchmark::State& state) {
+  static HazardPointers<Node, 2> hp;
+  static Node* head = build_chain();
+  const int tid = static_cast<int>(state.thread_index());
+  for (auto _ : state) {
+    // Hand-over-hand: announce each hop before following it.
+    int64_t sum = 0;
+    int slot = 0;
+    hp.announce(tid, slot, head);
+    for (Node* n = head; n != nullptr;) {
+      sum += n->payload;
+      Node* nx = n->next.load(std::memory_order_acquire);
+      if (nx != nullptr) hp.announce(tid, slot ^ 1, nx);
+      slot ^= 1;
+      n = nx;
+    }
+    hp.clear(tid);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kChainLen);
+}
+BENCHMARK(BM_Hp_ChainTraversal)->ThreadRange(1, 4);
+
+// ---- retire/free throughput -------------------------------------------------
+
+void BM_Ebr_RetireFree(benchmark::State& state) {
+  Ebr ebr;
+  for (auto _ : state) {
+    Ebr::Guard g(ebr, 0);
+    ebr.retire(0, new Node);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ebr_RetireFree);
+
+void BM_Hp_RetireFree(benchmark::State& state) {
+  HazardPointers<Node, 2> hp;
+  hp.announce(0, 0, nullptr);  // register the thread
+  for (auto _ : state) hp.retire(0, new Node);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Hp_RetireFree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

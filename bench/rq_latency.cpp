@@ -1,0 +1,129 @@
+// Range-query latency distribution under update churn (ablation, ours).
+//
+// The paper's evaluation reports throughput; the minimality property is,
+// at heart, a per-query *work* bound, which shows up most clearly in
+// latency tails: an EBR-RQ query re-scans announce arrays and limbo lists
+// (the paper measures 300-600 extra nodes at high thread counts), an RLU
+// query may wait on writer synchronization, while a bundled query does
+// bounded work — entry walk + one bundle dereference per snapshot node.
+// This bench pins one thread on range queries (recording per-op latency)
+// while the remaining threads run a 50%-update churn, and reports
+// p50/p90/p99/max per implementation via the runtime registry.
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "api/any_set.h"
+#include "harness.h"
+
+namespace {
+
+using namespace bref;
+using namespace bref::bench;
+
+struct LatencyStats {
+  double p50_us, p90_us, p99_us, max_us;
+  size_t queries;
+};
+
+LatencyStats percentile_stats(std::vector<uint64_t>& ns) {
+  std::sort(ns.begin(), ns.end());
+  auto at = [&](double q) {
+    if (ns.empty()) return 0.0;
+    const size_t i = static_cast<size_t>(q * (ns.size() - 1));
+    return static_cast<double>(ns[i]) / 1000.0;
+  };
+  return {at(0.50), at(0.90), at(0.99),
+          ns.empty() ? 0.0 : static_cast<double>(ns.back()) / 1000.0,
+          ns.size()};
+}
+
+LatencyStats run_one(const std::string& impl, int churn_threads,
+                     const Config& cfg) {
+  auto ds = make_any_set(impl);
+  {
+    // Registry prefill (mirrors harness prefill, via the erased handle).
+    std::atomic<KeyT> inserted{0};
+    const KeyT target = cfg.key_range / 2;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 2; ++t) {
+      ts.emplace_back([&, t] {
+        Xoshiro256 rng(99 + t);
+        while (inserted.load(std::memory_order_relaxed) < target) {
+          const KeyT k = 1 + static_cast<KeyT>(rng.next_range(cfg.key_range));
+          if (ds->insert(t, k, k))
+            inserted.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& th : ts) th.join();
+  }
+  std::atomic<bool> stop{false};
+  std::barrier start(churn_threads + 2);
+  std::vector<std::thread> churn;
+  for (int t = 0; t < churn_threads; ++t) {
+    churn.emplace_back([&, t] {
+      Xoshiro256 rng(7 * t + 3);
+      start.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const KeyT k = 1 + static_cast<KeyT>(rng.next_range(cfg.key_range));
+        if (rng.next_range(2) == 0)
+          ds->insert(t, k, k);
+        else
+          ds->remove(t, k);
+      }
+    });
+  }
+  std::vector<uint64_t> lat_ns;
+  lat_ns.reserve(1 << 16);
+  std::thread prober([&] {
+    const int tid = churn_threads;
+    Xoshiro256 rng(1);
+    std::vector<std::pair<KeyT, ValT>> out;
+    out.reserve(cfg.rq_size + 16);
+    start.arrive_and_wait();
+    while (!stop.load(std::memory_order_relaxed)) {
+      const KeyT lo = 1 + static_cast<KeyT>(rng.next_range(cfg.key_range));
+      const auto t0 = now();
+      ds->range_query(tid, lo, lo + cfg.rq_size - 1, out);
+      lat_ns.push_back(static_cast<uint64_t>(elapsed_s(t0) * 1e9));
+    }
+  });
+  start.arrive_and_wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  prober.join();
+  for (auto& t : churn) t.join();
+  return percentile_stats(lat_ns);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  Config cfg = config_from_args(args);
+  if (!args.has("--duration")) cfg.duration_ms = 200;
+  if (!args.has("--keyrange")) cfg.key_range = 20000;
+  const int churn_threads =
+      static_cast<int>(args.get_long("--churn-threads", 2));
+  print_header("range-query latency under churn", cfg);
+  std::printf("# 1 probe thread, %d churn threads (50/50 insert-remove), "
+              "rqsize=%d\n\n", churn_threads, cfg.rq_size);
+  std::printf("%-24s %10s %10s %10s %10s %10s\n", "impl", "p50(us)",
+              "p90(us)", "p99(us)", "max(us)", "queries");
+  for (const auto& impl : any_set_names()) {
+    const LatencyStats s = run_one(impl, churn_threads, cfg);
+    std::printf("%-24s %10.1f %10.1f %10.1f %10.1f %10zu\n", impl.c_str(),
+                s.p50_us, s.p90_us, s.p99_us, s.max_us, s.queries);
+  }
+  std::printf("\nshape-check: Bundle p99 should sit well below EBR-RQ(-LF), "
+              "whose queries re-scan announce arrays and limbo lists. RLU "
+              "reads are near-Unsafe *here* because RLU shifts its cost to "
+              "writers (rlu_synchronize) — visible as update-throughput "
+              "collapse in fig2/fig3, not in read latency. Unsafe is the "
+              "floor.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// order_book: a limit order book where market-data snapshots are
+// linearizable range queries over the bundled Citrus tree.
+//
+// Bids and asks live in two ordered sets keyed by price level; matching
+// threads add/cancel orders while a market-data thread publishes top-of-
+// book depth snapshots. Because the range query is linearizable, a
+// snapshot can never show a crossed book *from one side's perspective
+// mid-update* — and the best-bid/best-ask it reports existed at one
+// instant in logical time.
+//
+//   build/examples/order_book
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "api/ordered_set.h"
+#include "common/random.h"
+
+namespace {
+
+using namespace bref;
+
+class OrderBook {
+ public:
+  void add_bid(int tid, KeyT price, ValT qty) { bids_.insert(tid, price, qty); }
+  void add_ask(int tid, KeyT price, ValT qty) { asks_.insert(tid, price, qty); }
+  void cancel_bid(int tid, KeyT price) { bids_.remove(tid, price); }
+  void cancel_ask(int tid, KeyT price) { asks_.remove(tid, price); }
+
+  /// Depth snapshot: best `levels` price levels on each side, from one
+  /// consistent snapshot per side.
+  struct Depth {
+    std::vector<std::pair<KeyT, ValT>> bids;  // descending from best bid
+    std::vector<std::pair<KeyT, ValT>> asks;  // ascending from best ask
+  };
+
+  Depth snapshot(int tid, KeyT around, KeyT window, size_t levels) {
+    Depth d;
+    std::vector<std::pair<KeyT, ValT>> tmp;
+    bids_.range_query(tid, around - window, around + window, tmp);
+    for (auto it = tmp.rbegin(); it != tmp.rend() && d.bids.size() < levels;
+         ++it)
+      d.bids.push_back(*it);
+    asks_.range_query(tid, around - window, around + window, tmp);
+    for (auto it = tmp.begin(); it != tmp.end() && d.asks.size() < levels;
+         ++it)
+      d.asks.push_back(*it);
+    return d;
+  }
+
+ private:
+  BundleCitrusSet bids_;
+  BundleCitrusSet asks_;
+};
+
+}  // namespace
+
+int main() {
+  OrderBook book;
+  constexpr KeyT kMid = 10000;
+
+  // Seed resting liquidity: bids below mid, asks above.
+  for (KeyT p = kMid - 500; p < kMid; p += 5) book.add_bid(0, p, 100);
+  for (KeyT p = kMid + 5; p <= kMid + 500; p += 5) book.add_ask(0, p, 100);
+
+  std::atomic<bool> stop{false};
+  std::atomic<long> snapshots{0};
+  std::atomic<long> violations{0};
+
+  // Market-data thread: publish depth, check it is sane.
+  std::thread md([&] {
+    const int tid = 5;
+    while (!stop.load(std::memory_order_acquire)) {
+      auto d = book.snapshot(tid, kMid, 600, 5);
+      // Within one side's snapshot, levels must be strictly ordered.
+      for (size_t i = 1; i < d.bids.size(); ++i)
+        if (d.bids[i - 1].first <= d.bids[i].first) violations++;
+      for (size_t i = 1; i < d.asks.size(); ++i)
+        if (d.asks[i - 1].first >= d.asks[i].first) violations++;
+      snapshots++;
+    }
+  });
+
+  // Trading threads: add and cancel around the touch.
+  std::vector<std::thread> traders;
+  for (int t = 0; t < 3; ++t) {
+    traders.emplace_back([&, t] {
+      Xoshiro256 rng(t + 1);
+      for (int i = 0; i < 30000; ++i) {
+        KeyT off = static_cast<KeyT>(rng.next_range(400));
+        if (rng.next_range(2) == 0) {
+          KeyT p = kMid - 1 - off;
+          if (rng.next_range(3) != 0)
+            book.add_bid(t, p, 10 + rng.next_range(90));
+          else
+            book.cancel_bid(t, p);
+        } else {
+          KeyT p = kMid + 1 + off;
+          if (rng.next_range(3) != 0)
+            book.add_ask(t, p, 10 + rng.next_range(90));
+          else
+            book.cancel_ask(t, p);
+        }
+      }
+    });
+  }
+  for (auto& t : traders) t.join();
+  stop = true;
+  md.join();
+
+  auto d = book.snapshot(0, kMid, 600, 5);
+  std::printf("published %ld depth snapshots, %ld ordering violations\n",
+              snapshots.load(), violations.load());
+  std::printf("top of book:\n");
+  for (size_t i = 0; i < d.bids.size() && i < d.asks.size(); ++i)
+    std::printf("  bid %lld x%lld | ask %lld x%lld\n",
+                (long long)d.bids[i].first, (long long)d.bids[i].second,
+                (long long)d.asks[i].first, (long long)d.asks[i].second);
+  return violations.load() == 0 ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// tpcc_demo: MiniDB (the DBx1000 substitute) running the paper's TPC-C
+// transaction mix with bundled skip-list indexes, printing per-profile
+// transaction counts and index-operation throughput.
+//
+//   build/examples/tpcc_demo [seconds]
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "api/ordered_set.h"
+#include "common/timing.h"
+#include "db/tpcc.h"
+
+int main(int argc, char** argv) {
+  using namespace bref;
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+  db::TpccScale scale;
+  scale.warehouses = 2;
+  scale.customers_per_district = 500;
+  scale.initial_orders_per_district = 100;
+  db::TpccDb<BundleSkipListSet> database(scale);
+  std::printf("loaded %d warehouses, %d districts, %d customers/district\n",
+              scale.warehouses,
+              scale.warehouses * db::kDistrictsPerWarehouse,
+              scale.customers_per_district);
+
+  constexpr int kThreads = 4;
+  std::vector<db::TpccStats> stats(kThreads);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  const auto t0 = now();
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(2026 + t);
+      while (!stop.load(std::memory_order_relaxed))
+        database.run_mixed_txn(t, rng, stats[t]);
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(seconds * 1000)));
+  stop = true;
+  for (auto& w : workers) w.join();
+  const double elapsed = elapsed_s(t0);
+
+  db::TpccStats total;
+  for (const auto& s : stats) {
+    total.txn_new_order += s.txn_new_order;
+    total.txn_payment += s.txn_payment;
+    total.txn_delivery += s.txn_delivery;
+    total.index_ops += s.index_ops;
+    total.delivered_orders += s.delivered_orders;
+  }
+  const uint64_t txns =
+      total.txn_new_order + total.txn_payment + total.txn_delivery;
+  std::printf("ran %.2fs on %d threads\n", elapsed, kThreads);
+  std::printf("  NEW_ORDER: %llu (%.1f%%)\n",
+              (unsigned long long)total.txn_new_order,
+              100.0 * total.txn_new_order / txns);
+  std::printf("  PAYMENT:   %llu (%.1f%%)\n",
+              (unsigned long long)total.txn_payment,
+              100.0 * total.txn_payment / txns);
+  std::printf("  DELIVERY:  %llu (%.1f%%), %llu orders delivered\n",
+              (unsigned long long)total.txn_delivery,
+              100.0 * total.txn_delivery / txns,
+              (unsigned long long)total.delivered_orders);
+  std::printf("  index ops: %.2f Mops/s\n", total.index_ops / elapsed / 1e6);
+  std::printf("  undelivered new-orders remaining: %zu\n",
+              database.undelivered_count(0));
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+// CPU-relax and bounded exponential backoff used by all spin loops.
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace bref {
+
+/// Hint to the CPU that we are in a spin-wait loop.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Bounded exponential backoff. Spin counts double up to a cap; once the cap
+/// is reached the thread yields so oversubscribed runs make progress.
+class Backoff {
+ public:
+  explicit Backoff(uint32_t initial = 4, uint32_t cap = 1024)
+      : limit_(initial), cap_(cap) {}
+
+  void pause() noexcept {
+    if (limit_ > cap_) {
+      std::this_thread::yield();
+      return;
+    }
+    for (uint32_t i = 0; i < limit_; ++i) cpu_relax();
+    limit_ <<= 1;
+  }
+
+  void reset(uint32_t initial = 4) noexcept { limit_ = initial; }
+
+ private:
+  uint32_t limit_;
+  uint32_t cap_;
+};
+
+}  // namespace bref

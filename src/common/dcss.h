@@ -1,0 +1,172 @@
+#pragma once
+// Double-compare single-swap (DCSS) with helping.
+//
+// dcss(a1, e1, a2, e2, v2) atomically performs
+//     if (*a1 == e1 && *a2 == e2) { *a2 = v2; return true; } return false;
+// where only a2 is written. This is the primitive the lock-free EBR-RQ
+// variant (Arbel-Raviv & Brown, PPoPP'18) uses to stamp a node's
+// insert/delete timestamp only if the global range-query timestamp has not
+// moved. The construction follows Harris et al.'s RDCSS: a descriptor is
+// CAS-ed into a2, any thread that encounters it helps complete it, and a
+// per-round verdict field makes the decision unique even when the control
+// word a1 changes while helpers race.
+//
+// Descriptors are per-thread and recycled; a 48-bit sequence number embedded
+// in the descriptor pointer defeats ABA on reuse. Values stored through DCSS
+// words must keep bit 63 clear (timestamps in this codebase are far below
+// 2^63).
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "common/backoff.h"
+#include "common/cacheline.h"
+#include "common/thread_registry.h"
+
+namespace bref {
+
+class DcssProvider {
+ public:
+  /// Atomic double-compare single-swap; see file comment. `v2 != e2` is
+  /// required (otherwise success and failure are indistinguishable to
+  /// helpers). Caller identifies itself with its dense thread id.
+  bool dcss(int tid, const std::atomic<uint64_t>& a1, uint64_t e1,
+            std::atomic<uint64_t>& a2, uint64_t e2, uint64_t v2) {
+    assert(tid >= 0 && tid < kMaxThreads);
+    assert((e2 & kDescBit) == 0 && (v2 & kDescBit) == 0 && e2 != v2);
+    Desc& d = *descs_[tid];
+    const uint64_t s = d.seq.load(std::memory_order_relaxed) + 1;  // odd
+    d.addr1 = &a1;
+    d.exp1 = e1;
+    d.addr2 = &a2;
+    d.exp2 = e2;
+    d.val2 = v2;
+    d.verdict.store(pack_verdict(s, kUndecided), std::memory_order_relaxed);
+    d.seq.store(s, std::memory_order_release);  // activate round s
+
+    const uint64_t packed = pack_ptr(tid, s);
+    Backoff bo;
+    for (;;) {
+      uint64_t cur = e2;
+      if (a2.compare_exchange_strong(cur, packed, std::memory_order_acq_rel)) {
+        break;  // descriptor installed
+      }
+      if (cur & kDescBit) {
+        help(cur);  // someone else's op is in flight at a2
+        continue;
+      }
+      // a2 holds a plain value != e2: the double-compare fails outright.
+      d.seq.store(s + 1, std::memory_order_release);
+      return false;
+    }
+    const bool ok = complete(d, s, packed);
+    d.seq.store(s + 1, std::memory_order_release);  // retire round s
+    return ok;
+  }
+
+  /// Read a DCSS word, helping any in-flight operation first so the caller
+  /// always sees a plain value.
+  uint64_t read(const std::atomic<uint64_t>& a2) {
+    for (;;) {
+      uint64_t v = a2.load(std::memory_order_acquire);
+      if (!(v & kDescBit)) return v;
+      help(v);
+    }
+  }
+
+  /// Plain CAS on a DCSS word (used by operations that do not need the
+  /// double-compare but share the word), helping descriptors out of the way.
+  bool cas(std::atomic<uint64_t>& a2, uint64_t e2, uint64_t v2) {
+    assert((e2 & kDescBit) == 0 && (v2 & kDescBit) == 0);
+    for (;;) {
+      uint64_t cur = e2;
+      if (a2.compare_exchange_strong(cur, v2, std::memory_order_acq_rel))
+        return true;
+      if (cur & kDescBit) {
+        help(cur);
+        continue;
+      }
+      return false;
+    }
+  }
+
+ private:
+  static constexpr uint64_t kDescBit = 1ull << 63;
+  static constexpr uint64_t kUndecided = 0, kSucceeded = 1, kFailed = 2;
+
+  struct Desc {
+    std::atomic<uint64_t> seq{0};  // odd = active round; even = quiescent
+    const std::atomic<uint64_t>* addr1{nullptr};
+    uint64_t exp1{0};
+    std::atomic<uint64_t>* addr2{nullptr};
+    uint64_t exp2{0};
+    uint64_t val2{0};
+    std::atomic<uint64_t> verdict{0};  // (seq << 2) | {UNDECIDED,SUCC,FAIL}
+  };
+
+  static uint64_t pack_ptr(int tid, uint64_t seq) {
+    return kDescBit | (static_cast<uint64_t>(tid) << 48) |
+           (seq & ((1ull << 48) - 1));
+  }
+  static uint64_t pack_verdict(uint64_t seq, uint64_t v) {
+    return (seq << 2) | v;
+  }
+
+  /// Decide the round's verdict (exactly once across all helpers) and swing
+  /// a2 accordingly. Returns whether the double-compare succeeded. Only the
+  /// owner consumes the return value.
+  bool complete(Desc& d, uint64_t s, uint64_t packed) {
+    uint64_t ver = d.verdict.load(std::memory_order_acquire);
+    if ((ver >> 2) == s && (ver & 3) == kUndecided) {
+      const uint64_t decided =
+          (d.addr1->load(std::memory_order_seq_cst) == d.exp1) ? kSucceeded
+                                                               : kFailed;
+      uint64_t expect = pack_verdict(s, kUndecided);
+      d.verdict.compare_exchange_strong(expect, pack_verdict(s, decided),
+                                        std::memory_order_acq_rel);
+      ver = d.verdict.load(std::memory_order_acquire);
+    }
+    if ((ver >> 2) != s) return false;  // round already retired (owner only)
+    const bool ok = (ver & 3) == kSucceeded;
+    uint64_t cur = packed;
+    d.addr2->compare_exchange_strong(cur, ok ? d.val2 : d.exp2,
+                                     std::memory_order_acq_rel);
+    return ok;
+  }
+
+  void help(uint64_t packed) {
+    const int tid = static_cast<int>((packed >> 48) & 0x7fff);
+    const uint64_t s = packed & ((1ull << 48) - 1);
+    Desc& d = *descs_[tid];
+    if (d.seq.load(std::memory_order_acquire) != s) return;  // round over
+    // Snapshot fields, then revalidate the round so we never act on a
+    // half-written descriptor from a newer round.
+    const std::atomic<uint64_t>* addr1 = d.addr1;
+    const uint64_t exp1 = d.exp1;
+    std::atomic<uint64_t>* addr2 = d.addr2;
+    const uint64_t exp2 = d.exp2;
+    const uint64_t val2 = d.val2;
+    if (d.seq.load(std::memory_order_acquire) != s) return;
+
+    uint64_t ver = d.verdict.load(std::memory_order_acquire);
+    if ((ver >> 2) == s && (ver & 3) == kUndecided) {
+      const uint64_t decided =
+          (addr1->load(std::memory_order_seq_cst) == exp1) ? kSucceeded
+                                                           : kFailed;
+      uint64_t expect = pack_verdict(s, kUndecided);
+      d.verdict.compare_exchange_strong(expect, pack_verdict(s, decided),
+                                        std::memory_order_acq_rel);
+      ver = d.verdict.load(std::memory_order_acquire);
+    }
+    if ((ver >> 2) != s) return;
+    const bool ok = (ver & 3) == kSucceeded;
+    uint64_t cur = packed;
+    addr2->compare_exchange_strong(cur, ok ? val2 : exp2,
+                                   std::memory_order_acq_rel);
+  }
+
+  CachePadded<Desc> descs_[kMaxThreads];
+};
+
+}  // namespace bref

@@ -1,0 +1,106 @@
+#pragma once
+// Per-thread pseudo-random generators for workload drivers.
+//
+// xoshiro256** is used instead of std::mt19937 because the benchmark inner
+// loop calls the generator 2-3 times per operation; the generator must be a
+// few nanoseconds and have no shared state.
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace bref {
+
+/// xoshiro256** by Blackman & Vigna (public domain algorithm), seeded via
+/// splitmix64 so any 64-bit seed (including small integers) works.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // splitmix64 stream to initialise state; never all-zero.
+    auto next_sm = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : s_) word = next_sm();
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  uint64_t next_u64() noexcept {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t next_range(uint64_t bound) noexcept {
+    assert(bound > 0);
+    // 128-bit multiply avoids modulo bias well below measurable levels.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed integers in [0, n) using Gray's rejection-inversion
+/// method; O(1) per sample after O(1) setup, suitable for large n.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n >= 1);
+    zeta2_ = zeta(2, theta);
+    zetan_ = zeta(n, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t next() noexcept {
+    // Standard YCSB-style zipfian sampling.
+    double u = rng_.next_double();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double zeta(uint64_t n, double theta) {
+    // Direct sum; called once per generator. Capped for very large n, where
+    // the tail contributes negligibly to the distribution's shape.
+    const uint64_t cap = n < (1ull << 22) ? n : (1ull << 22);
+    double sum = 0;
+    for (uint64_t i = 1; i <= cap; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Xoshiro256 rng_;
+  double zeta2_, zetan_, alpha_, eta_;
+};
+
+}  // namespace bref

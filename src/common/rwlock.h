@@ -1,0 +1,47 @@
+#pragma once
+// Writer-preference reader-writer spinlock.
+//
+// This is the lock the EBR-RQ (lock-based) range-query provider uses to
+// protect its global timestamp: update operations take the lock in shared
+// mode around their linearization point, range queries take it exclusively
+// while incrementing the timestamp (Arbel-Raviv & Brown, PPoPP'18). Writer
+// preference keeps range queries from starving under update-heavy loads.
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/backoff.h"
+
+namespace bref {
+
+class RWSpinlock {
+ public:
+  void lock_shared() noexcept {
+    Backoff bo;
+    for (;;) {
+      while (writer_.load(std::memory_order_relaxed)) bo.pause();
+      readers_.fetch_add(1, std::memory_order_acquire);
+      if (!writer_.load(std::memory_order_acquire)) return;
+      readers_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  void unlock_shared() noexcept {
+    readers_.fetch_sub(1, std::memory_order_release);
+  }
+
+  void lock() noexcept {
+    Backoff bo;
+    while (writer_.exchange(true, std::memory_order_acquire)) bo.pause();
+    bo.reset();
+    while (readers_.load(std::memory_order_acquire) != 0) bo.pause();
+  }
+
+  void unlock() noexcept { writer_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<int64_t> readers_{0};
+  std::atomic<bool> writer_{false};
+};
+
+}  // namespace bref

@@ -1,0 +1,44 @@
+#pragma once
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// Used as the per-node lock of the lazy list, skip list and Citrus tree
+// (the originals use pthread spinlocks). Satisfies Lockable so it composes
+// with std::lock_guard / std::scoped_lock (CP.20: RAII, never bare unlock).
+
+#include <atomic>
+
+#include "common/backoff.h"
+
+namespace bref {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      Backoff bo;
+      while (locked_.load(std::memory_order_relaxed)) bo.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  /// Diagnostic only (used by asserts in tests); racy by nature.
+  bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace bref

@@ -1,0 +1,65 @@
+#pragma once
+// Compile-time thread capacity and a small runtime registry.
+//
+// All substrates (EBR, RCU, RLU, the range-query tracker) keep fixed-size
+// arrays of cache-padded per-thread slots indexed by a dense thread id. The
+// paper evaluates up to 192 hyperthreads; we reserve the same capacity.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace bref {
+
+inline constexpr int kMaxThreads = 192;
+
+/// Hands out dense thread ids. Benchmarks and tests typically assign ids
+/// 0..n-1 themselves; the registry is for applications (see examples/) that
+/// want automatic assignment per std::thread.
+class ThreadRegistry {
+ public:
+  int acquire() noexcept {
+    int tid = next_.fetch_add(1, std::memory_order_relaxed);
+    assert(tid < kMaxThreads && "too many registered threads");
+    return tid;
+  }
+
+  int registered() const noexcept {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Global registry used by the convenience `tl_thread_id()` helper.
+  static ThreadRegistry& instance() {
+    static ThreadRegistry reg;
+    return reg;
+  }
+
+ private:
+  std::atomic<int> next_{0};
+};
+
+/// Lazily-assigned dense id for the calling thread (application convenience;
+/// the benchmark drivers pass explicit ids instead).
+inline int tl_thread_id() {
+  thread_local int id = ThreadRegistry::instance().acquire();
+  return id;
+}
+
+/// High-water mark of thread ids that ever touched a substrate. Grace-period
+/// and min-scans iterate only up to the mark instead of over all kMaxThreads
+/// padded slots; threads must note() their id before any participation.
+class TidHwm {
+ public:
+  void note(int tid) noexcept {
+    int h = hwm_.load(std::memory_order_relaxed);
+    while (tid >= h &&
+           !hwm_.compare_exchange_weak(h, tid + 1, std::memory_order_seq_cst)) {
+    }
+  }
+  int get() const noexcept { return hwm_.load(std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<int> hwm_{0};
+};
+
+}  // namespace bref

@@ -1,0 +1,21 @@
+#pragma once
+// Monotonic-clock helpers shared by benches and the bundle cleaner thread.
+
+#include <chrono>
+#include <cstdint>
+
+namespace bref {
+
+using Clock = std::chrono::steady_clock;
+
+inline Clock::time_point now() noexcept { return Clock::now(); }
+
+inline double elapsed_ms(Clock::time_point start) noexcept {
+  return std::chrono::duration<double, std::milli>(now() - start).count();
+}
+
+inline double elapsed_s(Clock::time_point start) noexcept {
+  return std::chrono::duration<double>(now() - start).count();
+}
+
+}  // namespace bref

@@ -1,0 +1,84 @@
+#pragma once
+// Background bundle-entry recycler (supplementary B, Table 1).
+//
+// A dedicated thread periodically computes the oldest timestamp any active
+// or future range query can observe (via the RqTracker announce array) and
+// asks the data structure to prune every bundle down to the entries that
+// snapshot still needs. Pruned entries are retired through EBR because
+// in-flight range queries may still be walking them.
+//
+// DS duck-typing requirement: `size_t prune_bundles(int tid)`.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_registry.h"
+
+namespace bref {
+
+template <typename DS>
+class BundleCleaner {
+ public:
+  /// `delay` is the pause between cleanup passes (Table 1's d parameter).
+  /// The cleaner occupies the dedicated thread slot kMaxThreads-1; workload
+  /// threads must use smaller ids.
+  explicit BundleCleaner(DS& ds,
+                         std::chrono::milliseconds delay =
+                             std::chrono::milliseconds(10))
+      : ds_(&ds), delay_(delay) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~BundleCleaner() { stop(); }
+
+  BundleCleaner(const BundleCleaner&) = delete;
+  BundleCleaner& operator=(const BundleCleaner&) = delete;
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  uint64_t entries_reclaimed() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+  uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
+
+  static constexpr int kCleanerTid = kMaxThreads - 1;
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      if (delay_.count() > 0)
+        cv_.wait_for(lk, delay_, [this] { return stopped_; });
+      if (stopped_) return;
+      lk.unlock();
+      reclaimed_.fetch_add(ds_->prune_bundles(kCleanerTid),
+                           std::memory_order_relaxed);
+      passes_.fetch_add(1, std::memory_order_relaxed);
+      lk.lock();
+      if (stopped_) return;
+    }
+  }
+
+  DS* ds_;
+  std::chrono::milliseconds delay_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::atomic<uint64_t> reclaimed_{0};
+  std::atomic<uint64_t> passes_{0};
+};
+
+}  // namespace bref

@@ -1,0 +1,86 @@
+#pragma once
+// Active-range-query tracker (`activeRqTsArray`, supplementary B).
+//
+// Each range query announces the snapshot timestamp it runs at; the bundle
+// cleaner uses the minimum announced value to decide which bundle entries
+// are dead. Announcing is a two-step protocol — PENDING, then the value —
+// because reading the global timestamp and publishing it cannot be one
+// atomic action; the cleaner waits out PENDING slots so it can never miss a
+// query that has read the clock but not yet published its value.
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/backoff.h"
+#include "common/cacheline.h"
+#include "common/thread_registry.h"
+#include "core/global_timestamp.h"
+#include "core/sync_hooks.h"
+
+namespace bref {
+
+class RqTracker {
+ public:
+  static constexpr timestamp_t kNone = ~0ull;
+  static constexpr timestamp_t kAnnouncePending = ~0ull - 1;
+
+  /// Begin a range query: fix and publish its snapshot timestamp.
+  timestamp_t begin(int tid, const GlobalTimestamp& gts) noexcept {
+    hwm_.note(tid);
+    auto& slot = *slots_[tid];
+    slot.store(kAnnouncePending, std::memory_order_seq_cst);
+    const timestamp_t ts = gts.read();
+    SyncHooks::run(SyncHooks::rq_mid_announce);
+    slot.store(ts, std::memory_order_seq_cst);
+    return ts;
+  }
+
+  /// Refresh the announced snapshot when a range query restarts (Alg. 3
+  /// line 7) without leaving the announce window.
+  timestamp_t restart(int tid, const GlobalTimestamp& gts) noexcept {
+    return begin(tid, gts);
+  }
+
+  void end(int tid) noexcept {
+    slots_[tid]->store(kNone, std::memory_order_release);
+  }
+
+  /// Oldest timestamp any active or future range query can observe.
+  /// Safe lower bound for pruning: reads the clock first (future queries
+  /// observe >= this), then scans slots, waiting out in-flight announces.
+  timestamp_t oldest_active(const GlobalTimestamp& gts) const noexcept {
+    timestamp_t oldest = gts.read();
+    const int n = hwm_.get();
+    for (int i = 0; i < n; ++i) {
+      Backoff bo;
+      timestamp_t v;
+      while ((v = slots_[i]->load(std::memory_order_seq_cst)) ==
+             kAnnouncePending)
+        bo.pause();
+      if (v != kNone && v < oldest) oldest = v;
+    }
+    return oldest;
+  }
+
+  int active_count() const noexcept {
+    int n = 0;
+    for (int i = 0; i < kMaxThreads; ++i) {
+      timestamp_t v = slots_[i]->load(std::memory_order_acquire);
+      if (v != kNone) ++n;
+    }
+    return n;
+  }
+
+ private:
+  TidHwm hwm_;
+  mutable CachePadded<std::atomic<timestamp_t>> slots_[kMaxThreads] = {};
+
+  // Slots must start at kNone; CachePadded default-constructs atomics to 0,
+  // so fix them up here.
+ public:
+  RqTracker() {
+    for (auto& s : slots_) s->store(kNone, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace bref

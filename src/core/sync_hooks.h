@@ -1,0 +1,43 @@
+#pragma once
+// Test-only synchronization hooks.
+//
+// The linearizability argument in Section 3.3 hinges on one narrow window:
+// an update that has executed its linearization point but has not yet
+// finalized its (pending) bundle entries. The paper's worked example — T1
+// inserts x and stalls right before finalization; T2 then sees x via
+// contains() and must also see it in a subsequent range query — is only
+// testable if we can force a thread to stall in that window. These hooks are
+// no-ops (one relaxed load) unless a test installs a callback.
+
+#include <atomic>
+
+namespace bref {
+
+struct SyncHooks {
+  using Fn = void (*)();
+
+  /// Fired inside linearize_update() after all bundles are prepared
+  /// (pending) but before the global timestamp is advanced.
+  inline static std::atomic<Fn> after_prepare{nullptr};
+
+  /// Fired after the linearization point executes but before any pending
+  /// bundle entry is finalized — the window the pending protocol protects.
+  inline static std::atomic<Fn> before_finalize{nullptr};
+
+  /// Fired inside RqTracker::begin() after the query has read the global
+  /// timestamp but before it replaces its PENDING announce with that value —
+  /// the window oldest_active() must wait out.
+  inline static std::atomic<Fn> rq_mid_announce{nullptr};
+
+  static void run(std::atomic<Fn>& slot) {
+    if (Fn f = slot.load(std::memory_order_relaxed)) f();
+  }
+
+  static void reset() {
+    after_prepare.store(nullptr, std::memory_order_relaxed);
+    before_finalize.store(nullptr, std::memory_order_relaxed);
+    rq_mid_announce.store(nullptr, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace bref

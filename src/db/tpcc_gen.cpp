@@ -1,0 +1,34 @@
+#include "db/tpcc_gen.h"
+
+namespace bref::db {
+
+namespace {
+// TPC-C clause 2.1.6: C is a runtime constant chosen once per load.
+constexpr uint64_t kCLast = 123;
+constexpr uint64_t kCId = 259;
+constexpr uint64_t kOlI = 7911;
+
+const char* kNameSyllables[10] = {"BAR",   "OUGHT", "ABLE", "PRI",
+                                  "PRES",  "ESE",   "ANTI", "CALLY",
+                                  "ATION", "EING"};
+}  // namespace
+
+uint64_t nurand(Xoshiro256& rng, uint64_t A, uint64_t x, uint64_t y) {
+  const uint64_t C = (A == 255) ? kCLast : (A == 1023) ? kCId : kOlI;
+  const uint64_t r1 = rng.next_range(A + 1);
+  const uint64_t r2 = x + rng.next_range(y - x + 1);
+  return (((r1 | r2) + C) % (y - x + 1)) + x;
+}
+
+std::string tpcc_lastname(int num) {
+  return std::string(kNameSyllables[(num / 100) % 10]) +
+         kNameSyllables[(num / 10) % 10] + kNameSyllables[num % 10];
+}
+
+uint32_t lastname_id(int num) { return static_cast<uint32_t>(num % 1000); }
+
+int random_lastname_num(Xoshiro256& rng) {
+  return static_cast<int>(nurand(rng, 255, 0, 999));
+}
+
+}  // namespace bref::db

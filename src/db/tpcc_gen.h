@@ -1,0 +1,59 @@
+#pragma once
+// TPC-C input generation: NURand, customer last names, and the key
+// encodings MiniDB's ordered indexes use. Non-template pieces live in
+// tpcc_gen.cpp.
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace bref::db {
+
+// TPC-C scale constants (per warehouse / district).
+inline constexpr int kDistrictsPerWarehouse = 10;
+inline constexpr int kMaxItems = 10000;
+
+/// TPC-C NURand(A, x, y): non-uniform random in [x, y].
+uint64_t nurand(Xoshiro256& rng, uint64_t A, uint64_t x, uint64_t y);
+
+/// TPC-C last-name synthesis from a number in [0, 999].
+std::string tpcc_lastname(int num);
+
+/// 10-bit hash of a TPC-C last name (1000 distinct names -> distinct ids).
+uint32_t lastname_id(int num);
+
+/// Non-uniform customer last-name number for transactions (NURand 255).
+int random_lastname_num(Xoshiro256& rng);
+
+// ---- ordered-index key encodings -------------------------------------------
+// All keys fit well below 2^62 so they are safe for every implementation
+// (including the DCSS-stamped EBR-RQ words).
+
+/// (w, d, o_id) -> order / new-order / order-key space.
+inline int64_t order_key(int w, int d, int64_t o_id) {
+  return ((static_cast<int64_t>(w) * kDistrictsPerWarehouse + d) << 32) |
+         o_id;
+}
+
+/// (w, d, o_id, ol_number) -> order-line key.
+inline int64_t orderline_key(int w, int d, int64_t o_id, int ol) {
+  return (((static_cast<int64_t>(w) * kDistrictsPerWarehouse + d) << 36) |
+          (o_id << 4)) |
+         ol;
+}
+
+/// (w, d, c_id) -> customer primary key.
+inline int64_t customer_key(int w, int d, int c_id) {
+  return ((static_cast<int64_t>(w) * kDistrictsPerWarehouse + d) << 24) |
+         c_id;
+}
+
+/// (w, d, lastname, c_id) -> customer-by-name secondary key. Range queries
+/// over one (w, d, lastname) prefix use [name_key(...,0), name_key(...,max)].
+inline int64_t customer_name_key(int w, int d, uint32_t name_id, int c_id) {
+  return ((static_cast<int64_t>(w) * kDistrictsPerWarehouse + d) << 40) |
+         (static_cast<int64_t>(name_id) << 24) | c_id;
+}
+
+}  // namespace bref::db

@@ -1,0 +1,244 @@
+#pragma once
+// Citrus tree (Arbel & Attiya, PODC'14): RCU-protected internal BST with
+// fine-grained locks, here with an *Unsafe* range query (plain DFS over
+// current pointers, no consistency checks) — the paper's performance
+// reference for the tree experiments.
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "ds/support.h"
+#include "epoch/ebr.h"
+#include "rcu/urcu.h"
+
+namespace bref {
+
+template <typename K, typename V>
+class CitrusTreeUnsafe {
+ public:
+  struct Node {
+    const K key;
+    V val;
+    Spinlock lock;
+    std::atomic<bool> marked{false};
+    std::atomic<Node*> child[2];
+    std::atomic<uint64_t> tag[2];
+    Node(K k, V v) : key(k), val(v) {
+      child[0].store(nullptr, std::memory_order_relaxed);
+      child[1].store(nullptr, std::memory_order_relaxed);
+      tag[0].store(0, std::memory_order_relaxed);
+      tag[1].store(0, std::memory_order_relaxed);
+    }
+  };
+
+  explicit CitrusTreeUnsafe(bool reclaim = false) : reclaim_(reclaim) {
+    root_ = new Node(key_max_sentinel<K>(), V{});
+  }
+
+  ~CitrusTreeUnsafe() {
+    std::vector<Node*> stack{root_};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (Node* l = n->child[0].load(std::memory_order_relaxed))
+        stack.push_back(l);
+      if (Node* r = n->child[1].load(std::memory_order_relaxed))
+        stack.push_back(r);
+      delete n;
+    }
+  }
+
+  CitrusTreeUnsafe(const CitrusTreeUnsafe&) = delete;
+  CitrusTreeUnsafe& operator=(const CitrusTreeUnsafe&) = delete;
+
+  bool contains(int tid, K key, V* out = nullptr) const {
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    const SearchResult r = search(tid, key);
+    if (r.curr == nullptr) return false;
+    if (out != nullptr) *out = r.curr->val;
+    return true;
+  }
+
+  bool insert(int tid, K key, V val) {
+    assert(key < key_max_sentinel<K>());
+    for (;;) {
+      OptEbrGuard g(ebr_, tid, reclaim_);
+      const SearchResult r = search(tid, key);
+      if (r.curr != nullptr) return false;
+      std::lock_guard<Spinlock> lk(r.pred->lock);
+      if (r.pred->marked.load(std::memory_order_acquire) ||
+          r.pred->child[r.dir].load(std::memory_order_acquire) != nullptr ||
+          r.pred->tag[r.dir].load(std::memory_order_acquire) != r.tag)
+        continue;
+      Node* fresh = new Node(key, val);
+      r.pred->child[r.dir].store(fresh, std::memory_order_release);
+      r.pred->tag[r.dir].fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+
+  bool remove(int tid, K key) {
+    for (;;) {
+      OptEbrGuard g(ebr_, tid, reclaim_);
+      const SearchResult r = search(tid, key);
+      if (r.curr == nullptr) return false;
+      Node* pred = r.pred;
+      Node* curr = r.curr;
+      const int dir = r.dir;
+      std::unique_lock<Spinlock> lk_pred(pred->lock);
+      std::unique_lock<Spinlock> lk_curr(curr->lock);
+      if (pred->marked.load(std::memory_order_acquire) ||
+          curr->marked.load(std::memory_order_acquire) ||
+          pred->child[dir].load(std::memory_order_acquire) != curr)
+        continue;
+      Node* left = curr->child[0].load(std::memory_order_acquire);
+      Node* right = curr->child[1].load(std::memory_order_acquire);
+      if (left == nullptr || right == nullptr) {
+        Node* splice = left != nullptr ? left : right;
+        curr->marked.store(true, std::memory_order_release);
+        pred->child[dir].store(splice, std::memory_order_release);
+        pred->tag[dir].fetch_add(1, std::memory_order_relaxed);
+        ebr_.retire(tid, curr);
+        return true;
+      }
+      if (remove_two_children(tid, pred, curr, dir, left, right)) return true;
+    }
+  }
+
+  /// NOT linearizable (Unsafe reference): DFS over current pointers.
+  size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    out.clear();
+    if (lo > hi) return 0;
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    Urcu::ReadGuard rg(rcu_, tid);
+    std::vector<Node*> stack;
+    if (Node* t = root_->child[0].load(std::memory_order_acquire))
+      stack.push_back(t);
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (n->key >= lo && n->key <= hi) out.emplace_back(n->key, n->val);
+      if (n->key > lo)
+        if (Node* l = n->child[0].load(std::memory_order_acquire))
+          stack.push_back(l);
+      if (n->key < hi)
+        if (Node* r = n->child[1].load(std::memory_order_acquire))
+          stack.push_back(r);
+    }
+    std::sort(out.begin(), out.end());
+    return out.size();
+  }
+
+  Ebr& ebr() { return ebr_; }
+  bool reclaim_enabled() const { return reclaim_; }
+
+  std::vector<std::pair<K, V>> to_vector() const {
+    std::vector<std::pair<K, V>> v;
+    in_order(root_->child[0].load(std::memory_order_acquire), v);
+    return v;
+  }
+  size_t size_slow() const { return to_vector().size(); }
+  bool check_invariants() const {
+    return check_subtree(root_->child[0].load(std::memory_order_acquire),
+                         key_min_sentinel<K>(), key_max_sentinel<K>());
+  }
+
+ private:
+  struct SearchResult {
+    Node* pred;
+    Node* curr;
+    int dir;
+    uint64_t tag;
+  };
+
+  SearchResult search(int tid, K key) const {
+    Urcu::ReadGuard rg(rcu_, tid);
+    Node* pred = root_;
+    int dir = 0;
+    uint64_t tag = pred->tag[0].load(std::memory_order_acquire);
+    Node* curr = pred->child[0].load(std::memory_order_acquire);
+    while (curr != nullptr && curr->key != key) {
+      const int d = (key < curr->key) ? 0 : 1;
+      pred = curr;
+      dir = d;
+      tag = pred->tag[d].load(std::memory_order_acquire);
+      curr = pred->child[d].load(std::memory_order_acquire);
+    }
+    return {pred, curr, dir, tag};
+  }
+
+  bool remove_two_children(int tid, Node* pred, Node* curr, int dir,
+                           Node* left, Node* right) {
+    Node* succ_parent = curr;
+    Node* succ = right;
+    for (;;) {
+      Node* l = succ->child[0].load(std::memory_order_acquire);
+      if (l == nullptr) break;
+      succ_parent = succ;
+      succ = l;
+    }
+    std::unique_lock<Spinlock> lk_sp;
+    if (succ_parent != curr)
+      lk_sp = std::unique_lock<Spinlock>(succ_parent->lock);
+    std::unique_lock<Spinlock> lk_succ(succ->lock);
+    bool valid = !succ->marked.load(std::memory_order_acquire) &&
+                 succ->child[0].load(std::memory_order_acquire) == nullptr;
+    if (succ_parent != curr) {
+      valid = valid && !succ_parent->marked.load(std::memory_order_acquire) &&
+              succ_parent->child[0].load(std::memory_order_acquire) == succ;
+    }
+    if (!valid) return false;
+
+    Node* succ_right = succ->child[1].load(std::memory_order_acquire);
+    Node* copy = new Node(succ->key, succ->val);
+    if (succ_parent == curr) {
+      copy->child[0].store(left, std::memory_order_relaxed);
+      copy->child[1].store(succ_right, std::memory_order_relaxed);
+      curr->marked.store(true, std::memory_order_release);
+      succ->marked.store(true, std::memory_order_release);
+      pred->child[dir].store(copy, std::memory_order_release);
+      pred->tag[dir].fetch_add(1, std::memory_order_relaxed);
+      rcu_.synchronize();
+    } else {
+      copy->child[0].store(left, std::memory_order_relaxed);
+      copy->child[1].store(right, std::memory_order_relaxed);
+      curr->marked.store(true, std::memory_order_release);
+      succ->marked.store(true, std::memory_order_release);
+      pred->child[dir].store(copy, std::memory_order_release);
+      pred->tag[dir].fetch_add(1, std::memory_order_relaxed);
+      rcu_.synchronize();
+      succ_parent->child[0].store(succ_right, std::memory_order_release);
+      succ_parent->tag[0].fetch_add(1, std::memory_order_relaxed);
+    }
+    ebr_.retire(tid, curr);
+    ebr_.retire(tid, succ);
+    return true;
+  }
+
+  void in_order(Node* n, std::vector<std::pair<K, V>>& v) const {
+    if (n == nullptr) return;
+    in_order(n->child[0].load(std::memory_order_acquire), v);
+    v.emplace_back(n->key, n->val);
+    in_order(n->child[1].load(std::memory_order_acquire), v);
+  }
+
+  bool check_subtree(Node* n, K lo, K hi) const {
+    if (n == nullptr) return true;
+    if (n->key <= lo || n->key >= hi) return false;
+    return check_subtree(n->child[0].load(std::memory_order_acquire), lo,
+                         n->key) &&
+           check_subtree(n->child[1].load(std::memory_order_acquire), n->key,
+                         hi);
+  }
+
+  mutable Ebr ebr_;
+  mutable Urcu rcu_;
+  const bool reclaim_;
+  Node* root_;
+};
+
+}  // namespace bref

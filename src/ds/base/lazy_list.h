@@ -1,0 +1,147 @@
+#pragma once
+// Lazy sorted linked list (Heller et al., OPODIS'05) with an *Unsafe* range
+// query: the RQ traverses current pointers with no consistency checks. This
+// is the paper's performance reference — primitive operations are
+// linearizable, range queries are not.
+
+#include <cassert>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "ds/support.h"
+#include "epoch/ebr.h"
+
+namespace bref {
+
+template <typename K, typename V>
+class LazyListUnsafe {
+ public:
+  struct Node {
+    const K key;
+    V val;
+    Spinlock lock;
+    std::atomic<bool> marked{false};
+    std::atomic<Node*> next{nullptr};
+    Node(K k, V v) : key(k), val(v) {}
+  };
+
+  explicit LazyListUnsafe(bool reclaim = false) : reclaim_(reclaim) {
+    head_ = new Node(key_min_sentinel<K>(), V{});
+    tail_ = new Node(key_max_sentinel<K>(), V{});
+    head_->next.store(tail_, std::memory_order_relaxed);
+  }
+
+  ~LazyListUnsafe() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = nx;
+    }
+  }
+
+  LazyListUnsafe(const LazyListUnsafe&) = delete;
+  LazyListUnsafe& operator=(const LazyListUnsafe&) = delete;
+
+  bool contains(int tid, K key, V* out = nullptr) const {
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    Node* curr = head_->next.load(std::memory_order_acquire);
+    while (curr->key < key) curr = curr->next.load(std::memory_order_acquire);
+    if (curr->key != key || curr->marked.load(std::memory_order_acquire))
+      return false;
+    if (out != nullptr) *out = curr->val;
+    return true;
+  }
+
+  bool insert(int tid, K key, V val) {
+    assert(key > key_min_sentinel<K>() && key < key_max_sentinel<K>());
+    for (;;) {
+      OptEbrGuard g(ebr_, tid, reclaim_);
+      auto [pred, curr] = traverse(key);
+      std::lock_guard<Spinlock> lk(pred->lock);
+      if (!validate(pred, curr)) continue;
+      if (curr->key == key) return false;
+      Node* fresh = new Node(key, val);
+      fresh->next.store(curr, std::memory_order_relaxed);
+      pred->next.store(fresh, std::memory_order_release);
+      return true;
+    }
+  }
+
+  bool remove(int tid, K key) {
+    for (;;) {
+      OptEbrGuard g(ebr_, tid, reclaim_);
+      auto [pred, curr] = traverse(key);
+      if (curr->key != key) return false;
+      std::scoped_lock lk(pred->lock, curr->lock);
+      if (!validate(pred, curr) ||
+          curr->marked.load(std::memory_order_acquire))
+        continue;
+      curr->marked.store(true, std::memory_order_release);  // linearization
+      pred->next.store(curr->next.load(std::memory_order_acquire),
+                       std::memory_order_release);
+      ebr_.retire(tid, curr);
+      return true;
+    }
+  }
+
+  /// NOT linearizable: no snapshot guarantee whatsoever (paper's Unsafe).
+  size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    out.clear();
+    if (lo > hi) return 0;
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    Node* curr = head_->next.load(std::memory_order_acquire);
+    while (curr->key < lo) curr = curr->next.load(std::memory_order_acquire);
+    while (curr != tail_ && curr->key <= hi) {
+      if (!curr->marked.load(std::memory_order_acquire))
+        out.emplace_back(curr->key, curr->val);
+      curr = curr->next.load(std::memory_order_acquire);
+    }
+    return out.size();
+  }
+
+  Ebr& ebr() { return ebr_; }
+  bool reclaim_enabled() const { return reclaim_; }
+
+  std::vector<std::pair<K, V>> to_vector() const {
+    std::vector<std::pair<K, V>> v;
+    for (Node* n = head_->next.load(std::memory_order_acquire); n != tail_;
+         n = n->next.load(std::memory_order_acquire))
+      v.emplace_back(n->key, n->val);
+    return v;
+  }
+  size_t size_slow() const { return to_vector().size(); }
+  bool check_invariants() const {
+    K prev = key_min_sentinel<K>();
+    for (Node* n = head_->next.load(std::memory_order_acquire); n != tail_;
+         n = n->next.load(std::memory_order_acquire)) {
+      if (n->key <= prev) return false;
+      prev = n->key;
+    }
+    return true;
+  }
+
+ private:
+  std::pair<Node*, Node*> traverse(K key) const {
+    Node* pred = head_;
+    Node* curr = pred->next.load(std::memory_order_acquire);
+    while (curr->key < key) {
+      pred = curr;
+      curr = curr->next.load(std::memory_order_acquire);
+    }
+    return {pred, curr};
+  }
+  bool validate(Node* pred, Node* curr) const {
+    return !pred->marked.load(std::memory_order_acquire) &&
+           pred->next.load(std::memory_order_acquire) == curr;
+  }
+
+  mutable Ebr ebr_;
+  const bool reclaim_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace bref

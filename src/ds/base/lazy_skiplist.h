@@ -1,0 +1,247 @@
+#pragma once
+// Optimistic lazy skip list (Herlihy-Lev-Luchangco-Shavit, SIROCCO'07) with
+// an *Unsafe* range query (no consistency checks) — the paper's performance
+// reference for the skip list experiments.
+
+#include <bit>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/spinlock.h"
+#include "ds/support.h"
+#include "epoch/ebr.h"
+
+namespace bref {
+
+template <typename K, typename V>
+class LazySkipListUnsafe {
+ public:
+  static constexpr int kMaxHeight = 20;
+
+  struct Node {
+    const K key;
+    V val;
+    const int top_level;
+    Spinlock lock;
+    std::atomic<bool> marked{false};
+    std::atomic<bool> fully_linked{false};
+    std::atomic<Node*> next[kMaxHeight];
+    Node(K k, V v, int top) : key(k), val(v), top_level(top) {
+      for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
+    }
+  };
+
+  explicit LazySkipListUnsafe(bool reclaim = false) : reclaim_(reclaim) {
+    head_ = new Node(key_min_sentinel<K>(), V{}, kMaxHeight - 1);
+    tail_ = new Node(key_max_sentinel<K>(), V{}, kMaxHeight - 1);
+    for (int l = 0; l < kMaxHeight; ++l)
+      head_->next[l].store(tail_, std::memory_order_relaxed);
+    head_->fully_linked.store(true, std::memory_order_relaxed);
+    tail_->fully_linked.store(true, std::memory_order_relaxed);
+    for (int i = 0; i < kMaxThreads; ++i) rngs_[i]->reseed(0xf00d + i);
+  }
+
+  ~LazySkipListUnsafe() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = n->next[0].load(std::memory_order_relaxed);
+      delete n;
+      n = nx;
+    }
+  }
+
+  LazySkipListUnsafe(const LazySkipListUnsafe&) = delete;
+  LazySkipListUnsafe& operator=(const LazySkipListUnsafe&) = delete;
+
+  bool contains(int tid, K key, V* out = nullptr) const {
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    Node* pred = head_;
+    Node* found = nullptr;
+    for (int l = kMaxHeight - 1; l >= 0; --l) {
+      Node* curr = pred->next[l].load(std::memory_order_acquire);
+      while (curr->key < key) {
+        pred = curr;
+        curr = curr->next[l].load(std::memory_order_acquire);
+      }
+      if (curr->key == key) {
+        found = curr;
+        break;
+      }
+    }
+    if (found == nullptr ||
+        !found->fully_linked.load(std::memory_order_acquire) ||
+        found->marked.load(std::memory_order_acquire))
+      return false;
+    if (out != nullptr) *out = found->val;
+    return true;
+  }
+
+  bool insert(int tid, K key, V val) {
+    assert(key > key_min_sentinel<K>() && key < key_max_sentinel<K>());
+    const int top = random_level(tid);
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    for (;;) {
+      OptEbrGuard g(ebr_, tid, reclaim_);
+      const int lf = find(key, preds, succs);
+      if (lf != -1) {
+        Node* found = succs[lf];
+        if (!found->marked.load(std::memory_order_acquire)) {
+          while (!found->fully_linked.load(std::memory_order_acquire))
+            cpu_relax();
+          return false;
+        }
+        continue;
+      }
+      LockSet locks;
+      bool valid = true;
+      for (int l = 0; l <= top && valid; ++l) {
+        locks.acquire(preds[l]);
+        valid = !preds[l]->marked.load(std::memory_order_acquire) &&
+                !succs[l]->marked.load(std::memory_order_acquire) &&
+                preds[l]->next[l].load(std::memory_order_acquire) == succs[l];
+      }
+      if (!valid) continue;
+      Node* fresh = new Node(key, val, top);
+      for (int l = 0; l <= top; ++l)
+        fresh->next[l].store(succs[l], std::memory_order_relaxed);
+      for (int l = 0; l <= top; ++l)
+        preds[l]->next[l].store(fresh, std::memory_order_release);
+      fresh->fully_linked.store(true, std::memory_order_release);
+      return true;
+    }
+  }
+
+  bool remove(int tid, K key) {
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    Node* victim = nullptr;
+    bool is_marked = false;
+    int top = -1;
+    for (;;) {
+      OptEbrGuard g(ebr_, tid, reclaim_);
+      const int lf = find(key, preds, succs);
+      if (lf != -1) victim = succs[lf];
+      if (!is_marked) {
+        if (lf == -1 ||
+            !victim->fully_linked.load(std::memory_order_acquire) ||
+            victim->top_level != lf ||
+            victim->marked.load(std::memory_order_acquire))
+          return false;
+        top = victim->top_level;
+        victim->lock.lock();
+        if (victim->marked.load(std::memory_order_acquire)) {
+          victim->lock.unlock();
+          return false;
+        }
+        victim->marked.store(true, std::memory_order_release);  // linearize
+        is_marked = true;
+      }
+      {
+        LockSet locks;
+        bool valid = true;
+        for (int l = 0; l <= top && valid; ++l) {
+          locks.acquire(preds[l]);
+          valid = !preds[l]->marked.load(std::memory_order_acquire) &&
+                  preds[l]->next[l].load(std::memory_order_acquire) == victim;
+        }
+        if (!valid) continue;
+        for (int l = top; l >= 0; --l)
+          preds[l]->next[l].store(
+              victim->next[l].load(std::memory_order_acquire),
+              std::memory_order_release);
+        victim->lock.unlock();
+        ebr_.retire(tid, victim);
+        return true;
+      }
+    }
+  }
+
+  /// NOT linearizable (Unsafe reference).
+  size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    out.clear();
+    if (lo > hi) return 0;
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    find(lo, preds, succs);
+    Node* curr = succs[0];
+    while (curr != tail_ && curr->key <= hi) {
+      if (!curr->marked.load(std::memory_order_acquire) &&
+          curr->fully_linked.load(std::memory_order_acquire))
+        out.emplace_back(curr->key, curr->val);
+      curr = curr->next[0].load(std::memory_order_acquire);
+    }
+    return out.size();
+  }
+
+  Ebr& ebr() { return ebr_; }
+  bool reclaim_enabled() const { return reclaim_; }
+
+  std::vector<std::pair<K, V>> to_vector() const {
+    std::vector<std::pair<K, V>> v;
+    for (Node* n = head_->next[0].load(std::memory_order_acquire); n != tail_;
+         n = n->next[0].load(std::memory_order_acquire))
+      v.emplace_back(n->key, n->val);
+    return v;
+  }
+  size_t size_slow() const { return to_vector().size(); }
+  bool check_invariants() const {
+    K prev = key_min_sentinel<K>();
+    for (Node* n = head_->next[0].load(std::memory_order_acquire); n != tail_;
+         n = n->next[0].load(std::memory_order_acquire)) {
+      if (n->key <= prev) return false;
+      prev = n->key;
+    }
+    return true;
+  }
+
+ private:
+  class LockSet {
+   public:
+    void acquire(Node* n) {
+      for (int i = 0; i < count_; ++i)
+        if (nodes_[i] == n) return;
+      n->lock.lock();
+      nodes_[count_++] = n;
+    }
+    ~LockSet() {
+      for (int i = count_ - 1; i >= 0; --i) nodes_[i]->lock.unlock();
+    }
+
+   private:
+    Node* nodes_[kMaxHeight + 1];
+    int count_ = 0;
+  };
+
+  int find(K key, Node** preds, Node** succs) const {
+    int lf = -1;
+    Node* pred = head_;
+    for (int l = kMaxHeight - 1; l >= 0; --l) {
+      Node* curr = pred->next[l].load(std::memory_order_acquire);
+      while (curr->key < key) {
+        pred = curr;
+        curr = curr->next[l].load(std::memory_order_acquire);
+      }
+      if (lf == -1 && curr->key == key) lf = l;
+      preds[l] = pred;
+      succs[l] = curr;
+    }
+    return lf;
+  }
+
+  int random_level(int tid) {
+    const uint64_t r = rngs_[tid]->next_u64();
+    return std::countr_zero(r | (1ull << (kMaxHeight - 1)));
+  }
+
+  mutable Ebr ebr_;
+  const bool reclaim_;
+  Node* head_;
+  Node* tail_;
+  mutable CachePadded<Xoshiro256> rngs_[kMaxThreads];
+};
+
+}  // namespace bref

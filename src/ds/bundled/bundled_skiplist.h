@@ -1,0 +1,390 @@
+#pragma once
+// Bundled lazy skip list (Section 5).
+//
+// Base algorithm: Herlihy-Lev-Luchangco-Shavit's optimistic skip list —
+// wait-free contains, per-node locks, fullyLinked/marked flags. Only the
+// bottom (data) layer carries bundles; index layers keep plain pointers and
+// are used by range queries merely to reach the node preceding the range
+// (the paper's key optimization).
+//
+// Linearization points: insert = setting fullyLinked; remove = setting
+// marked. Both are book-ended by bundle preparation/finalization via
+// linearize_update (Algorithm 1). Unlike HLLS, remove marks the victim
+// *after* acquiring and validating all predecessor locks so the
+// predecessor's bundle entry can carry the linearization timestamp; lock
+// acquisition remains globally ordered by descending key, so the change
+// cannot deadlock.
+
+#include <bit>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/spinlock.h"
+#include "core/bundle.h"
+#include "core/global_timestamp.h"
+#include "core/rq_tracker.h"
+#include "ds/support.h"
+#include "epoch/ebr.h"
+
+namespace bref {
+
+template <typename K, typename V>
+class BundledSkipList {
+ public:
+  static constexpr int kMaxHeight = 20;
+
+  struct Node {
+    const K key;
+    V val;
+    const int top_level;  // levels 0..top_level are linked
+    Spinlock lock;
+    std::atomic<bool> marked{false};
+    std::atomic<bool> fully_linked{false};
+    std::atomic<Node*> next[kMaxHeight];
+    Bundle<Node> bundle;  // history of next[0] only (data layer)
+
+    Node(K k, V v, int top) : key(k), val(v), top_level(top) {
+      for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
+    }
+  };
+
+  explicit BundledSkipList(uint64_t relax_threshold = 1, bool reclaim = false)
+      : gts_(relax_threshold), reclaim_(reclaim) {
+    head_ = new Node(key_min_sentinel<K>(), V{}, kMaxHeight - 1);
+    tail_ = new Node(key_max_sentinel<K>(), V{}, kMaxHeight - 1);
+    for (int l = 0; l < kMaxHeight; ++l)
+      head_->next[l].store(tail_, std::memory_order_relaxed);
+    head_->fully_linked.store(true, std::memory_order_relaxed);
+    tail_->fully_linked.store(true, std::memory_order_relaxed);
+    head_->bundle.init(tail_, 0);
+    tail_->bundle.init(nullptr, 0);
+    for (int i = 0; i < kMaxThreads; ++i) rngs_[i]->reseed(0x5eed + i);
+  }
+
+  ~BundledSkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = n->next[0].load(std::memory_order_relaxed);
+      delete n;
+      n = nx;
+    }
+  }
+
+  BundledSkipList(const BundledSkipList&) = delete;
+  BundledSkipList& operator=(const BundledSkipList&) = delete;
+
+  /// Wait-free lookup; never touches bundles (Section 3.4).
+  bool contains(int tid, K key, V* out = nullptr) const {
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    Node* pred = head_;
+    Node* found = nullptr;
+    for (int l = kMaxHeight - 1; l >= 0; --l) {
+      Node* curr = pred->next[l].load(std::memory_order_acquire);
+      while (curr->key < key) {
+        pred = curr;
+        curr = curr->next[l].load(std::memory_order_acquire);
+      }
+      if (curr->key == key) {
+        found = curr;
+        break;
+      }
+    }
+    if (found == nullptr ||
+        !found->fully_linked.load(std::memory_order_acquire) ||
+        found->marked.load(std::memory_order_acquire))
+      return false;
+    if (out != nullptr) *out = found->val;
+    return true;
+  }
+
+  bool insert(int tid, K key, V val) {
+    assert(key > key_min_sentinel<K>() && key < key_max_sentinel<K>());
+    const int top = random_level(tid);
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    for (;;) {
+      OptEbrGuard g(ebr_, tid, reclaim_);
+      const int lf = find(key, preds, succs);
+      if (lf != -1) {
+        Node* found = succs[lf];
+        if (!found->marked.load(std::memory_order_acquire)) {
+          // Key present (wait until its insert linearizes, as in HLLS).
+          while (!found->fully_linked.load(std::memory_order_acquire))
+            cpu_relax();
+          return false;
+        }
+        continue;  // being removed; retry
+      }
+      LockSet locks;
+      bool valid = true;
+      for (int l = 0; l <= top && valid; ++l) {
+        locks.acquire(preds[l]);
+        valid = !preds[l]->marked.load(std::memory_order_acquire) &&
+                !succs[l]->marked.load(std::memory_order_acquire) &&
+                preds[l]->next[l].load(std::memory_order_acquire) == succs[l];
+      }
+      if (!valid) continue;  // locks released by LockSet dtor
+      Node* fresh = new Node(key, val, top);
+      for (int l = 0; l <= top; ++l)
+        fresh->next[l].store(succs[l], std::memory_order_relaxed);
+      linearize_update<Node>(
+          gts_, tid, {{&fresh->bundle, succs[0]}, {&preds[0]->bundle, fresh}},
+          [&] {
+            for (int l = 0; l <= top; ++l)
+              preds[l]->next[l].store(fresh, std::memory_order_release);
+            fresh->fully_linked.store(true, std::memory_order_release);
+          });
+      return true;
+    }
+  }
+
+  bool remove(int tid, K key) {
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    for (;;) {
+      OptEbrGuard g(ebr_, tid, reclaim_);
+      const int lf = find(key, preds, succs);
+      if (lf == -1) return false;
+      Node* victim = succs[lf];
+      if (!victim->fully_linked.load(std::memory_order_acquire) ||
+          victim->top_level != lf ||
+          victim->marked.load(std::memory_order_acquire))
+        return false;
+      LockSet locks;
+      locks.acquire(victim);
+      if (victim->marked.load(std::memory_order_acquire))
+        return false;  // lost the race to another remover
+      const int top = victim->top_level;
+      bool valid = true;
+      for (int l = 0; l <= top && valid; ++l) {
+        locks.acquire(preds[l]);
+        valid = !preds[l]->marked.load(std::memory_order_acquire) &&
+                preds[l]->next[l].load(std::memory_order_acquire) == victim;
+      }
+      if (!valid) continue;
+      Node* succ0 = victim->next[0].load(std::memory_order_acquire);
+      linearize_update<Node>(
+          gts_, tid, {{&preds[0]->bundle, succ0}},
+          [&] { victim->marked.store(true, std::memory_order_release); });
+      for (int l = top; l >= 0; --l)
+        preds[l]->next[l].store(victim->next[l].load(std::memory_order_acquire),
+                                std::memory_order_release);
+      ebr_.retire(tid, victim);
+      return true;
+    }
+  }
+
+  /// Linearizable range query: index layers route to the data-layer node
+  /// preceding the range; from there the walk uses bundles only.
+  size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    out.clear();
+    if (lo > hi) return 0;
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    for (;;) {
+      const timestamp_t ts = rq_.begin(tid, gts_);
+      find(lo, preds, succs);
+      Node* pred = preds[0];  // data-layer node with key < lo
+      auto d = pred->bundle.dereference(ts);
+      if (!d.found) continue;  // pred newer than our snapshot: restart
+      Node* curr = d.ptr;
+      bool ok = true;
+      while (curr != tail_ && curr->key < lo) {
+        auto dn = curr->bundle.dereference(ts);
+        if (!dn.found) {
+          ok = false;
+          break;
+        }
+        curr = dn.ptr;
+      }
+      if (!ok) continue;
+      out.clear();
+      uint64_t in_range_visits = 0;
+      while (curr != tail_ && curr->key <= hi) {
+        ++in_range_visits;
+        out.emplace_back(curr->key, curr->val);
+        auto dn = curr->bundle.dereference(ts);
+        if (!dn.found) {
+          ok = false;
+          break;
+        }
+        curr = dn.ptr;
+      }
+      if (!ok) continue;
+      rq_.end(tid);
+      // Minimality (Sections 4-5): the in-range walk touches exactly the
+      // snapshot's nodes.
+      *rq_in_range_visits_[tid] = in_range_visits;
+      return out.size();
+    }
+  }
+
+  /// Nodes the calling thread's last completed range query visited inside
+  /// [lo, hi]; equals the result size by the minimality property.
+  uint64_t last_rq_in_range_visits(int tid) const {
+    return *rq_in_range_visits_[tid];
+  }
+
+  /// Ablation of the index-assisted entry (Section 5): reach the range by
+  /// walking the data layer through bundles from the head sentinel,
+  /// ignoring the index layers entirely. Returns the identical snapshot;
+  /// quantifies what the index-layer routing saves (O(n) bundle hops vs
+  /// O(log n) plain-pointer hops to the range).
+  size_t range_query_from_start(int tid, K lo, K hi,
+                                std::vector<std::pair<K, V>>& out) {
+    out.clear();
+    if (lo > hi) return 0;
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    for (;;) {
+      const timestamp_t ts = rq_.begin(tid, gts_);
+      Node* curr = head_;  // min sentinel: its bundle has a ts-0 entry
+      bool ok = true;
+      while (curr != tail_ && curr->key < lo) {
+        auto d = curr->bundle.dereference(ts);
+        if (!d.found) {
+          ok = false;
+          break;
+        }
+        curr = d.ptr;
+      }
+      if (!ok) continue;
+      out.clear();
+      while (curr != tail_ && curr->key <= hi) {
+        out.emplace_back(curr->key, curr->val);
+        auto d = curr->bundle.dereference(ts);
+        if (!d.found) {
+          ok = false;
+          break;
+        }
+        curr = d.ptr;
+      }
+      if (!ok) continue;
+      rq_.end(tid);
+      return out.size();
+    }
+  }
+
+  // -- cleaner hook -------------------------------------------------------
+  size_t prune_bundles(int tid) {
+    const timestamp_t oldest = rq_.oldest_active(gts_);
+    size_t n = 0;
+    Ebr::Guard g(ebr_, tid);
+    Node* curr = head_;
+    while (curr != nullptr) {
+      n += curr->bundle.reclaim_older(oldest, ebr_, tid);
+      curr = curr->next[0].load(std::memory_order_acquire);
+    }
+    return n;
+  }
+
+  // -- substrate access ---------------------------------------------------
+  GlobalTimestamp& global_timestamp() { return gts_; }
+  RqTracker& rq_tracker() { return rq_; }
+  Ebr& ebr() { return ebr_; }
+  bool reclaim_enabled() const { return reclaim_; }
+
+  // -- test-only introspection (quiescent callers) --------------------------
+  std::vector<std::pair<K, V>> to_vector() const {
+    std::vector<std::pair<K, V>> v;
+    for (Node* n = head_->next[0].load(std::memory_order_acquire); n != tail_;
+         n = n->next[0].load(std::memory_order_acquire))
+      v.emplace_back(n->key, n->val);
+    return v;
+  }
+
+  size_t size_slow() const { return to_vector().size(); }
+
+  bool check_invariants() const {
+    // Sorted data layer; every level-l chain is a subsequence of level l-1;
+    // bundle heads match newest level-0 pointers; bundle entry chains are
+    // timestamp-ordered newest-first.
+    K prev = key_min_sentinel<K>();
+    for (Node* n = head_; n != tail_;
+         n = n->next[0].load(std::memory_order_acquire)) {
+      if (n != head_) {
+        if (n->key <= prev) return false;
+        prev = n->key;
+      }
+      if (n->bundle.newest() != n->next[0].load(std::memory_order_acquire))
+        return false;
+      auto entries = n->bundle.snapshot_entries();
+      for (size_t i = 1; i < entries.size(); ++i)
+        if (entries[i - 1].first < entries[i].first) return false;
+    }
+    for (int l = 1; l < kMaxHeight; ++l) {
+      K p = key_min_sentinel<K>();
+      for (Node* n = head_->next[l].load(std::memory_order_acquire); n != tail_;
+           n = n->next[l].load(std::memory_order_acquire)) {
+        if (n->key <= p && p != key_min_sentinel<K>()) return false;
+        p = n->key;
+        if (n->top_level < l) return false;
+      }
+    }
+    return true;
+  }
+
+  size_t total_bundle_entries() const {
+    size_t n = 0;
+    for (Node* c = head_; c != nullptr;
+         c = c->next[0].load(std::memory_order_acquire))
+      n += c->bundle.size();
+    return n;
+  }
+
+ private:
+  /// RAII holder for the per-operation lock set; deduplicates repeated
+  /// nodes (a pred can serve several levels) and releases on destruction.
+  class LockSet {
+   public:
+    void acquire(Node* n) {
+      if (count_ > 0 && nodes_[count_ - 1] == n) return;
+      for (int i = 0; i < count_; ++i)
+        if (nodes_[i] == n) return;
+      n->lock.lock();
+      nodes_[count_++] = n;
+    }
+    ~LockSet() {
+      for (int i = count_ - 1; i >= 0; --i) nodes_[i]->lock.unlock();
+    }
+
+   private:
+    Node* nodes_[kMaxHeight + 1];
+    int count_ = 0;
+  };
+
+  int find(K key, Node** preds, Node** succs) const {
+    int lf = -1;
+    Node* pred = head_;
+    for (int l = kMaxHeight - 1; l >= 0; --l) {
+      Node* curr = pred->next[l].load(std::memory_order_acquire);
+      while (curr->key < key) {
+        pred = curr;
+        curr = curr->next[l].load(std::memory_order_acquire);
+      }
+      if (lf == -1 && curr->key == key) lf = l;
+      preds[l] = pred;
+      succs[l] = curr;
+    }
+    return lf;
+  }
+
+  int random_level(int tid) {
+    const uint64_t r = rngs_[tid]->next_u64();
+    const int lvl = std::countr_zero(r | (1ull << (kMaxHeight - 1)));
+    return lvl;
+  }
+
+  GlobalTimestamp gts_;
+  RqTracker rq_;
+  mutable Ebr ebr_;
+  const bool reclaim_;
+  Node* head_;
+  Node* tail_;
+  mutable CachePadded<Xoshiro256> rngs_[kMaxThreads];
+  CachePadded<uint64_t> rq_in_range_visits_[kMaxThreads] = {};
+};
+
+}  // namespace bref

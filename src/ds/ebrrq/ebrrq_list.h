@@ -1,0 +1,158 @@
+#pragma once
+// Lazy linked list with EBR-RQ / EBR-RQ-LF linearizable range queries
+// (Arbel-Raviv & Brown; see rq_provider.h). The list algorithm is the same
+// lazy list as ds/base; nodes additionally carry insert/delete timestamps
+// and removals pass through the provider's limbo protocol.
+
+#include <cassert>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "ds/ebrrq/rq_provider.h"
+#include "ds/support.h"
+#include "epoch/ebr.h"
+
+namespace bref {
+
+template <typename K, typename V>
+class EbrRqList {
+ public:
+  struct Node {
+    const K key;
+    V val;
+    Spinlock lock;
+    std::atomic<bool> marked{false};
+    std::atomic<Node*> next{nullptr};
+    std::atomic<uint64_t> itime{EbrRqProvider<Node, K, V>::kInfTs};
+    std::atomic<uint64_t> dtime{EbrRqProvider<Node, K, V>::kInfTs};
+    Node(K k, V v) : key(k), val(v) {}
+  };
+  using Provider = EbrRqProvider<Node, K, V>;
+
+  explicit EbrRqList(EbrRqMode mode = EbrRqMode::kLock)
+      : prov_(mode, ebr_) {
+    head_ = new Node(key_min_sentinel<K>(), V{});
+    tail_ = new Node(key_max_sentinel<K>(), V{});
+    head_->next.store(tail_, std::memory_order_relaxed);
+    head_->itime.store(0, std::memory_order_relaxed);
+    tail_->itime.store(0, std::memory_order_relaxed);
+  }
+
+  ~EbrRqList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = nx;
+    }
+  }
+
+  EbrRqList(const EbrRqList&) = delete;
+  EbrRqList& operator=(const EbrRqList&) = delete;
+
+  bool contains(int tid, K key, V* out = nullptr) const {
+    Ebr::Guard g(ebr_, tid);
+    Node* curr = head_->next.load(std::memory_order_acquire);
+    while (curr->key < key) curr = curr->next.load(std::memory_order_acquire);
+    if (curr->key != key || curr->marked.load(std::memory_order_acquire))
+      return false;
+    if (out != nullptr) *out = curr->val;
+    return true;
+  }
+
+  bool insert(int tid, K key, V val) {
+    assert(key > key_min_sentinel<K>() && key < key_max_sentinel<K>());
+    for (;;) {
+      Ebr::Guard g(ebr_, tid);
+      auto [pred, curr] = traverse(key);
+      std::lock_guard<Spinlock> lk(pred->lock);
+      if (!validate(pred, curr)) continue;
+      if (curr->key == key) return false;
+      Node* fresh = new Node(key, val);
+      fresh->next.store(curr, std::memory_order_relaxed);
+      prov_.insert_op(tid, fresh, [&] {
+        pred->next.store(fresh, std::memory_order_release);
+      });
+      return true;
+    }
+  }
+
+  bool remove(int tid, K key) {
+    for (;;) {
+      Ebr::Guard g(ebr_, tid);
+      auto [pred, curr] = traverse(key);
+      if (curr->key != key) return false;
+      std::scoped_lock lk(pred->lock, curr->lock);
+      if (!validate(pred, curr) ||
+          curr->marked.load(std::memory_order_acquire))
+        continue;
+      Node* succ = curr->next.load(std::memory_order_acquire);
+      prov_.remove_op(tid, curr, [&] {
+        curr->marked.store(true, std::memory_order_release);
+        pred->next.store(succ, std::memory_order_release);
+      });
+      return true;
+    }
+  }
+
+  size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    out.clear();
+    if (lo > hi) return 0;
+    Ebr::Guard g(ebr_, tid);
+    const uint64_t ts = prov_.rq_begin(tid, lo, hi);
+    Node* curr = head_->next.load(std::memory_order_acquire);
+    while (curr->key < lo) curr = curr->next.load(std::memory_order_acquire);
+    while (curr != tail_ && curr->key <= hi) {
+      if (prov_.visible(curr, ts)) out.emplace_back(curr->key, curr->val);
+      curr = curr->next.load(std::memory_order_acquire);
+    }
+    prov_.rq_reconcile(tid, ts, lo, hi, out);
+    prov_.rq_end(tid);
+    return out.size();
+  }
+
+  Ebr& ebr() { return ebr_; }
+  Provider& provider() { return prov_; }
+
+  std::vector<std::pair<K, V>> to_vector() const {
+    std::vector<std::pair<K, V>> v;
+    for (Node* n = head_->next.load(std::memory_order_acquire); n != tail_;
+         n = n->next.load(std::memory_order_acquire))
+      v.emplace_back(n->key, n->val);
+    return v;
+  }
+  size_t size_slow() const { return to_vector().size(); }
+  bool check_invariants() const {
+    K prev = key_min_sentinel<K>();
+    for (Node* n = head_->next.load(std::memory_order_acquire); n != tail_;
+         n = n->next.load(std::memory_order_acquire)) {
+      if (n->key <= prev) return false;
+      prev = n->key;
+    }
+    return true;
+  }
+
+ private:
+  std::pair<Node*, Node*> traverse(K key) const {
+    Node* pred = head_;
+    Node* curr = pred->next.load(std::memory_order_acquire);
+    while (curr->key < key) {
+      pred = curr;
+      curr = curr->next.load(std::memory_order_acquire);
+    }
+    return {pred, curr};
+  }
+  bool validate(Node* pred, Node* curr) const {
+    return !pred->marked.load(std::memory_order_acquire) &&
+           pred->next.load(std::memory_order_acquire) == curr;
+  }
+
+  mutable Ebr ebr_;
+  Provider prov_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace bref

@@ -1,0 +1,335 @@
+#pragma once
+// EBR-based range-query provider — reconstruction of Arbel-Raviv & Brown,
+// "Harnessing epoch-based reclamation for efficient range queries"
+// (PPoPP'18); the paper's EBR-RQ and EBR-RQ-LF competitors.
+//
+// Nodes carry insert/delete timestamps (itime/dtime). A range query acquires
+// a snapshot timestamp `ts` by incrementing a global counter and includes a
+// node iff itime <= ts < dtime. Two update/query coordination protocols:
+//
+//  * kLock (EBR-RQ): a readers-writer lock protects the counter. Updates
+//    stamp under the lock in shared mode; range queries increment it in
+//    exclusive mode, so every update is cleanly ordered before or after the
+//    increment. This is the "contention on a global lock" profile the
+//    bundling paper measures.
+//  * kLockFree (EBR-RQ-LF): stamps are installed with DCSS (set the node's
+//    timestamp to t only if the global counter still equals t), so a stamp
+//    committed after a range query's fetch-add necessarily carries a larger
+//    timestamp. Because there is no mutual exclusion, an insert stamped
+//    before a query's fetch-add may become reachable only after the query's
+//    traversal has passed its position; inserters therefore *report* their
+//    node to every announced range query covering its key (step (2) of
+//    rq_reconcile drains these reports), mirroring the original design's
+//    update-side help.
+//
+// Because deletions physically unlink nodes mid-traversal, removers (a)
+// announce the victim before unlinking and (b) park it in a per-thread
+// limbo list that range queries scan for in-snapshot nodes they missed —
+// the extra "hundreds of limbo nodes checked per query" overhead the
+// bundling paper reports. Limbo entries are handed to EBR once no active or
+// future range query can include them.
+//
+// NodeT duck-typing requirements: fields `key`, `val`, and
+// `std::atomic<uint64_t> itime, dtime` initialised to kInfTs.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/cacheline.h"
+#include "common/dcss.h"
+#include "common/rwlock.h"
+#include "common/spinlock.h"
+#include "common/thread_registry.h"
+#include "epoch/ebr.h"
+
+namespace bref {
+
+enum class EbrRqMode { kLock, kLockFree };
+
+template <typename NodeT, typename K, typename V>
+class EbrRqProvider {
+ public:
+  /// "Not yet stamped" (bigger than any real timestamp; bit 63 stays clear
+  /// so the word remains DCSS-compatible).
+  static constexpr uint64_t kInfTs = 1ull << 62;
+
+  EbrRqProvider(EbrRqMode mode, Ebr& ebr) : mode_(mode), ebr_(&ebr) {}
+
+  ~EbrRqProvider() {
+    for (auto& lb : limbo_) {
+      for (NodeT* n : lb->nodes) delete n;
+      lb->nodes.clear();
+    }
+  }
+
+  EbrRqProvider(const EbrRqProvider&) = delete;
+  EbrRqProvider& operator=(const EbrRqProvider&) = delete;
+
+  // ---- update side ------------------------------------------------------
+
+  /// Stamp a fresh (still private) node's insert time and run the physical
+  /// linking `lin()`. The stamp precedes the link so a reachable node is
+  /// always stamped.
+  template <typename LinFn>
+  void insert_op(int tid, NodeT* n, LinFn&& lin) {
+    hwm_.note(tid);
+    auto& sl = *slots_[tid];
+    sl.ins.store(n, std::memory_order_seq_cst);
+    stamp(tid, n->itime);
+    lin();
+    if (mode_ == EbrRqMode::kLockFree) report_insert(n);
+    sl.ins.store(nullptr, std::memory_order_release);
+  }
+
+  /// Stamp a victim's delete time, run `lin()` (mark + unlink) and park it
+  /// in the limbo list.
+  template <typename LinFn>
+  void remove_op(int tid, NodeT* victim, LinFn&& lin) {
+    hwm_.note(tid);
+    auto& sl = *slots_[tid];
+    sl.del0.store(victim, std::memory_order_seq_cst);
+    stamp(tid, victim->dtime);
+    lin();
+    park_in_limbo(tid, victim);
+    sl.del0.store(nullptr, std::memory_order_release);
+  }
+
+  /// Citrus two-children removal: one new node (the successor copy) and two
+  /// victims change in one operation. The copy's itime takes the first
+  /// victim's dtime so the moved key is never absent from any snapshot
+  /// (overlaps are deduplicated by key on the query side).
+  template <typename LinFn, typename UnlinkFn>
+  void replace_op(int tid, NodeT* copy, NodeT* victim1, NodeT* victim2,
+                  LinFn&& lin, UnlinkFn&& unlink) {
+    hwm_.note(tid);
+    auto& sl = *slots_[tid];
+    sl.del0.store(victim1, std::memory_order_seq_cst);
+    sl.del1.store(victim2, std::memory_order_seq_cst);
+    const uint64_t t = stamp(tid, victim1->dtime);
+    copy->itime.store(t, std::memory_order_release);  // private: plain store
+    lin();
+    if (mode_ == EbrRqMode::kLockFree) report_insert(copy);
+    stamp(tid, victim2->dtime);
+    unlink();  // deferred physical unlink (e.g. after RCU grace period)
+    park_in_limbo(tid, victim1);
+    park_in_limbo(tid, victim2);
+    sl.del0.store(nullptr, std::memory_order_release);
+    sl.del1.store(nullptr, std::memory_order_release);
+  }
+
+  // ---- range-query side --------------------------------------------------
+
+  uint64_t rq_begin(int tid, K lo, K hi) {
+    hwm_.note(tid);
+    auto& rs = *rq_slots_[tid];
+    {
+      std::lock_guard<Spinlock> g(rs.report_lock);
+      rs.reports.clear();  // stale stragglers from a previous query
+    }
+    rs.lo = lo;
+    rs.hi = hi;
+    rs.ts.store(kRqPending, std::memory_order_seq_cst);
+    uint64_t ts;
+    if (mode_ == EbrRqMode::kLock) {
+      rwlock_.lock();
+      ts = ts_.fetch_add(1, std::memory_order_seq_cst);
+      rwlock_.unlock();
+    } else {
+      ts = ts_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    rs.ts.store(ts, std::memory_order_seq_cst);
+    return ts;
+  }
+
+  void rq_end(int tid) {
+    rq_slots_[tid]->ts.store(kNoRq, std::memory_order_release);
+  }
+
+  /// Snapshot membership test: itime <= ts < dtime. DCSS-helping reads in
+  /// lock-free mode so a raw descriptor word is never misinterpreted.
+  bool visible(const NodeT* n, uint64_t ts) const {
+    uint64_t it, dt;
+    if (mode_ == EbrRqMode::kLockFree) {
+      it = dcss_.read(n->itime);
+      dt = dcss_.read(n->dtime);
+    } else {
+      it = n->itime.load(std::memory_order_acquire);
+      dt = n->dtime.load(std::memory_order_acquire);
+    }
+    return it <= ts && dt > ts;
+  }
+
+  /// After the structure traversal: fold in (1) nodes whose announced
+  /// updates are in flight, (2) nodes reported to this query by completed
+  /// inserts, (3) limbo nodes deleted after the snapshot that the traversal
+  /// may have missed; then sort + dedupe by key.
+  void rq_reconcile(int tid, uint64_t ts, K lo, K hi,
+                    std::vector<std::pair<K, V>>& out) {
+    const int n_threads = hwm_.get();
+    for (int i = 0; i < n_threads; ++i) {
+      auto& sl = *slots_[i];
+      reconcile_slot(sl.ins, ts, lo, hi, out);
+      reconcile_slot(sl.del0, ts, lo, hi, out);
+      reconcile_slot(sl.del1, ts, lo, hi, out);
+    }
+    {
+      auto& rs = *rq_slots_[tid];
+      std::lock_guard<Spinlock> g(rs.report_lock);
+      for (NodeT* n : rs.reports)
+        if (n->key >= lo && n->key <= hi && visible(n, ts))
+          out.emplace_back(n->key, n->val);
+      rs.reports.clear();
+    }
+    for (int i = 0; i < n_threads; ++i) {
+      auto& lb = *limbo_[i];
+      std::lock_guard<Spinlock> g(lb.lock);
+      for (NodeT* n : lb.nodes) {
+        limbo_checked_.fetch_add(1, std::memory_order_relaxed);
+        if (n->key >= lo && n->key <= hi && visible(n, ts))
+          out.emplace_back(n->key, n->val);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first == b.first;
+                          }),
+              out.end());
+  }
+
+  // ---- statistics --------------------------------------------------------
+  uint64_t limbo_nodes_checked() const {
+    return limbo_checked_.load(std::memory_order_relaxed);
+  }
+  size_t limbo_size() const {
+    size_t n = 0;
+    for (int i = 0; i < hwm_.get(); ++i) {
+      auto& lb = *limbo_[i];
+      std::lock_guard<Spinlock> g(lb.lock);
+      n += lb.nodes.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr uint64_t kNoRq = ~0ull;
+  static constexpr uint64_t kRqPending = ~0ull - 1;
+
+  struct AnnounceSlots {
+    std::atomic<NodeT*> ins{nullptr};
+    std::atomic<NodeT*> del0{nullptr};
+    std::atomic<NodeT*> del1{nullptr};
+  };
+
+  struct Limbo {
+    Spinlock lock;
+    std::vector<NodeT*> nodes;
+    uint64_t appended = 0;
+  };
+
+  struct RqSlot {
+    std::atomic<uint64_t> ts{kNoRq};
+    K lo{};
+    K hi{};
+    Spinlock report_lock;
+    std::vector<NodeT*> reports;
+  };
+
+  /// Stamp `field` with the current global timestamp. Lock mode: plain
+  /// store under the shared lock. Lock-free mode: DCSS retry loop — the
+  /// stamp commits only if the counter has not moved, so stamps and query
+  /// fetch-adds are totally ordered.
+  uint64_t stamp(int tid, std::atomic<uint64_t>& field) {
+    if (mode_ == EbrRqMode::kLock) {
+      rwlock_.lock_shared();
+      const uint64_t t = ts_.load(std::memory_order_seq_cst);
+      field.store(t, std::memory_order_seq_cst);
+      rwlock_.unlock_shared();
+      return t;
+    }
+    for (;;) {
+      const uint64_t t = ts_.load(std::memory_order_seq_cst);
+      if (dcss_.dcss(tid, ts_, t, field, kInfTs, t)) return t;
+    }
+  }
+
+  /// Lock-free mode: hand a just-linked insert to every announced range
+  /// query whose range covers it. Range/visibility are re-checked when the
+  /// query drains its reports, so stale slot metadata is harmless.
+  void report_insert(NodeT* n) {
+    const int n_threads = hwm_.get();
+    for (int i = 0; i < n_threads; ++i) {
+      auto& rs = *rq_slots_[i];
+      const uint64_t v = rs.ts.load(std::memory_order_seq_cst);
+      if (v == kNoRq) continue;
+      if (n->key < rs.lo || n->key > rs.hi) continue;
+      std::lock_guard<Spinlock> g(rs.report_lock);
+      rs.reports.push_back(n);
+    }
+  }
+
+  void reconcile_slot(std::atomic<NodeT*>& slot, uint64_t ts, K lo, K hi,
+                      std::vector<std::pair<K, V>>& out) {
+    NodeT* n = slot.load(std::memory_order_acquire);
+    if (n == nullptr) return;
+    if (n->key < lo || n->key > hi) return;
+    // Wait for the in-flight operation to complete so (a) its stamps are
+    // final and (b) its physical effect is globally visible before this
+    // query returns.
+    Backoff bo;
+    while (slot.load(std::memory_order_acquire) == n) bo.pause();
+    if (visible(n, ts)) out.emplace_back(n->key, n->val);
+  }
+
+  void park_in_limbo(int tid, NodeT* n) {
+    auto& lb = *limbo_[tid];
+    std::lock_guard<Spinlock> g(lb.lock);
+    lb.nodes.push_back(n);
+    if (++lb.appended % kPruneEvery == 0) prune_limbo(tid, lb);
+  }
+
+  /// Move limbo nodes no active or future range query can include into EBR
+  /// (which delays the actual free past any concurrent traversal).
+  void prune_limbo(int tid, Limbo& lb) {
+    const uint64_t oldest = oldest_active_rq();
+    auto it = std::partition(lb.nodes.begin(), lb.nodes.end(), [&](NodeT* n) {
+      return n->dtime.load(std::memory_order_acquire) > oldest;
+    });
+    for (auto p = it; p != lb.nodes.end(); ++p) ebr_->retire(tid, *p);
+    lb.nodes.erase(it, lb.nodes.end());
+  }
+
+  uint64_t oldest_active_rq() const {
+    uint64_t oldest = ts_.load(std::memory_order_seq_cst);
+    const int n_threads = hwm_.get();
+    for (int i = 0; i < n_threads; ++i) {
+      Backoff bo;
+      uint64_t v;
+      while ((v = rq_slots_[i]->ts.load(std::memory_order_seq_cst)) ==
+             kRqPending)
+        bo.pause();
+      if (v != kNoRq && v < oldest) oldest = v;
+    }
+    return oldest;
+  }
+
+  static constexpr uint64_t kPruneEvery = 128;
+
+  const EbrRqMode mode_;
+  Ebr* ebr_;
+  mutable DcssProvider dcss_;
+  RWSpinlock rwlock_;
+  TidHwm hwm_;
+  std::atomic<uint64_t> ts_{1};  // 0 would collide with "before all time"
+  mutable std::atomic<uint64_t> limbo_checked_{0};
+  CachePadded<AnnounceSlots> slots_[kMaxThreads];
+  mutable CachePadded<Limbo> limbo_[kMaxThreads];
+  CachePadded<RqSlot> rq_slots_[kMaxThreads];
+};
+
+}  // namespace bref

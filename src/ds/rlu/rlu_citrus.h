@@ -1,0 +1,207 @@
+#pragma once
+// RLU-protected internal BST (the RLU paper's "Citrus with RLU instead of
+// RCU" variant). RLU's clone-on-lock replaces both Citrus's hand-rolled
+// successor copy and its synchronize_rcu: a two-children removal simply
+// rewrites the locked node's key/value from the successor inside the write
+// log and unlinks the successor, all committed atomically.
+
+#include <cassert>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "ds/support.h"
+#include "rlu/rlu.h"
+
+namespace bref {
+
+template <typename K, typename V>
+class RluCitrus {
+ public:
+  struct Node {
+    K key;
+    V val;
+    Node* child[2];
+    Node(K k, V v) : key(k), val(v), child{nullptr, nullptr} {}
+  };
+  static_assert(std::is_trivially_copyable_v<Node>);
+
+  RluCitrus() { root_ = rlu_.alloc<Node>(key_max_sentinel<K>(), V{}); }
+
+  ~RluCitrus() {
+    std::vector<Node*> stack{root_};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (n->child[0] != nullptr) stack.push_back(n->child[0]);
+      if (n->child[1] != nullptr) stack.push_back(n->child[1]);
+      Rlu::dealloc_unsafe(n);
+    }
+  }
+
+  RluCitrus(const RluCitrus&) = delete;
+  RluCitrus& operator=(const RluCitrus&) = delete;
+
+  bool contains(int tid, K key, V* out = nullptr) {
+    Rlu::Session s(rlu_, tid);
+    Node* curr = s.dereference(root_)->child[0] != nullptr
+                     ? s.dereference(s.dereference(root_)->child[0])
+                     : nullptr;
+    while (curr != nullptr && curr->key != key) {
+      Node* next = curr->child[key < curr->key ? 0 : 1];
+      curr = next != nullptr ? s.dereference(next) : nullptr;
+    }
+    const bool found = (curr != nullptr);
+    if (found && out != nullptr) *out = curr->val;
+    s.unlock();
+    return found;
+  }
+
+  bool insert(int tid, K key, V val) {
+    assert(key < key_max_sentinel<K>());
+    for (;;) {
+      Rlu::Session s(rlu_, tid);
+      auto [pred, curr, dir] = locate(s, key);
+      if (curr != nullptr) {
+        s.unlock();
+        return false;
+      }
+      Node* wpred = s.try_lock(pred);
+      if (wpred == nullptr || wpred->child[dir] != nullptr) {
+        s.abort();
+        continue;
+      }
+      wpred->child[dir] = rlu_.alloc<Node>(key, val);
+      s.unlock();
+      return true;
+    }
+  }
+
+  bool remove(int tid, K key) {
+    for (;;) {
+      Rlu::Session s(rlu_, tid);
+      auto [pred, curr, dir] = locate(s, key);
+      if (curr == nullptr) {
+        s.unlock();
+        return false;
+      }
+      Node* wpred = s.try_lock(pred);
+      Node* wcurr = (wpred != nullptr) ? s.try_lock(curr) : nullptr;
+      if (wpred == nullptr || wcurr == nullptr ||
+          wpred->child[dir] != Rlu::Session::unwrap(curr)) {
+        s.abort();
+        continue;
+      }
+      Node* left = wcurr->child[0];
+      Node* right = wcurr->child[1];
+      if (left == nullptr || right == nullptr) {
+        wpred->child[dir] = (left != nullptr) ? left : right;
+        s.free_obj(curr);
+        s.unlock();
+        return true;
+      }
+      // Two children: pull up the in-order successor's key/value into the
+      // locked node's copy and unlink the successor.
+      Node* sp = wcurr;  // view of successor's parent
+      int sdir = 1;
+      Node* sv_orig = right;
+      Node* sv = s.dereference(sv_orig);
+      while (sv->child[0] != nullptr) {
+        sp = sv;
+        sdir = 0;
+        sv_orig = sv->child[0];
+        sv = s.dereference(sv_orig);
+      }
+      Node* wsucc = s.try_lock(sv);
+      if (wsucc == nullptr || wsucc->child[0] != nullptr) {
+        s.abort();
+        continue;
+      }
+      Node* wsp;
+      if (sp == wcurr) {
+        wsp = wcurr;
+        sdir = 1;
+      } else {
+        wsp = s.try_lock(sp);
+        if (wsp == nullptr || wsp->child[0] != Rlu::Session::unwrap(sv)) {
+          s.abort();
+          continue;
+        }
+        sdir = 0;
+      }
+      wcurr->key = wsucc->key;
+      wcurr->val = wsucc->val;
+      wsp->child[sdir] = wsucc->child[1];
+      s.free_obj(sv);
+      s.unlock();
+      return true;
+    }
+  }
+
+  size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    out.clear();
+    if (lo > hi) return 0;
+    Rlu::Session s(rlu_, tid);
+    Node* top = s.dereference(root_)->child[0];
+    if (top != nullptr) collect(s, s.dereference(top), lo, hi, out);
+    s.unlock();
+    return out.size();
+  }
+
+  Rlu& rlu() { return rlu_; }
+
+  std::vector<std::pair<K, V>> to_vector() const {
+    std::vector<std::pair<K, V>> v;
+    in_order(root_->child[0], v);
+    return v;
+  }
+  size_t size_slow() const { return to_vector().size(); }
+  bool check_invariants() const {
+    return check_subtree(root_->child[0], key_min_sentinel<K>(),
+                         key_max_sentinel<K>());
+  }
+
+ private:
+  std::tuple<Node*, Node*, int> locate(Rlu::Session& s, K key) {
+    Node* pred = s.dereference(root_);
+    int dir = 0;
+    Node* curr_orig = pred->child[0];
+    Node* curr = curr_orig != nullptr ? s.dereference(curr_orig) : nullptr;
+    while (curr != nullptr && curr->key != key) {
+      const int d = (key < curr->key) ? 0 : 1;
+      pred = curr;
+      dir = d;
+      curr_orig = curr->child[d];
+      curr = curr_orig != nullptr ? s.dereference(curr_orig) : nullptr;
+    }
+    return {pred, curr, dir};
+  }
+
+  void collect(Rlu::Session& s, Node* n, K lo, K hi,
+               std::vector<std::pair<K, V>>& out) {
+    if (n->key > lo && n->child[0] != nullptr)
+      collect(s, s.dereference(n->child[0]), lo, hi, out);
+    if (n->key >= lo && n->key <= hi) out.emplace_back(n->key, n->val);
+    if (n->key < hi && n->child[1] != nullptr)
+      collect(s, s.dereference(n->child[1]), lo, hi, out);
+  }
+
+  void in_order(Node* n, std::vector<std::pair<K, V>>& v) const {
+    if (n == nullptr) return;
+    in_order(n->child[0], v);
+    v.emplace_back(n->key, n->val);
+    in_order(n->child[1], v);
+  }
+
+  bool check_subtree(Node* n, K lo, K hi) const {
+    if (n == nullptr) return true;
+    if (n->key <= lo || n->key >= hi) return false;
+    return check_subtree(n->child[0], lo, n->key) &&
+           check_subtree(n->child[1], n->key, hi);
+  }
+
+  Rlu rlu_;
+  Node* root_;
+};
+
+}  // namespace bref

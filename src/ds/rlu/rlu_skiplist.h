@@ -1,0 +1,215 @@
+#pragma once
+// RLU-protected skip list. RLU's commit atomicity replaces the HLLS
+// marked/fullyLinked machinery: an update locks (clones) every predecessor
+// whose pointer changes plus the victim, rewrites the copies, and commits.
+// Traversals and range queries dereference through RLU and are linearized
+// at their clock snapshot.
+
+#include <bit>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "ds/support.h"
+#include "rlu/rlu.h"
+
+namespace bref {
+
+template <typename K, typename V>
+class RluSkipList {
+ public:
+  static constexpr int kMaxHeight = 20;
+
+  struct Node {
+    K key;
+    V val;
+    int top_level;
+    Node* next[kMaxHeight];
+    Node(K k, V v, int top) : key(k), val(v), top_level(top) {
+      for (auto& n : next) n = nullptr;
+    }
+  };
+  static_assert(std::is_trivially_copyable_v<Node>);
+
+  RluSkipList() {
+    head_ = rlu_.alloc<Node>(key_min_sentinel<K>(), V{}, kMaxHeight - 1);
+    tail_ = rlu_.alloc<Node>(key_max_sentinel<K>(), V{}, kMaxHeight - 1);
+    for (int l = 0; l < kMaxHeight; ++l) head_->next[l] = tail_;
+    for (int i = 0; i < kMaxThreads; ++i) rngs_[i]->reseed(0xabba + i);
+  }
+
+  ~RluSkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = n->next[0];
+      Rlu::dealloc_unsafe(n);
+      n = nx;
+    }
+  }
+
+  RluSkipList(const RluSkipList&) = delete;
+  RluSkipList& operator=(const RluSkipList&) = delete;
+
+  bool contains(int tid, K key, V* out = nullptr) {
+    Rlu::Session s(rlu_, tid);
+    Node* pred = s.dereference(head_);
+    Node* curr = nullptr;
+    for (int l = kMaxHeight - 1; l >= 0; --l) {
+      curr = s.dereference(pred->next[l]);
+      while (curr->key < key) {
+        pred = curr;
+        curr = s.dereference(curr->next[l]);
+      }
+      if (curr->key == key) break;
+    }
+    const bool found = (curr != nullptr && curr->key == key);
+    if (found && out != nullptr) *out = curr->val;
+    s.unlock();
+    return found;
+  }
+
+  bool insert(int tid, K key, V val) {
+    assert(key > key_min_sentinel<K>() && key < key_max_sentinel<K>());
+    const int top = random_level(tid);
+    for (;;) {
+      Rlu::Session s(rlu_, tid);
+      Node* preds[kMaxHeight];
+      Node* succs[kMaxHeight];
+      const bool found = find(s, key, preds, succs);
+      if (found) {
+        s.unlock();
+        return false;
+      }
+      bool aborted = false;
+      Node* wpreds[kMaxHeight];
+      for (int l = 0; l <= top; ++l) {
+        wpreds[l] = s.try_lock(preds[l]);
+        if (wpreds[l] == nullptr ||
+            wpreds[l]->next[l] != Rlu::Session::unwrap(succs[l])) {
+          aborted = true;
+          break;
+        }
+      }
+      if (aborted) {
+        s.abort();
+        continue;
+      }
+      Node* fresh = rlu_.alloc<Node>(key, val, top);
+      for (int l = 0; l <= top; ++l)
+        fresh->next[l] = Rlu::Session::unwrap(succs[l]);
+      for (int l = 0; l <= top; ++l) wpreds[l]->next[l] = fresh;
+      s.unlock();
+      return true;
+    }
+  }
+
+  bool remove(int tid, K key) {
+    for (;;) {
+      Rlu::Session s(rlu_, tid);
+      Node* preds[kMaxHeight];
+      Node* succs[kMaxHeight];
+      const bool found = find(s, key, preds, succs);
+      if (!found) {
+        s.unlock();
+        return false;
+      }
+      Node* victim = succs[0];
+      const int top = victim->top_level;
+      Node* wvictim = s.try_lock(victim);
+      if (wvictim == nullptr) {
+        s.abort();
+        continue;
+      }
+      bool aborted = false;
+      Node* wpreds[kMaxHeight];
+      for (int l = 0; l <= top; ++l) {
+        wpreds[l] = s.try_lock(preds[l]);
+        if (wpreds[l] == nullptr ||
+            wpreds[l]->next[l] != Rlu::Session::unwrap(victim)) {
+          aborted = true;
+          break;
+        }
+      }
+      if (aborted) {
+        s.abort();
+        continue;
+      }
+      for (int l = 0; l <= top; ++l) wpreds[l]->next[l] = wvictim->next[l];
+      s.free_obj(victim);
+      s.unlock();
+      return true;
+    }
+  }
+
+  size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    out.clear();
+    if (lo > hi) return 0;
+    Rlu::Session s(rlu_, tid);
+    Node* pred = s.dereference(head_);
+    for (int l = kMaxHeight - 1; l >= 0; --l) {
+      Node* curr = s.dereference(pred->next[l]);
+      while (curr->key < lo) {
+        pred = curr;
+        curr = s.dereference(curr->next[l]);
+      }
+    }
+    Node* curr = s.dereference(pred->next[0]);
+    while (curr->key < lo) curr = s.dereference(curr->next[0]);
+    while (curr->key <= hi && curr->key < key_max_sentinel<K>()) {
+      out.emplace_back(curr->key, curr->val);
+      curr = s.dereference(curr->next[0]);
+    }
+    s.unlock();
+    return out.size();
+  }
+
+  Rlu& rlu() { return rlu_; }
+
+  std::vector<std::pair<K, V>> to_vector() const {
+    std::vector<std::pair<K, V>> v;
+    for (Node* n = head_->next[0]; n->key < key_max_sentinel<K>();
+         n = n->next[0])
+      v.emplace_back(n->key, n->val);
+    return v;
+  }
+  size_t size_slow() const { return to_vector().size(); }
+  bool check_invariants() const {
+    K prev = key_min_sentinel<K>();
+    for (Node* n = head_->next[0]; n->key < key_max_sentinel<K>();
+         n = n->next[0]) {
+      if (n->key <= prev) return false;
+      prev = n->key;
+    }
+    return true;
+  }
+
+ private:
+  /// Populates preds/succs (RLU views); returns whether key was found at
+  /// the data layer. Stored pointers inside views are original pointers.
+  bool find(Rlu::Session& s, K key, Node** preds, Node** succs) {
+    Node* pred = s.dereference(head_);
+    for (int l = kMaxHeight - 1; l >= 0; --l) {
+      Node* curr = s.dereference(pred->next[l]);
+      while (curr->key < key) {
+        pred = curr;
+        curr = s.dereference(curr->next[l]);
+      }
+      preds[l] = pred;
+      succs[l] = curr;
+    }
+    return succs[0]->key == key;
+  }
+
+  int random_level(int tid) {
+    const uint64_t r = rngs_[tid]->next_u64();
+    return std::countr_zero(r | (1ull << (kMaxHeight - 1)));
+  }
+
+  Rlu rlu_;
+  Node* head_;
+  Node* tail_;
+  mutable CachePadded<Xoshiro256> rngs_[kMaxThreads];
+};
+
+}  // namespace bref

@@ -1,0 +1,42 @@
+#pragma once
+// Shared helpers for the ordered-set implementations.
+
+#include <limits>
+
+#include "epoch/ebr.h"
+
+namespace bref {
+
+/// Sentinel keys for head/tail (list, skip list) and the root sentinel
+/// (Citrus). User keys must lie strictly between them.
+template <typename K>
+inline constexpr K key_min_sentinel() {
+  return std::numeric_limits<K>::min();
+}
+template <typename K>
+inline constexpr K key_max_sentinel() {
+  return std::numeric_limits<K>::max();
+}
+
+/// EBR pin that only engages when reclamation is enabled. In leaky mode
+/// (the paper's benchmark configuration) operations skip epoch traffic
+/// entirely; removed nodes are still parked in EBR bags and reclaimed when
+/// the structure is destroyed.
+class OptEbrGuard {
+ public:
+  OptEbrGuard(Ebr& ebr, int tid, bool enabled)
+      : ebr_(enabled ? &ebr : nullptr), tid_(tid) {
+    if (ebr_) ebr_->pin(tid_);
+  }
+  ~OptEbrGuard() {
+    if (ebr_) ebr_->unpin(tid_);
+  }
+  OptEbrGuard(const OptEbrGuard&) = delete;
+  OptEbrGuard& operator=(const OptEbrGuard&) = delete;
+
+ private:
+  Ebr* ebr_;
+  int tid_;
+};
+
+}  // namespace bref

@@ -1,0 +1,169 @@
+#pragma once
+// Epoch-based memory reclamation (DEBRA-flavoured).
+//
+// Used in two roles, mirroring the paper:
+//  1. by the bundled structures to reclaim physically-removed nodes and
+//     pruned bundle entries (Section 7 / supplementary B);
+//  2. as the substrate whose internals the EBR-RQ baselines (Arbel-Raviv &
+//     Brown) extend into a range-query mechanism — their limbo lists of
+//     deleted-but-still-visible nodes are exactly the per-thread bags here.
+//
+// Design: a global epoch counter; each thread announces the epoch it read
+// when it pins (enters an operation) and announces quiescence when it
+// unpins. Retired objects go into the bag of the thread's current epoch
+// (three generations per thread); a bag is freed once the global epoch has
+// advanced twice past it, which implies every thread has since been
+// quiescent or has re-pinned in a newer epoch.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/thread_registry.h"
+
+namespace bref {
+
+class Ebr {
+ public:
+  Ebr() {
+    for (auto& s : slots_) s->announce.store(kQuiescent, std::memory_order_relaxed);
+  }
+
+  ~Ebr() { free_all_unsafe(); }
+
+  Ebr(const Ebr&) = delete;
+  Ebr& operator=(const Ebr&) = delete;
+
+  /// Enter an epoch-protected region. After pin() returns, no object retired
+  /// in the announced epoch or later is freed until this thread unpins.
+  void pin(int tid) {
+    hwm_.note(tid);
+    Slot& s = *slots_[tid];
+    uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    for (;;) {
+      // The announce must be visible before we read any shared pointers;
+      // re-reading the epoch closes the announce/advance race.
+      s.announce.store(e, std::memory_order_seq_cst);
+      uint64_t e2 = global_epoch_.load(std::memory_order_seq_cst);
+      if (e2 == e) break;
+      e = e2;
+    }
+    if (e != s.local_epoch) on_new_epoch(s, e);
+    if (++s.pin_count % kAdvanceEvery == 0) try_advance(e);
+  }
+
+  void unpin(int tid) {
+    slots_[tid]->announce.store(kQuiescent, std::memory_order_release);
+  }
+
+  /// RAII pin for one operation.
+  class Guard {
+   public:
+    Guard(Ebr& ebr, int tid) : ebr_(&ebr), tid_(tid) { ebr_->pin(tid_); }
+    ~Guard() {
+      if (ebr_) ebr_->unpin(tid_);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Ebr* ebr_;
+    int tid_;
+  };
+
+  /// Retire an object; it is freed via `deleter(p)` once safe. Must be
+  /// called while pinned.
+  void retire(int tid, void* p, void (*deleter)(void*)) {
+    hwm_.note(tid);
+    Slot& s = *slots_[tid];
+    s.bags[s.local_epoch % kGenerations].push_back({p, deleter});
+    s.retired_count++;
+  }
+
+  template <typename T>
+  void retire(int tid, T* p) {
+    retire(tid, p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  uint64_t epoch() const { return global_epoch_.load(std::memory_order_acquire); }
+
+  /// Attempt to advance the global epoch from `e`; succeeds only when every
+  /// pinned thread has announced `e`.
+  bool try_advance(uint64_t e) {
+    const int n = hwm_.get();
+    for (int i = 0; i < n; ++i) {
+      uint64_t a = slots_[i]->announce.load(std::memory_order_seq_cst);
+      if (a != kQuiescent && a != e) return false;
+    }
+    uint64_t expect = e;
+    return global_epoch_.compare_exchange_strong(expect, e + 1,
+                                                 std::memory_order_acq_rel);
+  }
+
+  /// Free everything retired so far. Only safe when all threads are
+  /// quiescent (shutdown, or between test phases). Returns #objects freed.
+  size_t free_all_unsafe() {
+    size_t n = 0;
+    for (auto& ps : slots_) {
+      for (auto& bag : ps->bags) {
+        n += bag.size();
+        drain(bag);
+      }
+    }
+    freed_count_.fetch_add(n, std::memory_order_relaxed);
+    return n;
+  }
+
+  // -- statistics (tests / Table 1 bench) ------------------------------
+  uint64_t retired() const {
+    uint64_t n = 0;
+    for (auto& s : slots_) n += s->retired_count;
+    return n;
+  }
+  uint64_t freed() const { return freed_count_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr uint64_t kQuiescent = ~0ull;
+  static constexpr int kGenerations = 3;
+  static constexpr uint64_t kAdvanceEvery = 64;  // pins between advance tries
+
+  struct RetiredObj {
+    void* p;
+    void (*deleter)(void*);
+  };
+
+  struct Slot {
+    std::atomic<uint64_t> announce{kQuiescent};
+    uint64_t local_epoch{0};
+    uint64_t pin_count{0};
+    uint64_t retired_count{0};
+    std::vector<RetiredObj> bags[kGenerations];
+  };
+
+  void on_new_epoch(Slot& s, uint64_t e) {
+    // Entering epoch e: anything retired in epoch <= e-2 is unreachable by
+    // every thread. Bag (e+1) % 3 holds epoch e-2's garbage. If we skipped
+    // epochs entirely, the bag for e-1's slot is also stale garbage.
+    drain_counted(s.bags[(e + 1) % kGenerations]);
+    if (e > s.local_epoch + 1) drain_counted(s.bags[(e + 2) % kGenerations]);
+    s.local_epoch = e;
+  }
+
+  void drain(std::vector<RetiredObj>& bag) {
+    for (auto& r : bag) r.deleter(r.p);
+    bag.clear();
+  }
+  void drain_counted(std::vector<RetiredObj>& bag) {
+    freed_count_.fetch_add(bag.size(), std::memory_order_relaxed);
+    drain(bag);
+  }
+
+  std::atomic<uint64_t> global_epoch_{0};
+  std::atomic<uint64_t> freed_count_{0};
+  TidHwm hwm_;
+  CachePadded<Slot> slots_[kMaxThreads];
+};
+
+}  // namespace bref

@@ -1,0 +1,68 @@
+#pragma once
+// Userspace RCU with per-thread grace-period counters.
+//
+// Substrate for the Citrus tree (Arbel & Attiya, PODC'14): lookups and the
+// traversal phase of updates run inside wait-free read-side critical
+// sections, and the two-children remove calls synchronize() before unlinking
+// the moved successor so no reader can be left traversing it.
+//
+// Scheme: each thread keeps a counter that is odd while inside a read-side
+// section. synchronize() snapshots all counters and waits for every odd one
+// to change — i.e. for every reader that was in flight at the start of the
+// grace period to leave (a later re-entry implies it started after the
+// writer's updates and is safe).
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/backoff.h"
+#include "common/cacheline.h"
+#include "common/thread_registry.h"
+
+namespace bref {
+
+class Urcu {
+ public:
+  void read_lock(int tid) noexcept {
+    hwm_.note(tid);
+    // seq_cst: the parity flip must be ordered before the section's loads.
+    counters_[tid]->fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  void read_unlock(int tid) noexcept {
+    counters_[tid]->fetch_add(1, std::memory_order_release);
+  }
+
+  /// Wait for all read-side critical sections in flight at the call to end.
+  void synchronize() noexcept {
+    const int n = hwm_.get();
+    uint64_t snap[kMaxThreads];
+    for (int i = 0; i < n; ++i)
+      snap[i] = counters_[i]->load(std::memory_order_seq_cst);
+    for (int i = 0; i < n; ++i) {
+      if ((snap[i] & 1) == 0) continue;  // quiescent at snapshot
+      Backoff bo;
+      while (counters_[i]->load(std::memory_order_acquire) == snap[i])
+        bo.pause();
+    }
+  }
+
+  /// RAII read-side section.
+  class ReadGuard {
+   public:
+    ReadGuard(Urcu& u, int tid) : u_(u), tid_(tid) { u_.read_lock(tid_); }
+    ~ReadGuard() { u_.read_unlock(tid_); }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    Urcu& u_;
+    int tid_;
+  };
+
+ private:
+  TidHwm hwm_;
+  CachePadded<std::atomic<uint64_t>> counters_[kMaxThreads];
+};
+
+}  // namespace bref

@@ -1,0 +1,136 @@
+#pragma once
+// Hazard pointers (Michael, TPDS'04) — the classic pointer-based safe
+// memory reclamation scheme, implemented as a standalone substrate.
+//
+// The paper (Section 7 / supplementary B) chooses DEBRA-style EBR over
+// hazard pointers because a range query must keep an unbounded set of
+// nodes (its whole snapshot path) alive, which pointer-based schemes
+// cannot express with a fixed number of slots, and because per-hop
+// protect() fences cost more than an epoch pin (citing [10]). This module
+// exists to back that design choice with measurements
+// (bench/micro_reclaim) and to document the API mismatch: protect() is a
+// per-pointer operation, EBR's Guard is a per-operation one.
+//
+// Usage:
+//   HazardPointers<Node, 2> hp;            // 2 slots per thread
+//   Node* n = hp.protect(tid, 0, src);     // validated acquire of src
+//   ... use n ...
+//   hp.clear(tid);                         // drop all slots
+//   hp.retire(tid, victim);                // deferred delete
+//
+// retire() scans all threads' slots once the local retire list exceeds a
+// threshold proportional to the total slot count, freeing every node no
+// slot protects. Amortized O(1) per retire; a protected node is never
+// freed (validated by tests/test_reclaim_hazard.cpp).
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/thread_registry.h"
+
+namespace bref {
+
+template <typename T, int kSlotsPerThread = 2>
+class HazardPointers {
+ public:
+  HazardPointers() = default;
+  HazardPointers(const HazardPointers&) = delete;
+  HazardPointers& operator=(const HazardPointers&) = delete;
+
+  ~HazardPointers() {
+    // Quiescent teardown: free everything still parked.
+    for (auto& shard : retired_)
+      for (T* p : shard.value) delete p;
+  }
+
+  /// Publish slot `idx` as protecting the current value of `src`,
+  /// re-validating until the announcement is visible before the pointer
+  /// could have been retired (the standard protect loop).
+  T* protect(int tid, int idx, const std::atomic<T*>& src) {
+    hwm_.note(tid);
+    std::atomic<T*>& slot = slots_[tid].value.hp[idx];
+    T* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      slot.store(p, std::memory_order_seq_cst);
+      T* again = src.load(std::memory_order_acquire);
+      if (again == p) return p;
+      p = again;
+    }
+  }
+
+  /// Protect a pointer already read by the caller, who must re-validate
+  /// its source afterwards (raw variant for hand-over-hand traversals).
+  void announce(int tid, int idx, T* p) {
+    hwm_.note(tid);
+    slots_[tid].value.hp[idx].store(p, std::memory_order_seq_cst);
+  }
+
+  void clear_slot(int tid, int idx) {
+    slots_[tid].value.hp[idx].store(nullptr, std::memory_order_release);
+  }
+
+  void clear(int tid) {
+    for (auto& s : slots_[tid].value.hp)
+      s.store(nullptr, std::memory_order_release);
+  }
+
+  /// Defer deletion of `p` until no slot protects it.
+  void retire(int tid, T* p) {
+    hwm_.note(tid);
+    auto& bag = retired_[tid].value;
+    bag.push_back(p);
+    if (bag.size() >= scan_threshold()) scan(tid);
+  }
+
+  /// Free every retired node not currently protected. Normally triggered
+  /// by retire(); public for tests and quiescent flushes.
+  void scan(int tid) {
+    const int n = hwm_.get();
+    std::vector<T*> live;
+    live.reserve(static_cast<size_t>(n) * kSlotsPerThread);
+    for (int t = 0; t < n; ++t)
+      for (const auto& s : slots_[t].value.hp) {
+        T* p = s.load(std::memory_order_seq_cst);
+        if (p != nullptr) live.push_back(p);
+      }
+    std::sort(live.begin(), live.end());
+    auto& bag = retired_[tid].value;
+    size_t kept = 0;
+    for (T* p : bag) {
+      if (std::binary_search(live.begin(), live.end(), p)) {
+        bag[kept++] = p;  // still hazardous; keep parked
+      } else {
+        delete p;
+        ++freed_[tid].value;
+      }
+    }
+    bag.resize(kept);
+  }
+
+  // -- introspection (tests, benches) ------------------------------------
+  size_t retired_count(int tid) const { return retired_[tid].value.size(); }
+  uint64_t freed_count() const {
+    uint64_t n = 0;
+    for (const auto& f : freed_) n += f.value;
+    return n;
+  }
+  size_t scan_threshold() const {
+    // R = 2 * H, the usual amortization constant (H = total slots).
+    return 2 * static_cast<size_t>(std::max(hwm_.get(), 1)) *
+           kSlotsPerThread;
+  }
+
+ private:
+  struct Slots {
+    std::atomic<T*> hp[kSlotsPerThread] = {};
+  };
+  TidHwm hwm_;
+  CachePadded<Slots> slots_[kMaxThreads];
+  CachePadded<std::vector<T*>> retired_[kMaxThreads];
+  CachePadded<uint64_t> freed_[kMaxThreads] = {};
+};
+
+}  // namespace bref

@@ -1,0 +1,108 @@
+#pragma once
+// Sequential specification of the ordered Set-with-range-queries object.
+//
+// The checker replays candidate linearization orders against this model.
+// `step()` answers whether an operation's recorded result is legal in the
+// current state and mutates the state accordingly; `fingerprint()` hashes
+// the state so the search can memoize (state, pending-set) pairs.
+
+#include <cstdint>
+#include <map>
+
+#include "validation/history.h"
+
+namespace bref::validation {
+
+class SetModel {
+ public:
+  /// Apply `op` if its recorded result is consistent with the current
+  /// state; returns false (leaving the state unchanged) otherwise.
+  bool step(const Op& op) {
+    switch (op.kind) {
+      case OpKind::kInsert: {
+        const bool absent = state_.find(op.key) == state_.end();
+        if (op.result != absent) return false;
+        if (absent) state_.emplace(op.key, op.val);
+        return true;
+      }
+      case OpKind::kRemove: {
+        auto it = state_.find(op.key);
+        const bool present = it != state_.end();
+        if (op.result != present) return false;
+        if (present) state_.erase(it);
+        return true;
+      }
+      case OpKind::kContains: {
+        auto it = state_.find(op.key);
+        const bool present = it != state_.end();
+        if (op.result != present) return false;
+        // A successful contains also reports the stored value.
+        if (present && op.val != it->second) return false;
+        return true;
+      }
+      case OpKind::kRangeQuery: {
+        auto it = state_.lower_bound(op.key);
+        size_t i = 0;
+        for (; it != state_.end() && it->first <= op.hi; ++it, ++i) {
+          if (i >= op.rq_result.size()) return false;
+          if (op.rq_result[i].first != it->first ||
+              op.rq_result[i].second != it->second)
+            return false;
+        }
+        return i == op.rq_result.size();
+      }
+    }
+    return false;
+  }
+
+  /// Undo support for the backtracking search: callers snapshot the entry
+  /// that `step` may touch. Insert/remove mutate one key; contains/RQ are
+  /// pure. (Cheaper than copying the whole map per branch.)
+  struct Undo {
+    bool mutated = false;
+    bool was_present = false;
+    KeyT key = 0;
+    ValT old_val = 0;
+  };
+
+  Undo prepare_undo(const Op& op) const {
+    Undo u;
+    if (op.kind == OpKind::kInsert || op.kind == OpKind::kRemove) {
+      u.mutated = true;
+      u.key = op.key;
+      auto it = state_.find(op.key);
+      u.was_present = it != state_.end();
+      if (u.was_present) u.old_val = it->second;
+    }
+    return u;
+  }
+
+  void apply_undo(const Undo& u) {
+    if (!u.mutated) return;
+    if (u.was_present)
+      state_[u.key] = u.old_val;
+    else
+      state_.erase(u.key);
+  }
+
+  /// 64-bit state hash (FNV-1a over sorted contents) for memoization.
+  uint64_t fingerprint() const {
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t x) {
+      h ^= x;
+      h *= 1099511628211ull;
+    };
+    for (const auto& [k, v] : state_) {
+      mix(static_cast<uint64_t>(k));
+      mix(static_cast<uint64_t>(v));
+    }
+    return h;
+  }
+
+  const std::map<KeyT, ValT>& state() const { return state_; }
+
+ private:
+  std::map<KeyT, ValT> state_;
+};
+
+}  // namespace bref::validation

@@ -1,0 +1,277 @@
+#pragma once
+// Wing & Gong linearizability checker with Lowe-style memoization.
+//
+// Given a recorded History, the checker searches for a total order of the
+// operations that (a) respects the real-time order (an op that responded
+// before another was invoked must precede it) and (b) replays legally
+// against the sequential SetModel. The search memoizes (linearized-set,
+// model-state) pairs. Histories whose per-thread operations are sequential
+// — the invariant ThreadLog recording guarantees — use a width-bounded
+// representation (per-thread progress counters), so capacity scales with
+// history *length* and cost with concurrency *width*; adversarial
+// histories with overlapping same-tid ops fall back to a 64-op mask
+// search.
+//
+// For longer point-operation-only histories, per_key_projections() splits a
+// history into independent per-key histories: point operations on distinct
+// keys commute, so the set object is linearizable iff every per-key
+// projection is. Range queries break that independence (their per-key reads
+// must take effect at one common point), so for histories containing range
+// queries the per-key check is a necessary condition only — the whole-
+// history check remains the authority.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "validation/history.h"
+#include "validation/model.h"
+
+namespace bref::validation {
+
+struct CheckResult {
+  bool linearizable = false;
+  /// Indices into the input history forming a witness order (valid only
+  /// when linearizable).
+  std::vector<int> witness;
+  /// Diagnostic for failures.
+  std::string message;
+
+  explicit operator bool() const { return linearizable; }
+};
+
+namespace detail {
+
+/// General searcher over arbitrary interval structures, linearized-set
+/// tracked as a 64-bit mask; capacity 64 ops. Used only when the history's
+/// per-thread sequencing assumption does not hold.
+struct MaskSearcher {
+  const History& h;
+  SetModel model;
+  std::vector<int> order;
+  std::unordered_set<uint64_t> visited;
+  uint64_t mask = 0;  // bit i set => h[i] linearized
+
+  explicit MaskSearcher(const History& hist) : h(hist) {}
+
+  uint64_t state_key() const {
+    // Combine the linearized-set mask with the model fingerprint. The pair
+    // identifies a search node: which ops remain and what state they see.
+    uint64_t x = mask * 0x9e3779b97f4a7c15ull;
+    x ^= model.fingerprint() + 0x517cc1b727220a95ull + (x << 6) + (x >> 2);
+    return x;
+  }
+
+  bool dfs() {
+    if (order.size() == h.size()) return true;
+    if (!visited.insert(state_key()).second) return false;
+    for (size_t i = 0; i < h.size(); ++i) {
+      if (mask & (1ull << i)) continue;
+      // h[i] is a candidate first among the remaining ops iff no other
+      // remaining op completed before it was invoked.
+      bool minimal = true;
+      for (size_t j = 0; j < h.size(); ++j) {
+        if (i == j || (mask & (1ull << j))) continue;
+        if (h[j].happens_before(h[i])) {
+          minimal = false;
+          break;
+        }
+      }
+      if (!minimal) continue;
+      SetModel::Undo undo = model.prepare_undo(h[i]);
+      if (!model.step(h[i])) continue;
+      mask |= (1ull << i);
+      order.push_back(static_cast<int>(i));
+      if (dfs()) return true;
+      order.pop_back();
+      mask &= ~(1ull << i);
+      model.apply_undo(undo);
+    }
+    return false;
+  }
+};
+
+/// Width-bounded searcher exploiting that each thread's operations are
+/// totally ordered in real time (true for histories recorded by
+/// ThreadLog). The linearized set is then always a per-thread *prefix*, so
+/// the search state is a vector of progress counters instead of a mask —
+/// capacity grows with history length, and cost is governed by the
+/// concurrency width (thread count), the Knossos/JEPSEN-style optimization.
+struct ThreadedSearcher {
+  const History& h;
+  std::vector<std::vector<int>> lanes;  // per-thread op indices, by invoke
+  std::vector<uint32_t> progress;       // next unlinearized op per lane
+  SetModel model;
+  std::vector<int> order;
+  std::unordered_set<uint64_t> visited;
+  size_t done = 0;
+
+  explicit ThreadedSearcher(const History& hist,
+                            std::vector<std::vector<int>> l)
+      : h(hist), lanes(std::move(l)), progress(lanes.size(), 0) {}
+
+  uint64_t state_key() const {
+    uint64_t x = 1469598103934665603ull;
+    for (uint32_t c : progress) {
+      x ^= c;
+      x *= 1099511628211ull;
+    }
+    x ^= model.fingerprint() + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+    return x;
+  }
+
+  bool dfs() {
+    if (done == h.size()) return true;
+    if (!visited.insert(state_key()).second) return false;
+    for (size_t t = 0; t < lanes.size(); ++t) {
+      if (progress[t] >= lanes[t].size()) continue;
+      const int i = lanes[t][progress[t]];
+      // Minimal iff no other lane's *next* op completed before h[i] was
+      // invoked (later ops in a lane respond even later, so checking the
+      // head of each lane suffices).
+      bool minimal = true;
+      for (size_t u = 0; u < lanes.size(); ++u) {
+        if (u == t || progress[u] >= lanes[u].size()) continue;
+        if (h[lanes[u][progress[u]]].happens_before(h[i])) {
+          minimal = false;
+          break;
+        }
+      }
+      if (!minimal) continue;
+      SetModel::Undo undo = model.prepare_undo(h[i]);
+      if (!model.step(h[i])) continue;
+      ++progress[t];
+      ++done;
+      order.push_back(i);
+      if (dfs()) return true;
+      order.pop_back();
+      --done;
+      --progress[t];
+      model.apply_undo(undo);
+    }
+    return false;
+  }
+};
+
+/// Group op indices by tid, ordered by invocation; returns empty if any
+/// thread's operations overlap in real time (per-thread sequencing broken),
+/// in which case the caller falls back to the mask searcher.
+inline std::vector<std::vector<int>> build_lanes(const History& h) {
+  std::map<int, std::vector<int>> by_tid;
+  for (size_t i = 0; i < h.size(); ++i)
+    by_tid[h[i].tid].push_back(static_cast<int>(i));
+  std::vector<std::vector<int>> lanes;
+  for (auto& [tid, idxs] : by_tid) {
+    std::sort(idxs.begin(), idxs.end(), [&](int a, int b) {
+      return h[a].invoke_ns < h[b].invoke_ns;
+    });
+    for (size_t j = 1; j < idxs.size(); ++j)
+      if (h[idxs[j - 1]].response_ns > h[idxs[j]].invoke_ns) return {};
+    lanes.push_back(std::move(idxs));
+  }
+  return lanes;
+}
+
+}  // namespace detail
+
+/// Check a history for linearizability against the Set model. Histories
+/// whose per-thread operations are sequential (the normal case for
+/// recorded runs) use the width-bounded search with no length cap; other
+/// histories fall back to the general mask search (≤ 64 ops).
+inline CheckResult check_linearizable(const History& h) {
+  CheckResult r;
+  auto lanes = detail::build_lanes(h);
+  if (!lanes.empty() || h.empty()) {
+    detail::ThreadedSearcher s(h, std::move(lanes));
+    if (s.dfs()) {
+      r.linearizable = true;
+      r.witness = std::move(s.order);
+      return r;
+    }
+  } else {
+    if (h.size() > 64) {
+      r.message =
+          "history has overlapping same-tid operations and exceeds the "
+          "64-op capacity of the general search";
+      return r;
+    }
+    detail::MaskSearcher s(h);
+    if (s.dfs()) {
+      r.linearizable = true;
+      r.witness = std::move(s.order);
+      return r;
+    }
+  }
+  r.message = "no legal linearization order exists; history:";
+  for (const auto& op : h) r.message += "\n  " + describe(op);
+  return r;
+}
+
+/// Project a history onto per-key sub-histories. Point operations project
+/// onto their key. A range query projects onto every key it *returned*
+/// (as a successful contains) and, via `touched_keys`, onto every key in
+/// [lo, hi] that some update in the history mentions (as an unsuccessful
+/// contains when absent from the result) — so missed-update violations
+/// surface even for keys the query never reported.
+inline std::map<KeyT, History> per_key_projections(const History& h) {
+  // Keys any update touches; RQ absence is only meaningful for these.
+  std::unordered_set<KeyT> touched;
+  for (const auto& op : h)
+    if (op.kind == OpKind::kInsert || op.kind == OpKind::kRemove)
+      touched.insert(op.key);
+
+  std::map<KeyT, History> out;
+  for (const auto& op : h) {
+    if (op.kind != OpKind::kRangeQuery) {
+      out[op.key].push_back(op);
+      continue;
+    }
+    std::unordered_set<KeyT> returned;
+    for (const auto& [k, v] : op.rq_result) {
+      returned.insert(k);
+      Op proj;
+      proj.kind = OpKind::kContains;
+      proj.tid = op.tid;
+      proj.key = k;
+      proj.val = v;
+      proj.result = true;
+      proj.invoke_ns = op.invoke_ns;
+      proj.response_ns = op.response_ns;
+      out[k].push_back(proj);
+    }
+    for (KeyT k : touched) {
+      if (k < op.key || k > op.hi || returned.count(k) != 0) continue;
+      Op proj;
+      proj.kind = OpKind::kContains;
+      proj.tid = op.tid;
+      proj.key = k;
+      proj.result = false;
+      proj.invoke_ns = op.invoke_ns;
+      proj.response_ns = op.response_ns;
+      out[k].push_back(proj);
+    }
+  }
+  return out;
+}
+
+/// Per-key decomposition check. Exact for point-op histories; a necessary
+/// condition when range queries are present (see file comment).
+inline CheckResult check_per_key(const History& h) {
+  for (auto& [key, sub] : per_key_projections(h)) {
+    CheckResult r = check_linearizable(sub);
+    if (!r) {
+      r.message =
+          "per-key projection for key " + std::to_string(key) + " failed: " +
+          r.message;
+      return r;
+    }
+  }
+  CheckResult ok;
+  ok.linearizable = true;
+  return ok;
+}
+
+}  // namespace bref::validation

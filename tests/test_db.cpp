@@ -1,0 +1,254 @@
+// MiniDB / TPC-C substrate tests: generator properties, load-time
+// invariants, per-transaction effects, and concurrent delivery exactness
+// (no order delivered twice — the reason DELIVERY needs a linearizable
+// range query + remove).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "db/tpcc.h"
+#include "db/tpcc_gen.h"
+#include "test_util.h"
+
+namespace bref {
+namespace {
+
+using db::TpccDb;
+using db::TpccScale;
+using db::TpccStats;
+
+TEST(TpccGen, NurandStaysInBounds) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = db::nurand(rng, 1023, 0, 2999);
+    EXPECT_LE(v, 2999u);
+  }
+}
+
+TEST(TpccGen, NurandIsNonUniform) {
+  // NURand concentrates mass; the most popular value should beat the
+  // uniform expectation by a wide margin over [0, 999].
+  Xoshiro256 rng(2);
+  int hist[1000] = {};
+  for (int i = 0; i < 100000; ++i) hist[db::nurand(rng, 255, 0, 999)]++;
+  int max_count = 0;
+  for (int c : hist) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 300);  // uniform expectation is 100
+}
+
+TEST(TpccGen, LastnameSyllables) {
+  // TPC-C 4.3.2.3: concatenate the syllables indexed by the hundreds, tens
+  // and units digits of the number.
+  EXPECT_EQ(db::tpcc_lastname(0), "BARBARBAR");
+  EXPECT_EQ(db::tpcc_lastname(371), "PRICALLYOUGHT");
+  EXPECT_EQ(db::tpcc_lastname(999), "EINGEINGEING");
+}
+
+TEST(TpccGen, KeyEncodingsAreOrderPreservingPerDistrict) {
+  EXPECT_LT(db::order_key(0, 0, 5), db::order_key(0, 0, 6));
+  EXPECT_LT(db::order_key(0, 0, 1000000), db::order_key(0, 1, 1));
+  EXPECT_LT(db::orderline_key(1, 2, 7, 3), db::orderline_key(1, 2, 7, 4));
+  EXPECT_LT(db::orderline_key(1, 2, 7, 15), db::orderline_key(1, 2, 8, 0));
+  EXPECT_LT(db::customer_name_key(0, 0, 5, 99),
+            db::customer_name_key(0, 0, 6, 0));
+}
+
+TEST(TpccDb, LoadPopulatesIndexes) {
+  TpccScale scale{1, 100, 20};
+  TpccDb<BundleSkipListSet> dbi(scale);
+  EXPECT_EQ(dbi.customer_index.size_slow(),
+            size_t(db::kDistrictsPerWarehouse) * 100);
+  EXPECT_EQ(dbi.customer_name_index.size_slow(),
+            size_t(db::kDistrictsPerWarehouse) * 100);
+  EXPECT_EQ(dbi.order_index.size_slow(),
+            size_t(db::kDistrictsPerWarehouse) * 20);
+  EXPECT_EQ(dbi.neworder_index.size_slow(),
+            size_t(db::kDistrictsPerWarehouse) * 20);
+  EXPECT_EQ(dbi.undelivered_count(0),
+            size_t(db::kDistrictsPerWarehouse) * 20);
+}
+
+TEST(TpccDb, NewOrderCreatesConsistentRows) {
+  TpccScale scale{1, 50, 0};
+  TpccDb<BundleListSet> dbi(scale);
+  Xoshiro256 rng(3);
+  TpccStats st;
+  for (int i = 0; i < 20; ++i) dbi.run_new_order(0, rng, st);
+  EXPECT_EQ(st.txn_new_order, 20u);
+  EXPECT_EQ(dbi.order_index.size_slow(), 20u);
+  EXPECT_EQ(dbi.neworder_index.size_slow(), 20u);
+  // Order lines per order within [5, 15] and consistent with o.ol_cnt.
+  auto orders = dbi.order_index.to_vector();
+  size_t total_lines = 0;
+  for (const auto& [k, v] : orders) {
+    auto* o = reinterpret_cast<db::OrderRow*>(v);
+    EXPECT_GE(o->ol_cnt, 5);
+    EXPECT_LE(o->ol_cnt, 15);
+    total_lines += o->ol_cnt;
+  }
+  EXPECT_EQ(dbi.orderline_index.size_slow(), total_lines);
+  EXPECT_GT(st.index_ops, 20u * 2);
+}
+
+TEST(TpccDb, PaymentByNameFindsLoadedCustomers) {
+  TpccScale scale{1, 1000, 0};  // first 1000 customers cover all names
+  TpccDb<BundleSkipListSet> dbi(scale);
+  Xoshiro256 rng(4);
+  TpccStats st;
+  for (int i = 0; i < 200; ++i) dbi.run_payment(0, rng, st);
+  EXPECT_EQ(st.txn_payment, 200u);
+  EXPECT_EQ(st.payment_name_misses, 0u)
+      << "name index lookup failed although every name is present";
+}
+
+TEST(TpccDb, DeliveryDeliversOldestFirst) {
+  TpccScale scale{1, 50, 30};
+  TpccDb<BundleCitrusSet> dbi(scale);
+  Xoshiro256 rng(5);
+  TpccStats st;
+  const size_t before = dbi.undelivered_count(0);
+  dbi.run_delivery(0, rng, st);
+  EXPECT_EQ(st.txn_delivery, 1u);
+  EXPECT_EQ(dbi.undelivered_count(0),
+            before - st.delivered_orders);
+  EXPECT_GT(st.delivered_orders, 0u);
+}
+
+TEST(TpccDb, ConcurrentDeliveriesNeverDeliverTwice) {
+  // The crux of the DELIVERY profile: with linearizable RQ + remove, each
+  // order is delivered at most once even under concurrent deliveries.
+  TpccScale scale{2, 50, 200};
+  TpccDb<BundleSkipListSet> dbi(scale);
+  constexpr int kThreads = 4;
+  std::vector<TpccStats> stats(kThreads);
+  testutil::run_threads(kThreads, [&](int tid) {
+    Xoshiro256 rng(100 + tid);
+    for (int i = 0; i < 40; ++i) dbi.run_delivery(tid, rng, stats[tid]);
+  });
+  uint64_t delivered = 0;
+  for (auto& s : stats) delivered += s.delivered_orders;
+  const size_t initial =
+      size_t(scale.warehouses) * db::kDistrictsPerWarehouse * 200;
+  EXPECT_EQ(dbi.undelivered_count(0), initial - delivered);
+  EXPECT_LE(delivered, initial);
+}
+
+TEST(TpccDb, MixedWorkloadConservesOrders) {
+  TpccScale scale{1, 100, 50};
+  TpccDb<EbrRqSkipListSet> dbi(scale);
+  constexpr int kThreads = 3;
+  std::vector<TpccStats> stats(kThreads);
+  testutil::run_threads(kThreads, [&](int tid) {
+    Xoshiro256 rng(7 + tid);
+    for (int i = 0; i < 300; ++i) dbi.run_mixed_txn(tid, rng, stats[tid]);
+  });
+  uint64_t created = 0, delivered = 0;
+  for (auto& s : stats) {
+    created += s.txn_new_order;
+    delivered += s.delivered_orders;
+  }
+  const size_t initial = size_t(db::kDistrictsPerWarehouse) * 50;
+  EXPECT_EQ(dbi.undelivered_count(0), initial + created - delivered);
+  EXPECT_TRUE(dbi.neworder_index.check_invariants());
+  EXPECT_TRUE(dbi.orderline_index.check_invariants());
+}
+
+TEST(TpccDb, OrderStatusFindsCustomersLatestOrder) {
+  TpccScale scale{1, 30, 0};
+  TpccDb<BundleSkipListSet> dbi(scale);
+  Xoshiro256 rng(6);
+  TpccStats st;
+  // Create some orders first so ORDER_STATUS has something to find.
+  for (int i = 0; i < 60; ++i) dbi.run_new_order(0, rng, st);
+  const uint64_t ops_before = st.index_ops;
+  for (int i = 0; i < 50; ++i) dbi.run_order_status(0, rng, st);
+  EXPECT_EQ(st.txn_order_status, 50u);
+  // Read-only: no index mutations.
+  EXPECT_EQ(dbi.order_index.size_slow(), 60u);
+  // Each ORDER_STATUS performs at least the customer lookup.
+  EXPECT_GE(st.index_ops - ops_before, 50u);
+}
+
+TEST(TpccDb, StockLevelCountsDistinctLowStockItems) {
+  TpccScale scale{1, 30, 0};
+  TpccDb<BundleCitrusSet> dbi(scale);
+  Xoshiro256 rng(8);
+  TpccStats st;
+  for (int i = 0; i < 40; ++i) dbi.run_new_order(0, rng, st);
+  // Drain some stock below any threshold so low_stock_seen can fire.
+  auto lines = dbi.orderline_index.to_vector();
+  ASSERT_FALSE(lines.empty());
+  for (const auto& [k, v] : lines) {
+    auto* line = reinterpret_cast<db::OrderLineRow*>(v);
+    dbi.stock(0, line->i_id).quantity.store(0, std::memory_order_relaxed);
+  }
+  const size_t ol_before = dbi.orderline_index.size_slow();
+  for (int i = 0; i < 30; ++i) dbi.run_stock_level(0, rng, st);
+  EXPECT_EQ(st.txn_stock_level, 30u);
+  EXPECT_GT(st.low_stock_seen, 0u);
+  EXPECT_EQ(dbi.orderline_index.size_slow(), ol_before);  // read-only
+}
+
+TEST(TpccDb, FullMixRunsAllFiveProfiles) {
+  TpccScale scale{1, 100, 30};
+  TpccDb<BundleSkipListSet> dbi(scale);
+  constexpr int kThreads = 3;
+  std::vector<TpccStats> stats(kThreads);
+  testutil::run_threads(kThreads, [&](int tid) {
+    Xoshiro256 rng(17 + tid);
+    for (int i = 0; i < 400; ++i) dbi.run_full_mix_txn(tid, rng, stats[tid]);
+  });
+  TpccStats sum;
+  uint64_t created = 0, delivered = 0;
+  for (auto& s : stats) {
+    sum.txn_new_order += s.txn_new_order;
+    sum.txn_payment += s.txn_payment;
+    sum.txn_order_status += s.txn_order_status;
+    sum.txn_delivery += s.txn_delivery;
+    sum.txn_stock_level += s.txn_stock_level;
+    created += s.txn_new_order;
+    delivered += s.delivered_orders;
+  }
+  // All five profiles fire under the spec mix (1200 txns total).
+  EXPECT_GT(sum.txn_new_order, 0u);
+  EXPECT_GT(sum.txn_payment, 0u);
+  EXPECT_GT(sum.txn_order_status, 0u);
+  EXPECT_GT(sum.txn_delivery, 0u);
+  EXPECT_GT(sum.txn_stock_level, 0u);
+  // Order conservation still holds with the read-only profiles in the mix.
+  const size_t initial = size_t(db::kDistrictsPerWarehouse) * 30;
+  EXPECT_EQ(dbi.undelivered_count(0), initial + created - delivered);
+}
+
+TEST(TpccDb, WorksWithEveryIndexFamily) {
+  // Smoke: one mixed transaction burst per representative index type.
+  TpccScale scale{1, 60, 20};
+  auto burst = [&](auto* dbi) {
+    Xoshiro256 rng(9);
+    TpccStats st;
+    for (int i = 0; i < 50; ++i) dbi->run_mixed_txn(0, rng, st);
+    EXPECT_GT(st.index_ops, 0u);
+  };
+  {
+    TpccDb<UnsafeCitrusSet> d(scale);
+    burst(&d);
+  }
+  {
+    TpccDb<EbrRqLfCitrusSet> d(scale);
+    burst(&d);
+  }
+  {
+    TpccDb<RluSkipListSet> d(scale);
+    burst(&d);
+  }
+  {
+    TpccDb<RluListSet> d(scale);
+    burst(&d);
+  }
+}
+
+}  // namespace
+}  // namespace bref

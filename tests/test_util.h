@@ -1,0 +1,77 @@
+#pragma once
+// Shared helpers for the test suite: thread harness, reference-model
+// checking, and the canonical list of implementation types.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "api/ordered_set.h"
+#include "common/random.h"
+
+namespace bref::testutil {
+
+/// Run `fn(tid)` on `n` threads and join.
+inline void run_threads(int n, const std::function<void(int)>& fn) {
+  std::vector<std::thread> ts;
+  ts.reserve(n);
+  for (int i = 0; i < n; ++i) ts.emplace_back(fn, i);
+  for (auto& t : ts) t.join();
+}
+
+/// Compare a quiescent structure against a reference map.
+template <typename DS>
+::testing::AssertionResult matches_model(DS& ds,
+                                         const std::map<KeyT, ValT>& model) {
+  auto v = ds.to_vector();
+  if (v.size() != model.size())
+    return ::testing::AssertionFailure()
+           << "size mismatch: ds=" << v.size() << " model=" << model.size();
+  auto it = model.begin();
+  for (size_t i = 0; i < v.size(); ++i, ++it) {
+    if (v[i].first != it->first)
+      return ::testing::AssertionFailure()
+             << "key mismatch at " << i << ": ds=" << v[i].first
+             << " model=" << it->first;
+    if (v[i].second != it->second)
+      return ::testing::AssertionFailure()
+             << "val mismatch at key " << v[i].first << ": ds=" << v[i].second
+             << " model=" << it->second;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Result vector sanity: strictly sorted by key and within [lo, hi].
+inline ::testing::AssertionResult sorted_in_range(
+    const std::vector<std::pair<KeyT, ValT>>& v, KeyT lo, KeyT hi) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i].first < lo || v[i].first > hi)
+      return ::testing::AssertionFailure()
+             << "key " << v[i].first << " outside [" << lo << "," << hi << "]";
+    if (i > 0 && v[i - 1].first >= v[i].first)
+      return ::testing::AssertionFailure()
+             << "not strictly sorted at index " << i << ": " << v[i - 1].first
+             << " >= " << v[i].first;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// All implementations (typed-test type list).
+using AllSetTypes = ::testing::Types<
+    BundleListSet, BundleSkipListSet, BundleCitrusSet, UnsafeListSet,
+    UnsafeSkipListSet, UnsafeCitrusSet, EbrRqListSet, EbrRqSkipListSet,
+    EbrRqCitrusSet, EbrRqLfListSet, EbrRqLfSkipListSet, EbrRqLfCitrusSet,
+    RluListSet, RluSkipListSet, RluCitrusSet, SnapCollectorListSet,
+    SnapCollectorSkipListSet>;
+
+/// Implementations with linearizable range queries (Unsafe excluded).
+using LinearizableSetTypes = ::testing::Types<
+    BundleListSet, BundleSkipListSet, BundleCitrusSet, EbrRqListSet,
+    EbrRqSkipListSet, EbrRqCitrusSet, EbrRqLfListSet, EbrRqLfSkipListSet,
+    EbrRqLfCitrusSet, RluListSet, RluSkipListSet, RluCitrusSet,
+    SnapCollectorListSet, SnapCollectorSkipListSet>;
+
+}  // namespace bref::testutil
