@@ -39,6 +39,9 @@ double measure_entry_path(int threads, const Config& cfg, bool from_start) {
     std::vector<std::thread> ts;
     for (int t = 0; t < threads; ++t) {
       ts.emplace_back([&, t] {
+        // Session for the uniform surface; the from-start entry path is an
+        // ablation-only hook, reached through the underlying structure.
+        TypedSession<DS> s(*ds, t);
         Xoshiro256 rng(cfg.seed * 977 + t);
         std::vector<std::pair<KeyT, ValT>> rq_out;
         rq_out.reserve(cfg.rq_size + 16);
@@ -49,13 +52,14 @@ double measure_entry_path(int threads, const Config& cfg, bool from_start) {
           const KeyT k = 1 + static_cast<KeyT>(rng.next_range(cfg.key_range));
           if (dice < static_cast<uint64_t>(cfg.u_pct)) {
             if (rng.next_range(2) == 0)
-              ds->insert(t, k, k);
+              s.insert(k, k);
             else
-              ds->remove(t, k);
+              s.remove(k);
           } else if (from_start) {
-            ds->range_query_from_start(t, k, k + cfg.rq_size - 1, rq_out);
+            s.set().range_query_from_start(s.tid(), k, k + cfg.rq_size - 1,
+                                           rq_out);
           } else {
-            ds->range_query(t, k, k + cfg.rq_size - 1, rq_out);
+            s.set().range_query(s.tid(), k, k + cfg.rq_size - 1, rq_out);
           }
           ++ops;
         }

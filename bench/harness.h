@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "api/ordered_set.h"
+#include "api/range_snapshot.h"
+#include "api/session.h"
 #include "common/cacheline.h"
 #include "common/random.h"
 #include "common/timing.h"
@@ -47,7 +49,8 @@ struct Result {
 };
 
 /// Insert keys until the structure holds key_range/2 elements (uniformly
-/// random content, as in the paper's setup).
+/// random content, as in the paper's setup). Workers hold TypedSessions
+/// pinned to dense ids 0..threads-1 (the drivers' explicit-id convention).
 template <typename DS>
 void prefill(DS& ds, KeyT key_range, int threads = 2, uint64_t seed = 99) {
   std::atomic<KeyT> inserted{0};
@@ -55,10 +58,11 @@ void prefill(DS& ds, KeyT key_range, int threads = 2, uint64_t seed = 99) {
   std::vector<std::thread> ts;
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
+      TypedSession<DS> s(ds, t);
       Xoshiro256 rng(seed + t);
       while (inserted.load(std::memory_order_relaxed) < target) {
         KeyT k = 1 + static_cast<KeyT>(rng.next_range(key_range));
-        if (ds.insert(t, k, k)) inserted.fetch_add(1, std::memory_order_relaxed);
+        if (s.insert(k, k)) inserted.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -74,12 +78,13 @@ Result run_mixed_trial(DS& ds, int threads, const Config& cfg) {
   std::vector<std::thread> ts;
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
+      TypedSession<DS> s(ds, t);
       Xoshiro256 rng(cfg.seed * 977 + t);
       ZipfGenerator zipf(static_cast<uint64_t>(cfg.key_range),
                          cfg.zipf_theta > 0 ? cfg.zipf_theta : 0.5,
                          cfg.seed * 31 + t);
-      std::vector<std::pair<KeyT, ValT>> rq_out;
-      rq_out.reserve(cfg.rq_size + 16);
+      RangeSnapshot rq_out;
+      rq_out.buffer().reserve(cfg.rq_size + 16);
       uint64_t ops = 0;
       start_barrier.arrive_and_wait();
       while (!stop.load(std::memory_order_relaxed)) {
@@ -90,13 +95,13 @@ Result run_mixed_trial(DS& ds, int threads, const Config& cfg) {
                 : 1 + static_cast<KeyT>(rng.next_range(cfg.key_range));
         if (dice < static_cast<uint64_t>(cfg.u_pct)) {
           if (rng.next_range(2) == 0)
-            ds.insert(t, k, k);
+            s.insert(k, k);
           else
-            ds.remove(t, k);
+            s.remove(k);
         } else if (dice < static_cast<uint64_t>(cfg.u_pct + cfg.c_pct)) {
-          ds.contains(t, k);
+          s.contains(k);
         } else {
-          ds.range_query(t, k, k + cfg.rq_size - 1, rq_out);
+          s.range_query(k, k + cfg.rq_size - 1, rq_out);
         }
         ++ops;
       }

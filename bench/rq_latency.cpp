@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "api/any_set.h"
+#include "api/set.h"
 #include "harness.h"
 
 namespace {
@@ -43,18 +44,19 @@ LatencyStats percentile_stats(std::vector<uint64_t>& ns) {
 
 LatencyStats run_one(const std::string& impl, int churn_threads,
                      const Config& cfg) {
-  auto ds = make_any_set(impl);
+  Set ds = Set::create(impl);
   {
-    // Registry prefill (mirrors harness prefill, via the erased handle).
+    // Registry prefill (mirrors harness prefill, via the erased facade).
     std::atomic<KeyT> inserted{0};
     const KeyT target = cfg.key_range / 2;
     std::vector<std::thread> ts;
     for (int t = 0; t < 2; ++t) {
       ts.emplace_back([&, t] {
+        ThreadSession s = ds.session(t);
         Xoshiro256 rng(99 + t);
         while (inserted.load(std::memory_order_relaxed) < target) {
           const KeyT k = 1 + static_cast<KeyT>(rng.next_range(cfg.key_range));
-          if (ds->insert(t, k, k))
+          if (s.insert(k, k))
             inserted.fetch_add(1, std::memory_order_relaxed);
         }
       });
@@ -66,29 +68,30 @@ LatencyStats run_one(const std::string& impl, int churn_threads,
   std::vector<std::thread> churn;
   for (int t = 0; t < churn_threads; ++t) {
     churn.emplace_back([&, t] {
+      ThreadSession s = ds.session(t);
       Xoshiro256 rng(7 * t + 3);
       start.arrive_and_wait();
       while (!stop.load(std::memory_order_relaxed)) {
         const KeyT k = 1 + static_cast<KeyT>(rng.next_range(cfg.key_range));
         if (rng.next_range(2) == 0)
-          ds->insert(t, k, k);
+          s.insert(k, k);
         else
-          ds->remove(t, k);
+          s.remove(k);
       }
     });
   }
   std::vector<uint64_t> lat_ns;
   lat_ns.reserve(1 << 16);
   std::thread prober([&] {
-    const int tid = churn_threads;
+    ThreadSession s = ds.session(churn_threads);
     Xoshiro256 rng(1);
-    std::vector<std::pair<KeyT, ValT>> out;
-    out.reserve(cfg.rq_size + 16);
+    RangeSnapshot out;
+    out.buffer().reserve(cfg.rq_size + 16);
     start.arrive_and_wait();
     while (!stop.load(std::memory_order_relaxed)) {
       const KeyT lo = 1 + static_cast<KeyT>(rng.next_range(cfg.key_range));
       const auto t0 = now();
-      ds->range_query(tid, lo, lo + cfg.rq_size - 1, out);
+      s.range_query(lo, lo + cfg.rq_size - 1, out);
       lat_ns.push_back(static_cast<uint64_t>(elapsed_s(t0) * 1e9));
     }
   });

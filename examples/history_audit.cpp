@@ -3,12 +3,16 @@
 //
 //   build/examples/history_audit
 //
-// Demonstrates the validation module (src/validation): RecordedSet logs
-// every operation with its real-time window; check_linearizable() then
-// searches for a witness order that replays legally against the sequential
-// set specification. The same machinery backs tests/test_validation.cpp.
-// Black-box: it works on any of the 16 implementations — swap the typedef
-// below for, say, bref::RluCitrusSet and it still audits.
+// Demonstrates the validation module (src/validation): RecordedSession
+// wraps a thread session and logs every operation with its real-time
+// window — range queries through RangeSnapshot, so each record carries the
+// snapshot timestamp it linearized at (printed as @ts below) instead of
+// reconstructing it by hand. check_linearizable() then searches for a
+// witness order that replays legally against the sequential set
+// specification. The same machinery backs tests/test_validation.cpp.
+// Black-box: it works on any of the 17 implementations — swap the typedef
+// below for, say, bref::RluCitrusSet and it still audits (techniques
+// without snapshot timestamps simply record none).
 
 #include <cstdio>
 #include <thread>
@@ -24,11 +28,11 @@ namespace v = bref::validation;
 int main() {
   using DS = bref::BundleSkipListSet;
   DS set;
-  v::RecordedSet<DS> recorded(set);
 
   // Three threads hammer three hot keys with a mix of point ops and range
   // queries; every operation is recorded with its invocation/response
-  // window.
+  // window. Each worker holds a RecordedSession — a recording wrapper over
+  // the RAII thread-session API.
   constexpr int kThreads = 3;
   constexpr int kOpsPerThread = 5;
   std::vector<v::ThreadLog> logs;
@@ -37,22 +41,23 @@ int main() {
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
+      v::RecordedSession<DS> recorded(set, logs[t], t);
       bref::Xoshiro256 rng(2026 + t);
-      std::vector<std::pair<v::KeyT, v::ValT>> out;
+      bref::RangeSnapshot out;
       for (int i = 0; i < kOpsPerThread; ++i) {
         const v::KeyT k = 1 + static_cast<v::KeyT>(rng.next_range(3));
         switch (rng.next_range(4)) {
           case 0:
-            recorded.insert(logs[t], t, k, 100 * t + i);
+            recorded.insert(k, 100 * t + i);
             break;
           case 1:
-            recorded.remove(logs[t], t, k);
+            recorded.remove(k);
             break;
           case 2:
-            recorded.contains(logs[t], t, k);
+            recorded.contains(k);
             break;
           default:
-            recorded.range_query(logs[t], t, 1, 3, out);
+            recorded.range_query(1, 3, out);
             break;
         }
       }

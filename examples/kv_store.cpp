@@ -1,7 +1,9 @@
 // kv_store: a miniature RocksDB-style key-value store with PUT / GET /
-// DELETE / SCAN built on a bundled skip list — the motivating use case in
-// the paper's introduction (key-value stores enriching PUT/GET APIs with
-// range queries).
+// DELETE / SCAN built on the bref::Set facade (default: the bundled skip
+// list) — the motivating use case in the paper's introduction (key-value
+// stores enriching PUT/GET APIs with range queries). Each store operation
+// runs inside an RAII ThreadSession; SCAN returns the keys of one
+// RangeSnapshot, i.e. one point in logical time.
 //
 // The store maps string keys to string values: keys are interned to dense
 // int64 ids through an ordered dictionary (so SCANs follow lexicographic
@@ -19,7 +21,7 @@
 #include <thread>
 #include <vector>
 
-#include "api/ordered_set.h"
+#include "api/set.h"
 
 namespace {
 
@@ -49,27 +51,28 @@ int64_t encode_key(const std::string& k) { return std::stoll(k); }
 
 class MiniKv {
  public:
+  MiniKv() : index_(Set::create("Bundle-skiplist")) {}
+
   void put(const std::string& key, std::string value) {
-    const int tid = tl_thread_id();
+    auto s = session();
     const int64_t id = log_.append(std::move(value));
     const int64_t k = encode_key(key);
-    if (!index_.insert(tid, k, id)) {
+    if (!s.insert(k, id)) {
       // Upsert: replace by delete+insert (values are immutable log slots).
-      index_.remove(tid, k);
-      index_.insert(tid, k, id);
+      s.remove(k);
+      s.insert(k, id);
     }
   }
 
   bool get(const std::string& key, std::string* value_out) {
-    const int tid = tl_thread_id();
-    ValT id = 0;
-    if (!index_.contains(tid, encode_key(key), &id)) return false;
-    *value_out = log_.get(id);
+    auto id = session().get(encode_key(key));
+    if (!id) return false;
+    *value_out = log_.get(*id);
     return true;
   }
 
   bool erase(const std::string& key) {
-    return index_.remove(tl_thread_id(), encode_key(key));
+    return session().remove(encode_key(key));
   }
 
   /// Consistent snapshot of all keys in [lo, hi] — the linearizable range
@@ -77,13 +80,12 @@ class MiniKv {
   /// writers are active.
   std::vector<std::pair<std::string, std::string>> scan(
       const std::string& lo, const std::string& hi) {
-    const int tid = tl_thread_id();
-    std::vector<std::pair<KeyT, ValT>> raw;
-    index_.range_query(tid, encode_key(lo), encode_key(hi), raw);
+    RangeSnapshot snap =
+        session().range_query(encode_key(lo), encode_key(hi));
     std::vector<std::pair<std::string, std::string>> out;
-    out.reserve(raw.size());
+    out.reserve(snap.size());
     char buf[32];
-    for (const auto& [k, id] : raw) {
+    for (const auto& [k, id] : snap) {
       std::snprintf(buf, sizeof buf, "%08" PRId64, k);
       out.emplace_back(buf, log_.get(id));
     }
@@ -91,7 +93,11 @@ class MiniKv {
   }
 
  private:
-  BundleSkipListSet index_;
+  /// Session pinned to the caller's persistent dense id: constructing one
+  /// is free (no registry round-trip) because tl_thread_id() owns the id.
+  ThreadSession session() { return index_.session(tl_thread_id()); }
+
+  Set index_;
   ValueLog log_;
 };
 

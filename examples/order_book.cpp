@@ -6,16 +6,20 @@
 // book depth snapshots. Because the range query is linearizable, a
 // snapshot can never show a crossed book *from one side's perspective
 // mid-update* — and the best-bid/best-ask it reports existed at one
-// instant in logical time.
+// instant in logical time, reported as the Depth's per-side timestamps
+// (RangeSnapshot::timestamp()). Threads talk to the book through RAII
+// sessions; no raw thread ids cross the OrderBook API.
 //
 //   build/examples/order_book
 
 #include <atomic>
 #include <cstdio>
+#include <iterator>
 #include <thread>
 #include <vector>
 
 #include "api/ordered_set.h"
+#include "api/session.h"
 #include "common/random.h"
 
 namespace {
@@ -24,31 +28,52 @@ using namespace bref;
 
 class OrderBook {
  public:
-  void add_bid(int tid, KeyT price, ValT qty) { bids_.insert(tid, price, qty); }
-  void add_ask(int tid, KeyT price, ValT qty) { asks_.insert(tid, price, qty); }
-  void cancel_bid(int tid, KeyT price) { bids_.remove(tid, price); }
-  void cancel_ask(int tid, KeyT price) { asks_.remove(tid, price); }
+  /// Per-thread handle to the book: one session per side, acquired RAII-
+  /// style from the global registry when the handle is created.
+  class Trader {
+   public:
+    explicit Trader(OrderBook& book)
+        : bids_(book.bids_), asks_(book.asks_) {}
 
-  /// Depth snapshot: best `levels` price levels on each side, from one
-  /// consistent snapshot per side.
-  struct Depth {
-    std::vector<std::pair<KeyT, ValT>> bids;  // descending from best bid
-    std::vector<std::pair<KeyT, ValT>> asks;  // ascending from best ask
+    void add_bid(KeyT price, ValT qty) { bids_.insert(price, qty); }
+    void add_ask(KeyT price, ValT qty) { asks_.insert(price, qty); }
+    void cancel_bid(KeyT price) { bids_.remove(price); }
+    void cancel_ask(KeyT price) { asks_.remove(price); }
+
+    /// Depth snapshot: best `levels` price levels on each side, from one
+    /// consistent snapshot per side, each stamped with the logical time it
+    /// linearized at.
+    struct Depth {
+      std::vector<std::pair<KeyT, ValT>> bids;  // descending from best bid
+      std::vector<std::pair<KeyT, ValT>> asks;  // ascending from best ask
+      timestamp_t bid_ts = 0;
+      timestamp_t ask_ts = 0;
+    };
+
+    Depth snapshot(KeyT around, KeyT window, size_t levels) {
+      Depth d;
+      bids_.range_query(around - window, around + window, tmp_);
+      d.bid_ts = tmp_.timestamp();
+      for (auto it = std::make_reverse_iterator(tmp_.end());
+           it != std::make_reverse_iterator(tmp_.begin()) &&
+           d.bids.size() < levels;
+           ++it)
+        d.bids.push_back(*it);
+      asks_.range_query(around - window, around + window, tmp_);
+      d.ask_ts = tmp_.timestamp();
+      for (auto it = tmp_.begin(); it != tmp_.end() && d.asks.size() < levels;
+           ++it)
+        d.asks.push_back(*it);
+      return d;
+    }
+
+   private:
+    TypedSession<BundleCitrusSet> bids_;
+    TypedSession<BundleCitrusSet> asks_;
+    RangeSnapshot tmp_;  // reusable buffer across snapshots
   };
 
-  Depth snapshot(int tid, KeyT around, KeyT window, size_t levels) {
-    Depth d;
-    std::vector<std::pair<KeyT, ValT>> tmp;
-    bids_.range_query(tid, around - window, around + window, tmp);
-    for (auto it = tmp.rbegin(); it != tmp.rend() && d.bids.size() < levels;
-         ++it)
-      d.bids.push_back(*it);
-    asks_.range_query(tid, around - window, around + window, tmp);
-    for (auto it = tmp.begin(); it != tmp.end() && d.asks.size() < levels;
-         ++it)
-      d.asks.push_back(*it);
-    return d;
-  }
+  Trader trader() { return Trader(*this); }
 
  private:
   BundleCitrusSet bids_;
@@ -62,8 +87,11 @@ int main() {
   constexpr KeyT kMid = 10000;
 
   // Seed resting liquidity: bids below mid, asks above.
-  for (KeyT p = kMid - 500; p < kMid; p += 5) book.add_bid(0, p, 100);
-  for (KeyT p = kMid + 5; p <= kMid + 500; p += 5) book.add_ask(0, p, 100);
+  {
+    auto t = book.trader();
+    for (KeyT p = kMid - 500; p < kMid; p += 5) t.add_bid(p, 100);
+    for (KeyT p = kMid + 5; p <= kMid + 500; p += 5) t.add_ask(p, 100);
+  }
 
   std::atomic<bool> stop{false};
   std::atomic<long> snapshots{0};
@@ -71,9 +99,9 @@ int main() {
 
   // Market-data thread: publish depth, check it is sane.
   std::thread md([&] {
-    const int tid = 5;
+    auto trader = book.trader();
     while (!stop.load(std::memory_order_acquire)) {
-      auto d = book.snapshot(tid, kMid, 600, 5);
+      auto d = trader.snapshot(kMid, 600, 5);
       // Within one side's snapshot, levels must be strictly ordered.
       for (size_t i = 1; i < d.bids.size(); ++i)
         if (d.bids[i - 1].first <= d.bids[i].first) violations++;
@@ -87,21 +115,22 @@ int main() {
   std::vector<std::thread> traders;
   for (int t = 0; t < 3; ++t) {
     traders.emplace_back([&, t] {
+      auto trader = book.trader();
       Xoshiro256 rng(t + 1);
       for (int i = 0; i < 30000; ++i) {
         KeyT off = static_cast<KeyT>(rng.next_range(400));
         if (rng.next_range(2) == 0) {
           KeyT p = kMid - 1 - off;
           if (rng.next_range(3) != 0)
-            book.add_bid(t, p, 10 + rng.next_range(90));
+            trader.add_bid(p, 10 + rng.next_range(90));
           else
-            book.cancel_bid(t, p);
+            trader.cancel_bid(p);
         } else {
           KeyT p = kMid + 1 + off;
           if (rng.next_range(3) != 0)
-            book.add_ask(t, p, 10 + rng.next_range(90));
+            trader.add_ask(p, 10 + rng.next_range(90));
           else
-            book.cancel_ask(t, p);
+            trader.cancel_ask(p);
         }
       }
     });
@@ -110,9 +139,11 @@ int main() {
   stop = true;
   md.join();
 
-  auto d = book.snapshot(0, kMid, 600, 5);
+  auto d = book.trader().snapshot(kMid, 600, 5);
   std::printf("published %ld depth snapshots, %ld ordering violations\n",
               snapshots.load(), violations.load());
+  std::printf("final depth linearized at bid_ts=%llu ask_ts=%llu\n",
+              (unsigned long long)d.bid_ts, (unsigned long long)d.ask_ts);
   std::printf("top of book:\n");
   for (size_t i = 0; i < d.bids.size() && i < d.asks.size(); ++i)
     std::printf("  bid %lld x%lld | ask %lld x%lld\n",

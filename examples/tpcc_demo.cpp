@@ -3,6 +3,12 @@
 // transaction counts and index-operation throughput.
 //
 //   build/examples/tpcc_demo [seconds]
+//
+// MiniDB is an embedded consumer of the implementation-facing interface:
+// it owns many indexes per warehouse and threads one dense worker id
+// through all of them per transaction, so it deliberately stays on the
+// explicit-id convention (the benchmark drivers' pattern) rather than
+// holding one RAII session per index per thread.
 
 #include <atomic>
 #include <cstdio>

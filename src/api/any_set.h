@@ -1,156 +1,47 @@
 #pragma once
-// Type-erased handle over every ordered-set implementation, keyed by the
-// paper's names ("Bundle-skiplist", "RLU-citrus", ...). The typed aliases in
-// ordered_set.h are the zero-overhead path; this registry exists for code
-// that selects an implementation at run time — value-parameterized test
-// sweeps (TEST_P over implementation x workload), CLI-driven benches, and
-// the examples' `--impl` flags.
+// Backwards-compatibility layer over the implementation registry.
+//
+// Pre-facade code constructed implementations through make_any_set() and a
+// hand-maintained 17-branch if-chain; both are gone. The names below now
+// derive from the ImplRegistry (registry.h) and construction validates
+// options against capabilities. New code should use bref::Set (set.h) —
+// these shims exist so migrating call sites is mechanical and will be
+// removed once nothing depends on them.
 
-#include <functional>
 #include <memory>
-#include <stdexcept>
 #include <string>
-#include <utility>
 #include <vector>
 
-#include "api/ordered_set.h"
+#include "api/builtin_impls.h"
+#include "api/registry.h"
+#include "api/set.h"
 
 namespace bref {
 
-/// Virtual interface mirroring the library's uniform operation set.
-class AnyOrderedSet {
- public:
-  virtual ~AnyOrderedSet() = default;
+/// Old spelling of SetOptions (same fields, same meaning).
+using AnySetOptions = SetOptions;
 
-  virtual bool insert(int tid, KeyT key, ValT val) = 0;
-  virtual bool remove(int tid, KeyT key) = 0;
-  virtual bool contains(int tid, KeyT key, ValT* out = nullptr) = 0;
-  virtual size_t range_query(int tid, KeyT lo, KeyT hi,
-                             std::vector<std::pair<KeyT, ValT>>& out) = 0;
-
-  // Quiescent introspection.
-  virtual std::vector<std::pair<KeyT, ValT>> to_vector() const = 0;
-  virtual size_t size_slow() const = 0;
-  virtual bool check_invariants() const = 0;
-
-  // Identity.
-  virtual const char* technique() const = 0;   // "Bundle", "RLU", ...
-  virtual const char* structure() const = 0;   // "list", "skiplist", "citrus"
-  virtual bool linearizable_rq() const = 0;
-  std::string name() const {
-    return std::string(technique()) + "-" + structure();
-  }
-};
-
-namespace detail {
-
-template <typename DS>
-class AnySetAdapter final : public AnyOrderedSet {
- public:
-  template <typename... Args>
-  explicit AnySetAdapter(Args&&... args) : ds_(std::forward<Args>(args)...) {}
-
-  bool insert(int tid, KeyT key, ValT val) override {
-    return ds_.insert(tid, key, val);
-  }
-  bool remove(int tid, KeyT key) override { return ds_.remove(tid, key); }
-  bool contains(int tid, KeyT key, ValT* out) override {
-    return ds_.contains(tid, key, out);
-  }
-  size_t range_query(int tid, KeyT lo, KeyT hi,
-                     std::vector<std::pair<KeyT, ValT>>& out) override {
-    return ds_.range_query(tid, lo, hi, out);
-  }
-  std::vector<std::pair<KeyT, ValT>> to_vector() const override {
-    return ds_.to_vector();
-  }
-  size_t size_slow() const override { return ds_.size_slow(); }
-  bool check_invariants() const override { return ds_.check_invariants(); }
-  const char* technique() const override { return DS::kName; }
-  const char* structure() const override { return DS::kStructure; }
-  bool linearizable_rq() const override { return DS::kLinearizableRq; }
-
-  DS& underlying() { return ds_; }
-
- private:
-  DS ds_;
-};
-
-}  // namespace detail
-
-/// Options forwarded to implementations that accept them. Implementations
-/// without the corresponding constructor parameter ignore the option (the
-/// EBR-RQ family fixes its mode in the adapter type; RLU and Snapcollector
-/// have no relaxation/reclamation knobs).
-struct AnySetOptions {
-  uint64_t relax_threshold = 1;  // globalTs advance period T (Fig. 5)
-  bool reclaim = false;          // EBR node/bundle reclamation (Table 1)
-};
-
-/// All registry names, in a stable order.
-inline const std::vector<std::string>& any_set_names() {
-  static const std::vector<std::string> names = {
-      "Bundle-list",    "Bundle-skiplist",    "Bundle-citrus",
-      "Unsafe-list",    "Unsafe-skiplist",    "Unsafe-citrus",
-      "EBR-RQ-list",    "EBR-RQ-skiplist",    "EBR-RQ-citrus",
-      "EBR-RQ-LF-list", "EBR-RQ-LF-skiplist", "EBR-RQ-LF-citrus",
-      "RLU-list",       "RLU-skiplist",       "RLU-citrus",
-      "Snapcollector-list", "Snapcollector-skiplist"};
-  return names;
+/// All registered implementation names, in registration order (the 17
+/// paper configurations first, then anything test code added).
+inline std::vector<std::string> any_set_names() {
+  return ImplRegistry::instance().names();
 }
 
-/// Names of the implementations with linearizable range queries.
+/// Names of the implementations with linearizable range queries — now
+/// derived from capability flags rather than name prefixes.
 inline std::vector<std::string> any_set_linearizable_names() {
   std::vector<std::string> out;
-  for (const auto& n : any_set_names())
-    if (n.rfind("Unsafe-", 0) != 0) out.push_back(n);
+  for (const auto& d : ImplRegistry::instance().descriptors())
+    if (d.caps.linearizable_rq) out.push_back(d.name);
   return out;
 }
 
-/// Construct an implementation by registry name. Throws std::invalid_argument
-/// for unknown names. Bundle variants honor both options; Unsafe honors
-/// neither (no timestamps, no bundles).
-inline std::unique_ptr<AnyOrderedSet> make_any_set(
-    const std::string& name, const AnySetOptions& opt = {}) {
-  using detail::AnySetAdapter;
-  if (name == "Bundle-list")
-    return std::make_unique<AnySetAdapter<BundleListSet>>(opt.relax_threshold,
-                                                          opt.reclaim);
-  if (name == "Bundle-skiplist")
-    return std::make_unique<AnySetAdapter<BundleSkipListSet>>(
-        opt.relax_threshold, opt.reclaim);
-  if (name == "Bundle-citrus")
-    return std::make_unique<AnySetAdapter<BundleCitrusSet>>(
-        opt.relax_threshold, opt.reclaim);
-  if (name == "Unsafe-list")
-    return std::make_unique<AnySetAdapter<UnsafeListSet>>();
-  if (name == "Unsafe-skiplist")
-    return std::make_unique<AnySetAdapter<UnsafeSkipListSet>>();
-  if (name == "Unsafe-citrus")
-    return std::make_unique<AnySetAdapter<UnsafeCitrusSet>>();
-  if (name == "EBR-RQ-list")
-    return std::make_unique<AnySetAdapter<EbrRqListSet>>();
-  if (name == "EBR-RQ-skiplist")
-    return std::make_unique<AnySetAdapter<EbrRqSkipListSet>>();
-  if (name == "EBR-RQ-citrus")
-    return std::make_unique<AnySetAdapter<EbrRqCitrusSet>>();
-  if (name == "EBR-RQ-LF-list")
-    return std::make_unique<AnySetAdapter<EbrRqLfListSet>>();
-  if (name == "EBR-RQ-LF-skiplist")
-    return std::make_unique<AnySetAdapter<EbrRqLfSkipListSet>>();
-  if (name == "EBR-RQ-LF-citrus")
-    return std::make_unique<AnySetAdapter<EbrRqLfCitrusSet>>();
-  if (name == "RLU-list")
-    return std::make_unique<AnySetAdapter<RluListSet>>();
-  if (name == "RLU-skiplist")
-    return std::make_unique<AnySetAdapter<RluSkipListSet>>();
-  if (name == "RLU-citrus")
-    return std::make_unique<AnySetAdapter<RluCitrusSet>>();
-  if (name == "Snapcollector-list")
-    return std::make_unique<AnySetAdapter<SnapCollectorListSet>>();
-  if (name == "Snapcollector-skiplist")
-    return std::make_unique<AnySetAdapter<SnapCollectorSkipListSet>>();
-  throw std::invalid_argument("unknown ordered-set implementation: " + name);
+/// Construct an implementation by registry name. Unknown names throw
+/// std::invalid_argument; options the implementation cannot honor throw
+/// UnsupportedOptionError (they were silently ignored before the facade).
+[[deprecated("use bref::Set::create")]] inline std::unique_ptr<AnyOrderedSet>
+make_any_set(const std::string& name, const AnySetOptions& opt = {}) {
+  return ImplRegistry::instance().create(name, opt);
 }
 
 }  // namespace bref

@@ -1,0 +1,36 @@
+#pragma once
+// The 17 paper configurations, each hooked into the ImplRegistry with one
+// registration line. This file is the complete inventory: names,
+// capabilities and factories are derived from the types (ordered_set.h),
+// so nothing here needs editing when a knob or capability changes — and a
+// new technique x structure is exactly one more line.
+//
+// The registrar objects are C++17 inline variables: one instance
+// program-wide regardless of how many TUs include this header, initialized
+// before main().
+
+#include "api/ordered_set.h"
+#include "api/registry.h"
+
+namespace bref::builtin {
+
+inline const RegisterSet<BundleListSet> kBundleList{true};
+inline const RegisterSet<BundleSkipListSet> kBundleSkipList{true};
+inline const RegisterSet<BundleCitrusSet> kBundleCitrus{true};
+inline const RegisterSet<UnsafeListSet> kUnsafeList{true};
+inline const RegisterSet<UnsafeSkipListSet> kUnsafeSkipList{true};
+inline const RegisterSet<UnsafeCitrusSet> kUnsafeCitrus{true};
+inline const RegisterSet<EbrRqListSet> kEbrRqList{true};
+inline const RegisterSet<EbrRqSkipListSet> kEbrRqSkipList{true};
+inline const RegisterSet<EbrRqCitrusSet> kEbrRqCitrus{true};
+inline const RegisterSet<EbrRqLfListSet> kEbrRqLfList{true};
+inline const RegisterSet<EbrRqLfSkipListSet> kEbrRqLfSkipList{true};
+inline const RegisterSet<EbrRqLfCitrusSet> kEbrRqLfCitrus{true};
+inline const RegisterSet<RluListSet> kRluList{true};
+inline const RegisterSet<RluSkipListSet> kRluSkipList{true};
+inline const RegisterSet<RluCitrusSet> kRluCitrus{true};
+inline const RegisterSet<SnapCollectorListSet> kSnapCollectorList{true};
+inline const RegisterSet<SnapCollectorSkipListSet> kSnapCollectorSkipList{
+    true};
+
+}  // namespace bref::builtin

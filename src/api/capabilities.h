@@ -1,0 +1,40 @@
+#pragma once
+// Capability flags describing what a technique x structure combination can
+// do. Capabilities are *derived from the implementation type* (constructor
+// shape + the kLinearizableRq tag + optional introspection hooks), never
+// hand-maintained — see caps_of<DS>() in registry.h. The registry uses
+// them to reject SetOptions an implementation cannot honor and to generate
+// the implementations x capabilities table in README.md.
+
+#include <string>
+
+namespace bref {
+
+struct Capabilities {
+  /// Range queries return an atomic snapshot linearizable with updates
+  /// (everything except the Unsafe baselines).
+  bool linearizable_rq = false;
+  /// Honors SetOptions::relax_threshold (the Fig. 5 globalTs period T).
+  bool relaxation = false;
+  /// Honors SetOptions::reclaim (EBR node/bundle reclamation, Table 1).
+  bool reclamation = false;
+  /// Range queries report the snapshot timestamp they linearized at
+  /// (RangeSnapshot::timestamp()); a bundled-reference feature.
+  bool rq_timestamp = false;
+
+  std::string to_string() const {
+    std::string s;
+    auto add = [&s](bool on, const char* tag) {
+      if (!on) return;
+      if (!s.empty()) s += "+";
+      s += tag;
+    };
+    add(linearizable_rq, "linearizable-rq");
+    add(relaxation, "relaxation");
+    add(reclamation, "reclamation");
+    add(rq_timestamp, "rq-timestamp");
+    return s.empty() ? "none" : s;
+  }
+};
+
+}  // namespace bref

@@ -1,0 +1,75 @@
+#pragma once
+// Compile-time detection of what an implementation type can do — the single
+// source of truth shared by the registry's capability derivation
+// (registry.h) and the sessions' snapshot stamping (session.h).
+//
+// Capability inference is deliberately two-factor: the constructor must
+// accept the knob AND the type must expose the matching runtime hook
+// (global_timestamp() for relaxation, reclaim_enabled() for reclamation).
+// Constructor shape alone is not enough — `bool` converts to any integer
+// parameter, so a future `MySet(uint64_t num_shards)` would otherwise be
+// classified as reclamation-capable and constructed with num_shards =
+// opt.reclaim, silently building the wrong object. The hook requirement
+// pins the parameter's meaning.
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "api/range_snapshot.h"
+#include "api/types.h"
+
+namespace bref::detail {
+
+template <typename DS, typename = void>
+struct HasLastRqTimestamp : std::false_type {};
+template <typename DS>
+struct HasLastRqTimestamp<
+    DS, std::void_t<decltype(std::declval<const DS&>().last_rq_timestamp(0))>>
+    : std::true_type {};
+
+template <typename DS, typename = void>
+struct HasGlobalTimestamp : std::false_type {};
+template <typename DS>
+struct HasGlobalTimestamp<
+    DS, std::void_t<decltype(std::declval<DS&>().global_timestamp())>>
+    : std::true_type {};
+
+template <typename DS, typename = void>
+struct HasReclaimEnabled : std::false_type {};
+template <typename DS>
+struct HasReclaimEnabled<
+    DS, std::void_t<decltype(std::declval<const DS&>().reclaim_enabled())>>
+    : std::true_type {};
+
+/// DS honors SetOptions::relax_threshold: takes the (relax_threshold,
+/// reclaim) constructor AND owns a global timestamp to relax.
+template <typename DS>
+inline constexpr bool accepts_relaxation_v =
+    std::is_constructible_v<DS, uint64_t, bool> &&
+    HasGlobalTimestamp<DS>::value;
+
+/// DS honors SetOptions::reclaim: constructible with the flag AND actually
+/// has a reclamation path to toggle.
+template <typename DS>
+inline constexpr bool accepts_reclamation_v =
+    (std::is_constructible_v<DS, uint64_t, bool> ||
+     std::is_constructible_v<DS, bool>) &&
+    HasReclaimEnabled<DS>::value;
+
+/// Shared range-query-into-snapshot protocol: re-arm the snapshot, run the
+/// query into its buffer, stamp the timestamp when the type reports one.
+/// Both the type-erased adapter and TypedSession go through here so the
+/// two paths cannot diverge.
+template <typename DS>
+size_t fill_range_query(DS& ds, int tid, KeyT lo, KeyT hi,
+                        RangeSnapshot& out) {
+  out.reset(lo, hi);
+  ds.range_query(tid, lo, hi, out.buffer());
+  if constexpr (HasLastRqTimestamp<DS>::value)
+    out.set_timestamp(ds.last_rq_timestamp(tid));
+  return out.size();
+}
+
+}  // namespace bref::detail

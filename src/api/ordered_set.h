@@ -1,20 +1,27 @@
 #pragma once
-// Uniform public API over every ordered-set implementation in the library.
+// Named implementation types: each technique x structure combination pinned
+// to a default-constructible type so typed test suites and benchmarks can
+// enumerate them at compile time. `kName` follows the paper's naming:
+// Bundle, Unsafe, EBR-RQ, EBR-RQ-LF, RLU (+ Snapcollector, evaluation
+// extra).
 //
-// All structures expose the same operation set:
-//   bool   insert(tid, key, val)
-//   bool   remove(tid, key)
-//   bool   contains(tid, key, V* out = nullptr)
-//   size_t range_query(tid, lo, hi, std::vector<std::pair<K,V>>& out)
-// plus quiescent introspection (to_vector / size_slow / check_invariants).
-//
-// The aliases below pin each technique x structure combination to a
-// default-constructible named type so tests (typed suites), benchmarks and
-// examples can enumerate them generically. `kName` follows the paper's
-// naming: Bundle, Unsafe, EBR-RQ, EBR-RQ-LF, RLU.
+// These are the *implementation-facing* types. The public surface layers
+// on top (see set.h for the full API story):
+//   * registry.h      — self-registering factory; capabilities are derived
+//                       from these types' constructor shapes and tags;
+//   * builtin_impls.h — the one-line registration per type below;
+//   * session.h       — RAII ThreadSession/TypedSession replacing the raw
+//                       `int tid` convention these types still speak:
+//                       bool   insert(tid, key, val)
+//                       bool   remove(tid, key)
+//                       bool   contains(tid, key, V* out = nullptr)
+//                       size_t range_query(tid, lo, hi, vector<pair>& out)
+//                       plus quiescent introspection (to_vector /
+//                       size_slow / check_invariants).
 
 #include <cstdint>
 
+#include "api/types.h"
 #include "ds/base/citrus_tree.h"
 #include "ds/base/lazy_list.h"
 #include "ds/base/lazy_skiplist.h"
@@ -32,8 +39,7 @@
 
 namespace bref {
 
-using KeyT = int64_t;
-using ValT = int64_t;
+// KeyT/ValT live in api/types.h (shared with the facade headers).
 
 // ---- Bundle (this paper) --------------------------------------------------
 struct BundleListSet : BundledList<KeyT, ValT> {

@@ -1,0 +1,96 @@
+#pragma once
+// bref::Set — the capability-aware facade over every ordered-set
+// implementation in the library.
+//
+//   bref::Set set = bref::Set::create("Bundle-skiplist");
+//   auto s = set.session();                    // RAII thread session
+//   s.insert(10, 100);
+//   bref::RangeSnapshot snap = s.range_query(5, 50);
+//   for (auto [k, v] : snap) ...               // atomic snapshot
+//   snap.timestamp();                          // when it linearized
+//
+// Construction goes through the ImplRegistry (registry.h): names,
+// capabilities and factories are derived from the registered descriptors,
+// and SetOptions an implementation cannot honor throw
+// UnsupportedOptionError instead of being silently dropped.
+//
+// Deprecation path (see also any_set.h): the raw-`tid` operation shims on
+// this class mirror the pre-facade calling convention one-for-one so
+// migrating a call site is mechanical — construct a session once, drop the
+// tid argument. They forward with zero added cost but are marked
+// [[deprecated]] and will be removed once nothing in-tree uses them.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/builtin_impls.h"
+#include "api/registry.h"
+#include "api/session.h"
+
+namespace bref {
+
+class Set {
+ public:
+  Set() = default;
+
+  /// Construct by registry name ("Bundle-skiplist", "RLU-citrus", ...).
+  /// Throws std::invalid_argument for unknown names and
+  /// UnsupportedOptionError for options outside the implementation's
+  /// capabilities.
+  static Set create(const std::string& name, const SetOptions& opt = {}) {
+    return Set(ImplRegistry::instance().create(name, opt));
+  }
+
+  /// Wrap an existing implementation (e.g. from a custom factory).
+  explicit Set(std::unique_ptr<AnyOrderedSet> impl) : impl_(std::move(impl)) {}
+
+  explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+  // -- sessions (the operation entry point) -------------------------------
+  /// Acquire a dense thread id for the calling scope (released on session
+  /// destruction). One session per thread; do not share across threads.
+  ThreadSession session() { return ThreadSession(*impl_); }
+  /// Pin an explicitly managed id (benchmark drivers assign 0..n-1).
+  ThreadSession session(int tid) { return ThreadSession(*impl_, tid); }
+
+  // -- identity / capabilities --------------------------------------------
+  std::string name() const { return impl_->name(); }
+  const char* technique() const { return impl_->technique(); }
+  const char* structure() const { return impl_->structure(); }
+  Capabilities capabilities() const { return impl_->capabilities(); }
+
+  // -- quiescent introspection --------------------------------------------
+  std::vector<std::pair<KeyT, ValT>> to_vector() const {
+    return impl_->to_vector();
+  }
+  size_t size_slow() const { return impl_->size_slow(); }
+  bool check_invariants() const { return impl_->check_invariants(); }
+
+  /// Escape hatch to the type-erased implementation.
+  AnyOrderedSet& impl() { return *impl_; }
+  const AnyOrderedSet& impl() const { return *impl_; }
+
+  // -- deprecated raw-tid shims (migration aids; see header comment) ------
+  [[deprecated("use session().insert()")]] bool insert(int tid, KeyT key,
+                                                       ValT val) {
+    return impl_->insert(tid, key, val);
+  }
+  [[deprecated("use session().remove()")]] bool remove(int tid, KeyT key) {
+    return impl_->remove(tid, key);
+  }
+  [[deprecated("use session().contains()")]] bool contains(
+      int tid, KeyT key, ValT* out = nullptr) {
+    return impl_->contains(tid, key, out);
+  }
+  [[deprecated("use session().range_query()")]] size_t range_query(
+      int tid, KeyT lo, KeyT hi, std::vector<std::pair<KeyT, ValT>>& out) {
+    return impl_->range_query(tid, lo, hi, out);
+  }
+
+ private:
+  std::unique_ptr<AnyOrderedSet> impl_;
+};
+
+}  // namespace bref

@@ -1,0 +1,51 @@
+#pragma once
+// AnyOrderedSet: the type-erased implementation interface every technique x
+// structure combination is adapted onto (see registry.h for the adapter and
+// the self-registering factory).
+//
+// This is the *implementation-facing* contract and therefore still speaks
+// dense thread ids: substrates (EBR, RLU, the RQ tracker) index per-thread
+// state by tid. Applications should not call it directly — bref::Set hands
+// out RAII ThreadSessions that manage ids automatically (see set.h); the
+// raw-tid entry points on Set exist only as deprecated migration shims.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/capabilities.h"
+#include "api/range_snapshot.h"
+#include "api/types.h"
+
+namespace bref {
+
+class AnyOrderedSet {
+ public:
+  virtual ~AnyOrderedSet() = default;
+
+  virtual bool insert(int tid, KeyT key, ValT val) = 0;
+  virtual bool remove(int tid, KeyT key) = 0;
+  virtual bool contains(int tid, KeyT key, ValT* out = nullptr) = 0;
+  virtual size_t range_query(int tid, KeyT lo, KeyT hi,
+                             std::vector<std::pair<KeyT, ValT>>& out) = 0;
+  /// Snapshot-object form: fills `out` (reusing its buffer) and stamps the
+  /// snapshot timestamp when the technique exposes one.
+  virtual size_t range_query(int tid, KeyT lo, KeyT hi,
+                             RangeSnapshot& out) = 0;
+
+  // Quiescent introspection.
+  virtual std::vector<std::pair<KeyT, ValT>> to_vector() const = 0;
+  virtual size_t size_slow() const = 0;
+  virtual bool check_invariants() const = 0;
+
+  // Identity.
+  virtual const char* technique() const = 0;   // "Bundle", "RLU", ...
+  virtual const char* structure() const = 0;   // "list", "skiplist", "citrus"
+  virtual Capabilities capabilities() const = 0;
+  bool linearizable_rq() const { return capabilities().linearizable_rq; }
+  std::string name() const {
+    return std::string(technique()) + "-" + structure();
+  }
+};
+
+}  // namespace bref

@@ -1,0 +1,50 @@
+#pragma once
+// Shared public-API vocabulary: key/value types, construction options, and
+// the error type the capability checks throw. Kept free of data-structure
+// includes so the facade headers (registry.h, set.h, range_snapshot.h)
+// can layer on top without dragging every implementation in.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/global_timestamp.h"  // timestamp_t
+
+namespace bref {
+
+using KeyT = int64_t;
+using ValT = int64_t;
+
+/// Construction options for any implementation. Each knob maps to a
+/// capability flag (see capabilities.h); passing a non-default value to an
+/// implementation that lacks the capability is an error, not a no-op —
+/// ImplRegistry::create / Set::create throw UnsupportedOptionError instead
+/// of silently dropping the option.
+struct SetOptions {
+  /// GlobalTimestamp advance period T (Fig. 5). 1 = fully linearizable;
+  /// requires Capabilities::relaxation for any other value.
+  uint64_t relax_threshold = 1;
+  /// EBR node/bundle reclamation (Table 1). Requires
+  /// Capabilities::reclamation.
+  bool reclaim = false;
+};
+
+/// Thrown when SetOptions carry a knob the chosen implementation cannot
+/// honor (e.g. `reclaim` on RLU, which has no reclamation path).
+class UnsupportedOptionError : public std::invalid_argument {
+ public:
+  UnsupportedOptionError(const std::string& impl, const std::string& option)
+      : std::invalid_argument("implementation '" + impl +
+                              "' does not support option '" + option + "'"),
+        impl_(impl),
+        option_(option) {}
+
+  const std::string& impl() const noexcept { return impl_; }
+  const std::string& option() const noexcept { return option_; }
+
+ private:
+  std::string impl_;
+  std::string option_;
+};
+
+}  // namespace bref

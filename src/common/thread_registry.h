@@ -8,38 +8,69 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <mutex>
+
+#include "common/spinlock.h"
 
 namespace bref {
 
 inline constexpr int kMaxThreads = 192;
 
-/// Hands out dense thread ids. Benchmarks and tests typically assign ids
-/// 0..n-1 themselves; the registry is for applications (see examples/) that
-/// want automatic assignment per std::thread.
+/// Hands out dense thread ids, recycling released ones. Benchmarks and
+/// tests typically assign ids 0..n-1 themselves; the registry backs
+/// ThreadSession (api/set.h) and the convenience tl_thread_id() helper.
+///
+/// An id may be release()d and handed to another thread only between
+/// operations (RAII sessions guarantee this): per-thread substrate slots
+/// (EBR epochs, RQ announcements) are quiescent at that point, so reuse is
+/// indistinguishable from the original thread continuing.
 class ThreadRegistry {
  public:
   int acquire() noexcept {
-    int tid = next_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<Spinlock> g(lock_);
+    if (free_top_ > 0) return free_[--free_top_];
+    const int tid = next_++;
     assert(tid < kMaxThreads && "too many registered threads");
     return tid;
   }
 
-  int registered() const noexcept {
-    return next_.load(std::memory_order_relaxed);
+  /// Return a tid to the pool. Callers must not release an id another
+  /// in-flight operation still uses; ThreadSession's destructor is the
+  /// intended call site.
+  void release(int tid) noexcept {
+    std::lock_guard<Spinlock> g(lock_);
+    assert(tid >= 0 && tid < next_ && free_top_ < kMaxThreads);
+    free_[free_top_++] = tid;
   }
 
-  /// Global registry used by the convenience `tl_thread_id()` helper.
+  /// High-water mark of distinct ids ever handed out.
+  int registered() const noexcept {
+    std::lock_guard<Spinlock> g(lock_);
+    return next_;
+  }
+
+  /// Ids currently held (acquired and not yet released).
+  int in_use() const noexcept {
+    std::lock_guard<Spinlock> g(lock_);
+    return next_ - free_top_;
+  }
+
+  /// Global registry used by ThreadSession and tl_thread_id().
   static ThreadRegistry& instance() {
     static ThreadRegistry reg;
     return reg;
   }
 
  private:
-  std::atomic<int> next_{0};
+  mutable Spinlock lock_;
+  int next_ = 0;
+  int free_top_ = 0;
+  int free_[kMaxThreads] = {};
 };
 
-/// Lazily-assigned dense id for the calling thread (application convenience;
-/// the benchmark drivers pass explicit ids instead).
+/// Lazily-assigned dense id for the calling thread, never released
+/// (application convenience; prefer RAII sessions, which recycle ids, and
+/// note the benchmark drivers pass explicit ids instead).
 inline int tl_thread_id() {
   thread_local int id = ThreadRegistry::instance().acquire();
   return id;

@@ -151,7 +151,11 @@ class BundledCitrus {
   /// Linearizable range query over [lo, hi]; result sorted by key.
   size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
     out.clear();
-    if (lo > hi) return 0;
+    if (lo > hi) {
+      // Trivially empty: linearizes anywhere, so stamp "now".
+      *last_rq_ts_[tid] = gts_.read();
+      return 0;
+    }
     OptEbrGuard g(ebr_, tid, reclaim_);
     std::vector<Node*> stack;
     for (;;) {
@@ -201,9 +205,14 @@ class BundledCitrus {
       if (!ok) continue;
       std::sort(out.begin(), out.end());
       rq_.end(tid);
+      *last_rq_ts_[tid] = ts;
       return out.size();
     }
   }
+
+  /// Snapshot timestamp the calling thread's last completed range query
+  /// linearized at (surfaced as RangeSnapshot::timestamp()).
+  timestamp_t last_rq_timestamp(int tid) const { return *last_rq_ts_[tid]; }
 
   // -- cleaner hook -------------------------------------------------------
   size_t prune_bundles(int tid) {
@@ -403,6 +412,7 @@ class BundledCitrus {
   mutable Urcu rcu_;
   const bool reclaim_;
   Node* root_;
+  CachePadded<timestamp_t> last_rq_ts_[kMaxThreads] = {};
 };
 
 }  // namespace bref

@@ -122,7 +122,11 @@ class BundledList {
   /// Linearizable range query (Algorithm 3): inclusive [lo, hi].
   size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
     out.clear();
-    if (lo > hi) return 0;
+    if (lo > hi) {
+      // Trivially empty: linearizes anywhere, so stamp "now".
+      *last_rq_ts_[tid] = gts_.read();
+      return 0;
+    }
     OptEbrGuard g(ebr_, tid, reclaim_);
     for (;;) {
       const timestamp_t ts = rq_.begin(tid, gts_);
@@ -169,6 +173,7 @@ class BundledList {
       // Minimality (Section 4): within the range, the walk touches exactly
       // the snapshot's nodes — never multiple versions, never restarts.
       *rq_in_range_visits_[tid] = in_range_visits;
+      *last_rq_ts_[tid] = ts;
       return out.size();
     }
   }
@@ -180,6 +185,10 @@ class BundledList {
     return *rq_in_range_visits_[tid];
   }
 
+  /// Snapshot timestamp the calling thread's last completed range query
+  /// linearized at (surfaced as RangeSnapshot::timestamp()).
+  timestamp_t last_rq_timestamp(int tid) const { return *last_rq_ts_[tid]; }
+
   /// Ablation of the paper's entry-path optimization (Section 4): enter the
   /// range walking strictly through bundles from the head sentinel instead
   /// of the optimistic newest-pointer traversal. Returns the identical
@@ -188,7 +197,11 @@ class BundledList {
   size_t range_query_from_start(int tid, K lo, K hi,
                                 std::vector<std::pair<K, V>>& out) {
     out.clear();
-    if (lo > hi) return 0;
+    if (lo > hi) {
+      // Trivially empty: linearizes anywhere, so stamp "now".
+      *last_rq_ts_[tid] = gts_.read();
+      return 0;
+    }
     OptEbrGuard g(ebr_, tid, reclaim_);
     for (;;) {
       const timestamp_t ts = rq_.begin(tid, gts_);
@@ -215,6 +228,7 @@ class BundledList {
       }
       if (!ok) continue;
       rq_.end(tid);
+      *last_rq_ts_[tid] = ts;
       return out.size();
     }
   }
@@ -299,6 +313,7 @@ class BundledList {
   Node* head_;
   Node* tail_;
   CachePadded<uint64_t> rq_in_range_visits_[kMaxThreads] = {};
+  CachePadded<timestamp_t> last_rq_ts_[kMaxThreads] = {};
 };
 
 }  // namespace bref

@@ -180,7 +180,11 @@ class BundledSkipList {
   /// preceding the range; from there the walk uses bundles only.
   size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
     out.clear();
-    if (lo > hi) return 0;
+    if (lo > hi) {
+      // Trivially empty: linearizes anywhere, so stamp "now".
+      *last_rq_ts_[tid] = gts_.read();
+      return 0;
+    }
     OptEbrGuard g(ebr_, tid, reclaim_);
     Node* preds[kMaxHeight];
     Node* succs[kMaxHeight];
@@ -218,6 +222,7 @@ class BundledSkipList {
       // Minimality (Sections 4-5): the in-range walk touches exactly the
       // snapshot's nodes.
       *rq_in_range_visits_[tid] = in_range_visits;
+      *last_rq_ts_[tid] = ts;
       return out.size();
     }
   }
@@ -228,6 +233,10 @@ class BundledSkipList {
     return *rq_in_range_visits_[tid];
   }
 
+  /// Snapshot timestamp the calling thread's last completed range query
+  /// linearized at (surfaced as RangeSnapshot::timestamp()).
+  timestamp_t last_rq_timestamp(int tid) const { return *last_rq_ts_[tid]; }
+
   /// Ablation of the index-assisted entry (Section 5): reach the range by
   /// walking the data layer through bundles from the head sentinel,
   /// ignoring the index layers entirely. Returns the identical snapshot;
@@ -236,7 +245,11 @@ class BundledSkipList {
   size_t range_query_from_start(int tid, K lo, K hi,
                                 std::vector<std::pair<K, V>>& out) {
     out.clear();
-    if (lo > hi) return 0;
+    if (lo > hi) {
+      // Trivially empty: linearizes anywhere, so stamp "now".
+      *last_rq_ts_[tid] = gts_.read();
+      return 0;
+    }
     OptEbrGuard g(ebr_, tid, reclaim_);
     for (;;) {
       const timestamp_t ts = rq_.begin(tid, gts_);
@@ -263,6 +276,7 @@ class BundledSkipList {
       }
       if (!ok) continue;
       rq_.end(tid);
+      *last_rq_ts_[tid] = ts;
       return out.size();
     }
   }
@@ -385,6 +399,7 @@ class BundledSkipList {
   Node* tail_;
   mutable CachePadded<Xoshiro256> rngs_[kMaxThreads];
   CachePadded<uint64_t> rq_in_range_visits_[kMaxThreads] = {};
+  CachePadded<timestamp_t> last_rq_ts_[kMaxThreads] = {};
 };
 
 }  // namespace bref

@@ -131,8 +131,8 @@ class EbrRqProvider {
       std::lock_guard<Spinlock> g(rs.report_lock);
       rs.reports.clear();  // stale stragglers from a previous query
     }
-    rs.lo = lo;
-    rs.hi = hi;
+    rs.lo.store(lo, std::memory_order_relaxed);
+    rs.hi.store(hi, std::memory_order_relaxed);
     rs.ts.store(kRqPending, std::memory_order_seq_cst);
     uint64_t ts;
     if (mode_ == EbrRqMode::kLock) {
@@ -234,8 +234,11 @@ class EbrRqProvider {
 
   struct RqSlot {
     std::atomic<uint64_t> ts{kNoRq};
-    K lo{};
-    K hi{};
+    // Announced bounds, read racily by report_insert (which deliberately
+    // tolerates stale values — reports are re-checked on drain). Atomics
+    // with relaxed ordering make the benign race well-defined.
+    std::atomic<K> lo{};
+    std::atomic<K> hi{};
     Spinlock report_lock;
     std::vector<NodeT*> reports;
   };
@@ -267,7 +270,9 @@ class EbrRqProvider {
       auto& rs = *rq_slots_[i];
       const uint64_t v = rs.ts.load(std::memory_order_seq_cst);
       if (v == kNoRq) continue;
-      if (n->key < rs.lo || n->key > rs.hi) continue;
+      if (n->key < rs.lo.load(std::memory_order_relaxed) ||
+          n->key > rs.hi.load(std::memory_order_relaxed))
+        continue;
       std::lock_guard<Spinlock> g(rs.report_lock);
       rs.reports.push_back(n);
     }

@@ -19,6 +19,9 @@
 #include <utility>
 #include <vector>
 
+#include "api/range_snapshot.h"
+#include "api/session.h"
+
 namespace bref::validation {
 
 using KeyT = int64_t;
@@ -40,6 +43,10 @@ inline const char* to_string(OpKind k) {
   return "?";
 }
 
+/// Marks a range-query record whose implementation reports no snapshot
+/// timestamp (same sentinel as RangeSnapshot::kNoTimestamp).
+inline constexpr uint64_t kNoRqTs = ~uint64_t{0};
+
 struct Op {
   OpKind kind;
   int tid = 0;
@@ -48,6 +55,7 @@ struct Op {
   ValT val = 0;        // insert argument / contains observed value
   bool result = false; // boolean result of point ops
   std::vector<std::pair<KeyT, ValT>> rq_result;  // kRangeQuery only
+  uint64_t rq_ts = kNoRqTs;  // snapshot timestamp (kRangeQuery, if reported)
   uint64_t invoke_ns = 0;
   uint64_t response_ns = 0;
 
@@ -83,16 +91,26 @@ class ThreadLog {
   }
 
   void record_rq(KeyT lo, KeyT hi, std::vector<std::pair<KeyT, ValT>> result,
-                 uint64_t invoke, uint64_t response) {
+                 uint64_t invoke, uint64_t response,
+                 uint64_t rq_ts = kNoRqTs) {
     Op op;
     op.kind = OpKind::kRangeQuery;
     op.tid = tid_;
     op.key = lo;
     op.hi = hi;
     op.rq_result = std::move(result);
+    op.rq_ts = rq_ts;
     op.invoke_ns = invoke;
     op.response_ns = response;
     ops_.push_back(std::move(op));
+  }
+
+  /// Snapshot-object form: the RangeSnapshot carries both the result and
+  /// the timestamp it linearized at, so nothing is reconstructed by hand.
+  void record_rq(const RangeSnapshot& snap, uint64_t invoke,
+                 uint64_t response) {
+    record_rq(snap.lo(), snap.hi(), snap.items(), invoke, response,
+              snap.has_timestamp() ? snap.timestamp() : kNoRqTs);
   }
 
   const History& ops() const { return ops_; }
@@ -157,6 +175,50 @@ class RecordedSet {
   DS& ds_;
 };
 
+/// Session-era recording adapter: mirrors TypedSession's surface (no raw
+/// tids) and logs every operation. Range queries go through RangeSnapshot,
+/// so the record keeps the snapshot timestamp the old out-vector protocol
+/// had to drop.
+template <typename DS>
+class RecordedSession {
+ public:
+  RecordedSession(DS& ds, ThreadLog& log, int tid)
+      : s_(ds, tid), log_(log) {}
+
+  bool insert(KeyT k, ValT v) {
+    const uint64_t t0 = now_ns();
+    const bool r = s_.insert(k, v);
+    log_.record_point(OpKind::kInsert, k, v, r, t0, now_ns());
+    return r;
+  }
+
+  bool remove(KeyT k) {
+    const uint64_t t0 = now_ns();
+    const bool r = s_.remove(k);
+    log_.record_point(OpKind::kRemove, k, 0, r, t0, now_ns());
+    return r;
+  }
+
+  bool contains(KeyT k) {
+    ValT v = 0;
+    const uint64_t t0 = now_ns();
+    const bool r = s_.contains(k, &v);
+    log_.record_point(OpKind::kContains, k, r ? v : 0, r, t0, now_ns());
+    return r;
+  }
+
+  size_t range_query(KeyT lo, KeyT hi, RangeSnapshot& out) {
+    const uint64_t t0 = now_ns();
+    s_.range_query(lo, hi, out);
+    log_.record_rq(out, t0, now_ns());
+    return out.size();
+  }
+
+ private:
+  TypedSession<DS> s_;
+  ThreadLog& log_;
+};
+
 /// Human-readable rendering of one op (checker diagnostics).
 inline std::string describe(const Op& op) {
   std::string s = "t" + std::to_string(op.tid) + " " + to_string(op.kind);
@@ -168,6 +230,7 @@ inline std::string describe(const Op& op) {
       s += std::to_string(op.rq_result[i].first);
     }
     s += "}";
+    if (op.rq_ts != kNoRqTs) s += " @ts=" + std::to_string(op.rq_ts);
   } else {
     s += "(" + std::to_string(op.key) + ")";
     s += op.result ? " -> true" : " -> false";

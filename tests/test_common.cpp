@@ -166,6 +166,20 @@ TEST(ThreadRegistry, DenseUniqueIds) {
   EXPECT_EQ(*ids.rbegin(), 7);
 }
 
+TEST(ThreadRegistry, ReleaseRecyclesIds) {
+  ThreadRegistry reg;
+  const int a = reg.acquire();
+  const int b = reg.acquire();
+  EXPECT_EQ(reg.in_use(), 2);
+  reg.release(a);
+  EXPECT_EQ(reg.in_use(), 1);
+  EXPECT_EQ(reg.acquire(), a);  // recycled, not a fresh slot
+  reg.release(a);
+  reg.release(b);
+  EXPECT_EQ(reg.in_use(), 0);
+  EXPECT_EQ(reg.registered(), 2);  // high-water mark unchanged
+}
+
 TEST(TidHwm, TracksMaximum) {
   TidHwm h;
   EXPECT_EQ(h.get(), 0);

@@ -1,7 +1,8 @@
 // Concurrent stress tests common to every implementation: deterministic
 // final states under parallel disjoint updates, contended same-key churn,
 // wait-free visibility of untouched keys, and structural sanity of range
-// query results under concurrent modification.
+// query results under concurrent modification. All worker threads operate
+// through per-thread TypedSessions (test_util's run_sessions).
 
 #include <gtest/gtest.h>
 
@@ -20,43 +21,45 @@ template <typename DS>
 class ConcurrentSet : public ::testing::Test {
  protected:
   DS ds;
+  using Session = TypedSession<DS>;
 };
 
 TYPED_TEST_SUITE(ConcurrentSet, testutil::AllSetTypes);
 
 TYPED_TEST(ConcurrentSet, DisjointParallelInserts) {
   constexpr KeyT kPerThread = 400;
-  testutil::run_threads(kThreads, [&](int tid) {
+  testutil::run_sessions<TypeParam>(this->ds, kThreads, [&](auto& s) {
     for (KeyT i = 0; i < kPerThread; ++i) {
-      KeyT k = 1 + tid + i * kThreads;
-      ASSERT_TRUE(this->ds.insert(tid, k, k * 3));
+      KeyT k = 1 + s.tid() + i * kThreads;
+      ASSERT_TRUE(s.insert(k, k * 3));
     }
   });
   EXPECT_EQ(this->ds.size_slow(), size_t(kThreads) * kPerThread);
   EXPECT_TRUE(this->ds.check_invariants());
-  ValT v = 0;
-  ASSERT_TRUE(this->ds.contains(0, 1 + 1 + 5 * kThreads, &v));
-  EXPECT_EQ(v, (1 + 1 + 5 * kThreads) * 3);
+  typename TestFixture::Session s(this->ds, 0);
+  EXPECT_EQ(s.get(1 + 1 + 5 * kThreads),
+            std::optional<ValT>((1 + 1 + 5 * kThreads) * 3));
 }
 
 TYPED_TEST(ConcurrentSet, DisjointInsertThenRemoveHalf) {
   constexpr KeyT kPerThread = 300;
-  testutil::run_threads(kThreads, [&](int tid) {
+  testutil::run_sessions<TypeParam>(this->ds, kThreads, [&](auto& s) {
     for (KeyT i = 0; i < kPerThread; ++i) {
-      KeyT k = 1 + tid + i * kThreads;
-      ASSERT_TRUE(this->ds.insert(tid, k, k));
+      KeyT k = 1 + s.tid() + i * kThreads;
+      ASSERT_TRUE(s.insert(k, k));
     }
     for (KeyT i = 0; i < kPerThread; i += 2) {
-      KeyT k = 1 + tid + i * kThreads;
-      ASSERT_TRUE(this->ds.remove(tid, k));
+      KeyT k = 1 + s.tid() + i * kThreads;
+      ASSERT_TRUE(s.remove(k));
     }
   });
   EXPECT_EQ(this->ds.size_slow(), size_t(kThreads) * kPerThread / 2);
   EXPECT_TRUE(this->ds.check_invariants());
   // Odd-index keys survive, even-index keys are gone.
+  typename TestFixture::Session s(this->ds, 0);
   for (int tid = 0; tid < kThreads; ++tid) {
-    EXPECT_FALSE(this->ds.contains(0, 1 + tid + 0 * kThreads));
-    EXPECT_TRUE(this->ds.contains(0, 1 + tid + 1 * kThreads));
+    EXPECT_FALSE(s.contains(1 + tid + 0 * kThreads));
+    EXPECT_TRUE(s.contains(1 + tid + 1 * kThreads));
   }
 }
 
@@ -64,48 +67,53 @@ TYPED_TEST(ConcurrentSet, ContendedChurnKeepsStructureSane) {
   // All threads hammer the same small key space; afterwards the structure
   // must be internally consistent and agree with itself.
   constexpr KeyT kSpace = 32;
-  testutil::run_threads(kThreads, [&](int tid) {
-    Xoshiro256 rng(tid * 77 + 1);
+  testutil::run_sessions<TypeParam>(this->ds, kThreads, [&](auto& s) {
+    Xoshiro256 rng(s.tid() * 77 + 1);
     for (int i = 0; i < 3000; ++i) {
       KeyT k = 1 + static_cast<KeyT>(rng.next_range(kSpace));
       if (rng.next_range(2) == 0)
-        this->ds.insert(tid, k, k);
+        s.insert(k, k);
       else
-        this->ds.remove(tid, k);
+        s.remove(k);
     }
   });
   EXPECT_TRUE(this->ds.check_invariants());
   auto v = this->ds.to_vector();
   std::set<KeyT> seen;
+  typename TestFixture::Session s(this->ds, 0);
   for (const auto& [k, val] : v) {
     EXPECT_TRUE(seen.insert(k).second) << "duplicate key " << k;
-    EXPECT_TRUE(this->ds.contains(0, k));
+    EXPECT_TRUE(s.contains(k));
   }
   for (KeyT k = 1; k <= kSpace; ++k)
-    EXPECT_EQ(this->ds.contains(0, k), seen.count(k) > 0);
+    EXPECT_EQ(s.contains(k), seen.count(k) > 0);
 }
 
 TYPED_TEST(ConcurrentSet, UntouchedKeysStayVisibleUnderChurn) {
   // Keys 1000/2000/3000 are never modified; churn happens around them.
   // Every lookup during the churn must succeed (wait-free contains path).
-  for (KeyT k : {1000, 2000, 3000}) ASSERT_TRUE(this->ds.insert(0, k, k));
+  {
+    typename TestFixture::Session s(this->ds, 0);
+    for (KeyT k : {1000, 2000, 3000}) ASSERT_TRUE(s.insert(k, k));
+  }
   std::atomic<bool> stop{false};
   std::atomic<long> misses{0};
   std::thread checker([&] {
+    typename TestFixture::Session s(this->ds, kThreads);
     while (!stop.load(std::memory_order_acquire)) {
       for (KeyT k : {1000, 2000, 3000})
-        if (!this->ds.contains(kThreads, k)) misses.fetch_add(1);
+        if (!s.contains(k)) misses.fetch_add(1);
     }
   });
-  testutil::run_threads(kThreads, [&](int tid) {
-    Xoshiro256 rng(tid + 5);
+  testutil::run_sessions<TypeParam>(this->ds, kThreads, [&](auto& s) {
+    Xoshiro256 rng(s.tid() + 5);
     for (int i = 0; i < 4000; ++i) {
       KeyT k = 1 + static_cast<KeyT>(rng.next_range(4000));
       if (k % 1000 == 0) continue;  // leave sentinels alone
       if (rng.next_range(2) == 0)
-        this->ds.insert(tid, k, k);
+        s.insert(k, k);
       else
-        this->ds.remove(tid, k);
+        s.remove(k);
     }
   });
   stop = true;
@@ -115,16 +123,20 @@ TYPED_TEST(ConcurrentSet, UntouchedKeysStayVisibleUnderChurn) {
 
 TYPED_TEST(ConcurrentSet, RangeQueriesSortedUniqueInRangeUnderChurn) {
   constexpr KeyT kSpace = 2000;
-  for (KeyT k = 1; k <= kSpace; k += 2) this->ds.insert(0, k, k);
+  {
+    typename TestFixture::Session s(this->ds, 0);
+    for (KeyT k = 1; k <= kSpace; k += 2) s.insert(k, k);
+  }
   std::atomic<bool> stop{false};
   std::atomic<long> failures{0};
   std::thread rq_thread([&] {
-    std::vector<std::pair<KeyT, ValT>> out;
+    typename TestFixture::Session s(this->ds, kThreads);
+    RangeSnapshot out;
     Xoshiro256 rng(42);
     while (!stop.load(std::memory_order_acquire)) {
       KeyT lo = 1 + static_cast<KeyT>(rng.next_range(kSpace - 100));
       KeyT hi = lo + 100;
-      this->ds.range_query(kThreads, lo, hi, out);
+      s.range_query(lo, hi, out);
       if constexpr (TypeParam::kLinearizableRq) {
         if (!testutil::sorted_in_range(out, lo, hi)) failures.fetch_add(1);
       } else {
@@ -136,14 +148,14 @@ TYPED_TEST(ConcurrentSet, RangeQueriesSortedUniqueInRangeUnderChurn) {
       }
     }
   });
-  testutil::run_threads(kThreads, [&](int tid) {
-    Xoshiro256 rng(tid * 3 + 1);
+  testutil::run_sessions<TypeParam>(this->ds, kThreads, [&](auto& s) {
+    Xoshiro256 rng(s.tid() * 3 + 1);
     for (int i = 0; i < 5000; ++i) {
       KeyT k = 1 + static_cast<KeyT>(rng.next_range(kSpace));
       if (rng.next_range(2) == 0)
-        this->ds.insert(tid, k, k);
+        s.insert(k, k);
       else
-        this->ds.remove(tid, k);
+        s.remove(k);
     }
   });
   stop = true;
@@ -156,15 +168,15 @@ TYPED_TEST(ConcurrentSet, MixedOpsBalanceBooksExactly) {
   // Each thread tracks its own net successful inserts minus removes over a
   // private stripe; the final size must equal the sum of the nets.
   std::atomic<long> net{0};
-  testutil::run_threads(kThreads, [&](int tid) {
-    Xoshiro256 rng(tid + 21);
+  testutil::run_sessions<TypeParam>(this->ds, kThreads, [&](auto& s) {
+    Xoshiro256 rng(s.tid() + 21);
     long local = 0;
     for (int i = 0; i < 4000; ++i) {
-      KeyT k = 1 + tid + static_cast<KeyT>(rng.next_range(100)) * kThreads;
+      KeyT k = 1 + s.tid() + static_cast<KeyT>(rng.next_range(100)) * kThreads;
       if (rng.next_range(2) == 0) {
-        if (this->ds.insert(tid, k, k)) ++local;
+        if (s.insert(k, k)) ++local;
       } else {
-        if (this->ds.remove(tid, k)) --local;
+        if (s.remove(k)) --local;
       }
     }
     net.fetch_add(local);
@@ -173,7 +185,8 @@ TYPED_TEST(ConcurrentSet, MixedOpsBalanceBooksExactly) {
   EXPECT_TRUE(this->ds.check_invariants());
 }
 
-// Reclamation-enabled churn for the structures that take a reclaim flag.
+// Reclamation-enabled churn for the structures that take a reclaim flag
+// (the same constructor-shape dispatch the registry's factories use).
 template <typename DS>
 class ReclaimingSet : public ::testing::Test {};
 
@@ -194,23 +207,23 @@ DS make_reclaiming() {
 
 TYPED_TEST(ReclaimingSet, ChurnWithEbrReclamationStaysCorrect) {
   TypeParam ds = make_reclaiming<TypeParam>();
-  testutil::run_threads(kThreads, [&](int tid) {
-    Xoshiro256 rng(tid + 31);
-    std::vector<std::pair<KeyT, ValT>> out;
+  testutil::run_sessions<TypeParam>(ds, kThreads, [&](auto& s) {
+    Xoshiro256 rng(s.tid() + 31);
+    RangeSnapshot out;
     for (int i = 0; i < 3000; ++i) {
       KeyT k = 1 + static_cast<KeyT>(rng.next_range(256));
       switch (rng.next_range(4)) {
         case 0:
-          ds.insert(tid, k, k);
+          s.insert(k, k);
           break;
         case 1:
-          ds.remove(tid, k);
+          s.remove(k);
           break;
         case 2:
-          ds.contains(tid, k);
+          s.contains(k);
           break;
         case 3:
-          ds.range_query(tid, k, k + 32, out);
+          s.range_query(k, k + 32, out);
           break;
       }
     }

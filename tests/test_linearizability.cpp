@@ -63,18 +63,19 @@ TYPED_TEST(RqLinearizability, InsertOnlySnapshotsArePrefixClosed) {
   std::atomic<bool> done{false};
   std::atomic<long> violations{0};
   std::thread rq_thread([&] {
-    std::vector<std::pair<KeyT, ValT>> out;
+    TypedSession<TypeParam> s(this->ds, kUpdaters);
+    RangeSnapshot out;
     while (!done.load(std::memory_order_acquire)) {
-      this->ds.range_query(kUpdaters, 1, kUpdaters * kPerThread + 1, out);
+      s.range_query(1, kUpdaters * kPerThread + 1, out);
       if (!testutil::sorted_in_range(out, 1, kUpdaters * kPerThread + 1) ||
-          !stripes_are_prefixes(out, kPerThread)) {
+          !stripes_are_prefixes(out.items(), kPerThread)) {
         violations.fetch_add(1);
       }
     }
   });
-  testutil::run_threads(kUpdaters, [&](int tid) {
+  testutil::run_sessions<TypeParam>(this->ds, kUpdaters, [&](auto& s) {
     for (KeyT i = 0; i < kPerThread; ++i)
-      ASSERT_TRUE(this->ds.insert(tid, 1 + tid + i * kUpdaters, i));
+      ASSERT_TRUE(s.insert(1 + s.tid() + i * kUpdaters, i));
   });
   done = true;
   rq_thread.join();
@@ -90,9 +91,10 @@ TYPED_TEST(RqLinearizability, RemoveOnlySnapshotsAreSuffixClosed) {
   std::atomic<bool> done{false};
   std::atomic<long> violations{0};
   std::thread rq_thread([&] {
-    std::vector<std::pair<KeyT, ValT>> out;
+    TypedSession<TypeParam> s(this->ds, kUpdaters);
+    RangeSnapshot out;
     while (!done.load(std::memory_order_acquire)) {
-      this->ds.range_query(kUpdaters, 1, kUpdaters * kPerThread + 1, out);
+      s.range_query(1, kUpdaters * kPerThread + 1, out);
       // Removals go in ascending stripe order, so what remains of each
       // stripe must be a contiguous suffix: indices i..kPerThread-1.
       std::vector<std::vector<KeyT>> seen(kUpdaters);
@@ -106,9 +108,9 @@ TYPED_TEST(RqLinearizability, RemoveOnlySnapshotsAreSuffixClosed) {
       }
     }
   });
-  testutil::run_threads(kUpdaters, [&](int tid) {
+  testutil::run_sessions<TypeParam>(this->ds, kUpdaters, [&](auto& s) {
     for (KeyT i = 0; i < kPerThread; ++i)
-      ASSERT_TRUE(this->ds.remove(tid, 1 + tid + i * kUpdaters));
+      ASSERT_TRUE(s.remove(1 + s.tid() + i * kUpdaters));
   });
   done = true;
   rq_thread.join();
@@ -121,18 +123,18 @@ TYPED_TEST(RqLinearizability, InsertOnlySnapshotSizesAreMonotonic) {
   std::atomic<bool> done{false};
   std::atomic<long> violations{0};
   std::thread rq_thread([&] {
-    std::vector<std::pair<KeyT, ValT>> out;
+    TypedSession<TypeParam> s(this->ds, kUpdaters);
+    RangeSnapshot out;
     size_t prev = 0;
     while (!done.load(std::memory_order_acquire)) {
-      size_t n =
-          this->ds.range_query(kUpdaters, 1, kUpdaters * kPerThread + 1, out);
+      size_t n = s.range_query(1, kUpdaters * kPerThread + 1, out);
       if (n < prev) violations.fetch_add(1);  // sets only grow
       prev = n;
     }
   });
-  testutil::run_threads(kUpdaters, [&](int tid) {
+  testutil::run_sessions<TypeParam>(this->ds, kUpdaters, [&](auto& s) {
     for (KeyT i = 0; i < kPerThread; ++i)
-      this->ds.insert(tid, 1 + tid + i * kUpdaters, i);
+      s.insert(1 + s.tid() + i * kUpdaters, i);
   });
   done = true;
   rq_thread.join();
@@ -144,14 +146,16 @@ TYPED_TEST(RqLinearizability, SingleKeyChurnNeverDuplicated) {
   // the stable neighbours exactly once and the flapping key at most once.
   // (Exercises EBR-RQ's announce/limbo dedupe in particular.)
   constexpr KeyT kFlap = 500;
-  this->ds.insert(0, kFlap - 10, 1);
-  this->ds.insert(0, kFlap + 10, 2);
+  TypedSession<TypeParam> s0(this->ds, 0);
+  s0.insert(kFlap - 10, 1);
+  s0.insert(kFlap + 10, 2);
   std::atomic<bool> done{false};
   std::atomic<long> violations{0};
   std::thread rq_thread([&] {
-    std::vector<std::pair<KeyT, ValT>> out;
+    TypedSession<TypeParam> s(this->ds, 1);
+    RangeSnapshot out;
     while (!done.load(std::memory_order_acquire)) {
-      this->ds.range_query(1, kFlap - 10, kFlap + 10, out);
+      s.range_query(kFlap - 10, kFlap + 10, out);
       int stable = 0, flap = 0;
       for (const auto& [k, v] : out) {
         if (k == kFlap - 10 || k == kFlap + 10) ++stable;
@@ -162,8 +166,8 @@ TYPED_TEST(RqLinearizability, SingleKeyChurnNeverDuplicated) {
     }
   });
   for (int i = 0; i < 4000; ++i) {
-    ASSERT_TRUE(this->ds.insert(0, kFlap, i));
-    ASSERT_TRUE(this->ds.remove(0, kFlap));
+    ASSERT_TRUE(s0.insert(kFlap, i));
+    ASSERT_TRUE(s0.remove(kFlap));
   }
   done = true;
   rq_thread.join();
@@ -171,6 +175,9 @@ TYPED_TEST(RqLinearizability, SingleKeyChurnNeverDuplicated) {
 }
 
 // ---- The paper's Section 3.3 interleaving, forced via sync hooks --------
+// (White-box scenarios below stay on the raw implementation interface: they
+// orchestrate exact interleavings around bundle internals, beneath the
+// session facade.)
 
 // Gate shared between the stalled updater and the test body.
 std::atomic<bool> g_stall_enabled{false};
@@ -286,33 +293,35 @@ class CitrusRemoveCases : public ::testing::Test {
   // Keys chosen so the unbalanced Citrus tree takes a known shape:
   // insert order 50, 30, 70, 20, 40, 60, 80 gives a perfect 3-level tree.
   void build() {
-    for (KeyT k : {50, 30, 70, 20, 40, 60, 80}) ds.insert(0, k, k * 10);
+    for (KeyT k : {50, 30, 70, 20, 40, 60, 80}) s.insert(k, k * 10);
   }
   std::vector<KeyT> snapshot_keys() {
-    std::vector<std::pair<KeyT, ValT>> out;
-    ds.range_query(1, 0, 100, out);
+    RangeSnapshot out;
+    rq.range_query(0, 100, out);
     std::vector<KeyT> keys;
     for (auto& [k, v] : out) keys.push_back(k);
     return keys;
   }
   BundleCitrusSet ds;
+  TypedSession<BundleCitrusSet> s{ds, 0};
+  TypedSession<BundleCitrusSet> rq{ds, 1};
 };
 
 TEST_F(CitrusRemoveCases, LeafRemoval) {
   build();
-  ASSERT_TRUE(ds.remove(0, 20));  // leaf
+  ASSERT_TRUE(s.remove(20));  // leaf
   EXPECT_EQ(snapshot_keys(), (std::vector<KeyT>{30, 40, 50, 60, 70, 80}));
   EXPECT_TRUE(ds.check_invariants());
 }
 
 TEST_F(CitrusRemoveCases, SingleChildSplice) {
   build();
-  ASSERT_TRUE(ds.remove(0, 20));  // make 30 a single-child node (right=40)
-  ASSERT_TRUE(ds.remove(0, 30));  // splice: pred(50).left -> 40
+  ASSERT_TRUE(s.remove(20));  // make 30 a single-child node (right=40)
+  ASSERT_TRUE(s.remove(30));  // splice: pred(50).left -> 40
   EXPECT_EQ(snapshot_keys(), (std::vector<KeyT>{40, 50, 60, 70, 80}));
   EXPECT_TRUE(ds.check_invariants());
   ValT v = 0;
-  EXPECT_TRUE(ds.contains(0, 40, &v));
+  EXPECT_TRUE(s.contains(40, &v));
   EXPECT_EQ(v, 400);
 }
 
@@ -321,26 +330,26 @@ TEST_F(CitrusRemoveCases, TwoChildrenSuccessorMove) {
   // 50 has two children; its successor is 60 (leftmost of right subtree),
   // whose parent 70 != 50 — the four-bundle case: pred->copy, copy's two
   // child bundles, and 70's left-bundle splice to null.
-  ASSERT_TRUE(ds.remove(0, 50));
+  ASSERT_TRUE(s.remove(50));
   EXPECT_EQ(snapshot_keys(), (std::vector<KeyT>{20, 30, 40, 60, 70, 80}));
   EXPECT_TRUE(ds.check_invariants());
   // The moved successor keeps its value and remains fully functional.
   ValT v = 0;
-  EXPECT_TRUE(ds.contains(0, 60, &v));
+  EXPECT_TRUE(s.contains(60, &v));
   EXPECT_EQ(v, 600);
-  ASSERT_TRUE(ds.insert(0, 55, 550));
+  ASSERT_TRUE(s.insert(55, 550));
   EXPECT_EQ(snapshot_keys(), (std::vector<KeyT>{20, 30, 40, 55, 60, 70, 80}));
 }
 
 TEST_F(CitrusRemoveCases, TwoChildrenSuccessorIsDirectChild) {
   build();
-  ASSERT_TRUE(ds.remove(0, 60));  // make 70's left null; succ(70)=80 direct
-  ASSERT_TRUE(ds.remove(0, 70));  // two children? left=null now -> splice
+  ASSERT_TRUE(s.remove(60));  // make 70's left null; succ(70)=80 direct
+  ASSERT_TRUE(s.remove(70));  // two children? left=null now -> splice
   // 70 had only child 80 after 60's removal: single-child case again.
   EXPECT_EQ(snapshot_keys(), (std::vector<KeyT>{20, 30, 40, 50, 80}));
   // Now force a true direct-successor case: remove 30 (children 20, 40;
   // successor 40 is its direct right child).
-  ASSERT_TRUE(ds.remove(0, 30));
+  ASSERT_TRUE(s.remove(30));
   EXPECT_EQ(snapshot_keys(), (std::vector<KeyT>{20, 40, 50, 80}));
   EXPECT_TRUE(ds.check_invariants());
 }

@@ -1,5 +1,5 @@
 // Value-parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P)
-// over the runtime registry (api/any_set.h):
+// over the implementation registry, driven through the bref::Set facade:
 //
 //   * AllImplsProperty  - every implementation x the core set properties
 //                         (model equivalence, RQ slicing, idempotence).
@@ -13,6 +13,7 @@
 //
 // These complement the typed suites (compile-time enumeration) with
 // combinatorial run-time sweeps the typed machinery cannot express.
+// Worker threads hold ThreadSessions pinned to their dense ids.
 
 #include <gtest/gtest.h>
 
@@ -20,6 +21,7 @@
 #include <thread>
 
 #include "api/any_set.h"
+#include "api/set.h"
 #include "common/random.h"
 #include "test_util.h"
 #include "validation/history.h"
@@ -34,7 +36,8 @@ namespace {
 
 class AllImplsProperty : public ::testing::TestWithParam<std::string> {
  protected:
-  std::unique_ptr<AnyOrderedSet> ds = make_any_set(GetParam());
+  Set ds = Set::create(GetParam());
+  ThreadSession s = ds.session(0);
 };
 
 TEST_P(AllImplsProperty, MatchesModelThroughRandomOps) {
@@ -45,15 +48,15 @@ TEST_P(AllImplsProperty, MatchesModelThroughRandomOps) {
     const ValT v = static_cast<ValT>(rng.next_u64() % 1000);
     switch (rng.next_range(3)) {
       case 0:
-        EXPECT_EQ(ds->insert(0, k, v), model.emplace(k, v).second);
+        EXPECT_EQ(s.insert(k, v), model.emplace(k, v).second);
         break;
       case 1:
-        EXPECT_EQ(ds->remove(0, k), model.erase(k) > 0);
+        EXPECT_EQ(s.remove(k), model.erase(k) > 0);
         break;
       default: {
         ValT got = 0;
         const auto it = model.find(k);
-        EXPECT_EQ(ds->contains(0, k, &got), it != model.end());
+        EXPECT_EQ(s.contains(k, &got), it != model.end());
         if (it != model.end()) {
           EXPECT_EQ(got, it->second);
         }
@@ -61,8 +64,8 @@ TEST_P(AllImplsProperty, MatchesModelThroughRandomOps) {
       }
     }
   }
-  EXPECT_TRUE(testutil::matches_model(*ds, model));
-  EXPECT_TRUE(ds->check_invariants());
+  EXPECT_TRUE(testutil::matches_model(ds, model));
+  EXPECT_TRUE(ds.check_invariants());
 }
 
 TEST_P(AllImplsProperty, QuiescentRangeQueryIsExactModelSlice) {
@@ -71,17 +74,17 @@ TEST_P(AllImplsProperty, QuiescentRangeQueryIsExactModelSlice) {
   for (int i = 0; i < 600; ++i) {
     const KeyT k = 1 + static_cast<KeyT>(rng.next_range(400));
     if (rng.next_range(4) == 0) {
-      ds->remove(0, k);
+      s.remove(k);
       model.erase(k);
     } else {
-      if (ds->insert(0, k, k * 3)) model.emplace(k, k * 3);
+      if (s.insert(k, k * 3)) model.emplace(k, k * 3);
     }
   }
-  std::vector<std::pair<KeyT, ValT>> out;
+  RangeSnapshot out;
   for (int i = 0; i < 40; ++i) {
     const KeyT lo = 1 + static_cast<KeyT>(rng.next_range(400));
     const KeyT hi = lo + static_cast<KeyT>(rng.next_range(120));
-    ds->range_query(0, lo, hi, out);
+    s.range_query(lo, hi, out);
     std::vector<std::pair<KeyT, ValT>> expect;
     for (auto it = model.lower_bound(lo);
          it != model.end() && it->first <= hi; ++it)
@@ -91,33 +94,36 @@ TEST_P(AllImplsProperty, QuiescentRangeQueryIsExactModelSlice) {
 }
 
 TEST_P(AllImplsProperty, EmptyAndSingletonRangeEdgeCases) {
-  std::vector<std::pair<KeyT, ValT>> out{{1, 1}};  // stale garbage
-  EXPECT_EQ(ds->range_query(0, 10, 20, out), 0u);  // empty structure
-  EXPECT_TRUE(out.empty());                        // out must be cleared
-  EXPECT_EQ(ds->range_query(0, 20, 10, out), 0u);  // inverted bounds
-  ASSERT_TRUE(ds->insert(0, 15, 150));
-  EXPECT_EQ(ds->range_query(0, 15, 15, out), 1u);  // singleton inclusive
+  RangeSnapshot out;
+  out.buffer().assign({{1, 1}});            // stale garbage
+  EXPECT_EQ(s.range_query(10, 20, out), 0u);  // empty structure
+  EXPECT_TRUE(out.empty());                   // out must be cleared
+  EXPECT_EQ(s.range_query(20, 10, out), 0u);  // inverted bounds
+  ASSERT_TRUE(s.insert(15, 150));
+  EXPECT_EQ(s.range_query(15, 15, out), 1u);  // singleton inclusive
   EXPECT_EQ(out.front(), (std::pair<KeyT, ValT>{15, 150}));
-  EXPECT_EQ(ds->range_query(0, 16, 20, out), 0u);  // just above
-  EXPECT_EQ(ds->range_query(0, 10, 14, out), 0u);  // just below
+  EXPECT_EQ(s.range_query(16, 20, out), 0u);  // just above
+  EXPECT_EQ(s.range_query(10, 14, out), 0u);  // just below
 }
 
 TEST_P(AllImplsProperty, InsertRemoveIdempotenceAtBoundaries) {
-  EXPECT_FALSE(ds->remove(0, 7));  // remove from empty
-  EXPECT_TRUE(ds->insert(0, 7, 70));
-  EXPECT_FALSE(ds->insert(0, 7, 71));  // duplicate keeps original value
-  ValT v = 0;
-  EXPECT_TRUE(ds->contains(0, 7, &v));
-  EXPECT_EQ(v, 70);
-  EXPECT_TRUE(ds->remove(0, 7));
-  EXPECT_FALSE(ds->remove(0, 7));
-  EXPECT_FALSE(ds->contains(0, 7));
-  EXPECT_EQ(ds->size_slow(), 0u);
+  EXPECT_FALSE(s.remove(7));  // remove from empty
+  EXPECT_TRUE(s.insert(7, 70));
+  EXPECT_FALSE(s.insert(7, 71));  // duplicate keeps original value
+  EXPECT_EQ(s.get(7), std::optional<ValT>(70));
+  EXPECT_TRUE(s.remove(7));
+  EXPECT_FALSE(s.remove(7));
+  EXPECT_FALSE(s.contains(7));
+  EXPECT_EQ(ds.size_slow(), 0u);
 }
 
 TEST_P(AllImplsProperty, RegistryMetadataConsistent) {
-  EXPECT_EQ(ds->name(), GetParam());
-  EXPECT_EQ(ds->linearizable_rq(), GetParam().rfind("Unsafe-", 0) != 0);
+  EXPECT_EQ(ds.name(), GetParam());
+  ImplDescriptor desc;
+  ASSERT_TRUE(ImplRegistry::instance().find(GetParam(), &desc));
+  EXPECT_EQ(ds.capabilities().linearizable_rq, desc.caps.linearizable_rq);
+  EXPECT_EQ(ds.capabilities().linearizable_rq,
+            GetParam().rfind("Unsafe-", 0) != 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -135,7 +141,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 class LinRqProperty : public ::testing::TestWithParam<std::string> {
  protected:
-  std::unique_ptr<AnyOrderedSet> ds = make_any_set(GetParam());
+  Set ds = Set::create(GetParam());
 };
 
 TEST_P(LinRqProperty, CompletedUpdateVisibleToLaterRangeQuery) {
@@ -146,25 +152,27 @@ TEST_P(LinRqProperty, CompletedUpdateVisibleToLaterRangeQuery) {
   std::atomic<bool> stop{false};
   std::atomic<long> violations{0};
   std::thread churn([&] {
+    ThreadSession cs = ds.session(1);
     Xoshiro256 rng(3);
     int i = 0;
     while (!stop.load(std::memory_order_acquire)) {
       const KeyT k = 100 + static_cast<KeyT>(rng.next_range(200));
       if ((i++ & 1) != 0)
-        ds->insert(1, k, k);
+        cs.insert(k, k);
       else
-        ds->remove(1, k);
+        cs.remove(k);
     }
   });
-  std::vector<std::pair<KeyT, ValT>> out;
+  ThreadSession s = ds.session(0);
+  RangeSnapshot out;
   for (int i = 0; i < 300; ++i) {
-    ASSERT_TRUE(ds->insert(0, 50, i));
-    ds->range_query(0, 40, 60, out);
+    ASSERT_TRUE(s.insert(50, i));
+    s.range_query(40, 60, out);
     bool seen = false;
     for (const auto& [k, v] : out) seen |= (k == 50);
     if (!seen) violations.fetch_add(1);
-    ASSERT_TRUE(ds->remove(0, 50));
-    ds->range_query(0, 40, 60, out);
+    ASSERT_TRUE(s.remove(50));
+    s.range_query(40, 60, out);
     for (const auto& [k, v] : out)
       if (k == 50) violations.fetch_add(1);
   }
@@ -178,7 +186,7 @@ TEST_P(LinRqProperty, ConcurrentBurstsPassWingGongAudit) {
   // the registry-driven twin of the typed RecordedAudit suite.
   for (int burst = 0; burst < 15; ++burst) {
     validation::History pre;
-    for (auto& [k, v] : ds->to_vector()) {
+    for (auto& [k, v] : ds.to_vector()) {
       validation::Op op;
       op.kind = validation::OpKind::kInsert;
       op.key = k;
@@ -191,35 +199,37 @@ TEST_P(LinRqProperty, ConcurrentBurstsPassWingGongAudit) {
     std::vector<validation::ThreadLog> logs;
     for (int t = 0; t < 3; ++t) logs.emplace_back(t);
     testutil::run_threads(3, [&](int t) {
+      ThreadSession s = ds.session(t);
       Xoshiro256 rng(burst * 17 + t + 1);
-      std::vector<std::pair<KeyT, ValT>> out;
+      RangeSnapshot out;
       for (int i = 0; i < 4; ++i) {
         const KeyT k = 1 + static_cast<KeyT>(rng.next_range(3));
         const uint64_t t0 = validation::now_ns();
         switch (rng.next_range(4)) {
           case 0: {
-            const bool r = ds->insert(t, k, burst * 10 + i);
+            const bool r = s.insert(k, burst * 10 + i);
             logs[t].record_point(validation::OpKind::kInsert, k,
                                  burst * 10 + i, r, t0,
                                  validation::now_ns());
             break;
           }
           case 1: {
-            const bool r = ds->remove(t, k);
+            const bool r = s.remove(k);
             logs[t].record_point(validation::OpKind::kRemove, k, 0, r, t0,
                                  validation::now_ns());
             break;
           }
           case 2: {
             ValT v = 0;
-            const bool r = ds->contains(t, k, &v);
+            const bool r = s.contains(k, &v);
             logs[t].record_point(validation::OpKind::kContains, k, r ? v : 0,
                                  r, t0, validation::now_ns());
             break;
           }
           default: {
-            ds->range_query(t, 1, 3, out);
-            logs[t].record_rq(1, 3, out, t0, validation::now_ns());
+            s.range_query(1, 3, out);
+            // Snapshot form: keeps the rq_ts stamp in the audited Op.
+            logs[t].record_rq(out, t0, validation::now_ns());
             break;
           }
         }
@@ -254,9 +264,8 @@ struct RelaxParam {
 
 class RelaxationSweep : public ::testing::TestWithParam<RelaxParam> {
  protected:
-  std::unique_ptr<AnyOrderedSet> ds =
-      make_any_set(GetParam().impl,
-                   AnySetOptions{.relax_threshold = GetParam().relax_t});
+  Set ds = Set::create(GetParam().impl,
+                       SetOptions{.relax_threshold = GetParam().relax_t});
 };
 
 TEST_P(RelaxationSweep, QuiescentRangeQueriesStayExact) {
@@ -264,21 +273,22 @@ TEST_P(RelaxationSweep, QuiescentRangeQueriesStayExact) {
   // newest entry of every bundle satisfies any snapshot, so range queries
   // must still be exact — for every T including "never advance"-like ones.
   std::map<KeyT, ValT> model;
+  ThreadSession s = ds.session(0);
   Xoshiro256 rng(GetParam().relax_t * 7 + 1);
   for (int i = 0; i < 800; ++i) {
     const KeyT k = 1 + static_cast<KeyT>(rng.next_range(300));
     if (rng.next_range(3) == 0) {
-      ds->remove(0, k);
+      s.remove(k);
       model.erase(k);
-    } else if (ds->insert(0, k, k + 5)) {
+    } else if (s.insert(k, k + 5)) {
       model.emplace(k, k + 5);
     }
   }
-  std::vector<std::pair<KeyT, ValT>> out;
-  ds->range_query(0, 1, 300, out);
+  RangeSnapshot out;
+  s.range_query(1, 300, out);
   std::vector<std::pair<KeyT, ValT>> expect(model.begin(), model.end());
   EXPECT_EQ(out, expect);
-  EXPECT_TRUE(ds->check_invariants());
+  EXPECT_TRUE(ds.check_invariants());
 }
 
 TEST_P(RelaxationSweep, PointOpsRemainLinearizableUnderRelaxation) {
@@ -288,19 +298,20 @@ TEST_P(RelaxationSweep, PointOpsRemainLinearizableUnderRelaxation) {
   std::vector<validation::ThreadLog> logs;
   for (int t = 0; t < 3; ++t) logs.emplace_back(t);
   testutil::run_threads(3, [&](int t) {
+    ThreadSession s = ds.session(t);
     Xoshiro256 rng(GetParam().relax_t * 13 + t);
     for (int i = 0; i < 400; ++i) {
       const KeyT k = 1 + static_cast<KeyT>(rng.next_range(8));
       const uint64_t t0 = validation::now_ns();
       switch (rng.next_range(3)) {
         case 0: {
-          const bool r = ds->insert(t, k, t * 1000 + i);
+          const bool r = s.insert(k, t * 1000 + i);
           logs[t].record_point(validation::OpKind::kInsert, k, t * 1000 + i,
                                r, t0, validation::now_ns());
           break;
         }
         case 1: {
-          const bool r = ds->remove(t, k);
+          const bool r = s.remove(k);
           logs[t].record_point(validation::OpKind::kRemove, k, 0, r, t0,
                                validation::now_ns());
           break;
@@ -308,7 +319,7 @@ TEST_P(RelaxationSweep, PointOpsRemainLinearizableUnderRelaxation) {
         default: {
           // Presence-only read: record without the value so per-key
           // auditing doesn't need to thread written values through.
-          const bool r = ds->contains(t, k, nullptr);
+          const bool r = s.contains(k, nullptr);
           logs[t].record_point(validation::OpKind::kContains, k, 0, r, t0,
                                validation::now_ns());
           break;
@@ -354,38 +365,43 @@ struct ReclaimParam {
 
 class ReclaimSweep : public ::testing::TestWithParam<ReclaimParam> {
  protected:
-  std::unique_ptr<AnyOrderedSet> ds = make_any_set(
-      GetParam().impl, AnySetOptions{.reclaim = GetParam().reclaim});
+  Set ds = Set::create(GetParam().impl,
+                       SetOptions{.reclaim = GetParam().reclaim});
 };
 
 TEST_P(ReclaimSweep, ChurnWithRangeQueriesKeepsSnapshotsConsistent) {
   constexpr KeyT kSpace = 500;
-  for (KeyT k = 1; k <= kSpace; k += 2) ds->insert(0, k, k);
+  {
+    ThreadSession s = ds.session(0);
+    for (KeyT k = 1; k <= kSpace; k += 2) s.insert(k, k);
+  }
   std::atomic<bool> stop{false};
   std::atomic<long> failures{0};
   std::thread rq_thread([&] {
-    std::vector<std::pair<KeyT, ValT>> out;
+    ThreadSession s = ds.session(3);
+    RangeSnapshot out;
     Xoshiro256 rng(23);
     while (!stop.load(std::memory_order_acquire)) {
       const KeyT lo = 1 + static_cast<KeyT>(rng.next_range(kSpace - 50));
-      ds->range_query(3, lo, lo + 50, out);
+      s.range_query(lo, lo + 50, out);
       if (!testutil::sorted_in_range(out, lo, lo + 50)) failures.fetch_add(1);
     }
   });
   testutil::run_threads(2, [&](int tid) {
+    ThreadSession s = ds.session(tid);
     Xoshiro256 rng(tid + 41);
     for (int i = 0; i < 3000; ++i) {
       const KeyT k = 1 + static_cast<KeyT>(rng.next_range(kSpace));
       if (rng.next_range(2) == 0)
-        ds->insert(tid, k, k);
+        s.insert(k, k);
       else
-        ds->remove(tid, k);
+        s.remove(k);
     }
   });
   stop = true;
   rq_thread.join();
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_TRUE(ds->check_invariants());
+  EXPECT_TRUE(ds.check_invariants());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -451,6 +467,38 @@ TEST(RqMinimality, ListVisitsExactlyTheSnapshotInRange) {
 
 TEST(RqMinimality, SkipListVisitsExactlyTheSnapshotInRange) {
   expect_rq_minimality_under_churn<BundleSkipListSet>();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot timestamps under concurrency: monotone per querying thread and
+// consistent with the structure's global clock.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTimestamp, MonotoneUnderConcurrentUpdates) {
+  Set ds = Set::create("Bundle-skiplist");
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    ThreadSession s = ds.session(1);
+    Xoshiro256 rng(9);
+    while (!stop.load(std::memory_order_acquire)) {
+      const KeyT k = 1 + static_cast<KeyT>(rng.next_range(500));
+      if (rng.next_range(2) == 0)
+        s.insert(k, k);
+      else
+        s.remove(k);
+    }
+  });
+  ThreadSession s = ds.session(0);
+  RangeSnapshot snap;
+  timestamp_t prev = 0;
+  for (int i = 0; i < 2000; ++i) {
+    s.range_query(1, 500, snap);
+    ASSERT_TRUE(snap.has_timestamp());
+    ASSERT_GE(snap.timestamp(), prev) << "snapshot time ran backwards";
+    prev = snap.timestamp();
+  }
+  stop = true;
+  churn.join();
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 #pragma once
-// Shared helpers for the test suite: thread harness, reference-model
-// checking, and the canonical list of implementation types.
+// Shared helpers for the test suite: thread/session harness, reference-
+// model checking, and the canonical list of implementation types.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "api/ordered_set.h"
+#include "api/range_snapshot.h"
+#include "api/session.h"
+#include "api/set.h"
 #include "common/random.h"
 
 namespace bref::testutil {
@@ -20,6 +23,17 @@ inline void run_threads(int n, const std::function<void(int)>& fn) {
   ts.reserve(n);
   for (int i = 0; i < n; ++i) ts.emplace_back(fn, i);
   for (auto& t : ts) t.join();
+}
+
+/// Run `fn(session)` on `n` threads, each with a TypedSession pinned to its
+/// dense id 0..n-1 — the session-era twin of run_threads for typed suites.
+template <typename DS>
+void run_sessions(DS& ds, int n,
+                  const std::function<void(TypedSession<DS>&)>& fn) {
+  run_threads(n, [&](int tid) {
+    TypedSession<DS> s(ds, tid);
+    fn(s);
+  });
 }
 
 /// Compare a quiescent structure against a reference map.
@@ -44,7 +58,7 @@ template <typename DS>
   return ::testing::AssertionSuccess();
 }
 
-/// Result vector sanity: strictly sorted by key and within [lo, hi].
+/// Result sanity: strictly sorted by key and within [lo, hi].
 inline ::testing::AssertionResult sorted_in_range(
     const std::vector<std::pair<KeyT, ValT>>& v, KeyT lo, KeyT hi) {
   for (size_t i = 0; i < v.size(); ++i) {
@@ -59,7 +73,13 @@ inline ::testing::AssertionResult sorted_in_range(
   return ::testing::AssertionSuccess();
 }
 
-/// All implementations (typed-test type list).
+inline ::testing::AssertionResult sorted_in_range(const RangeSnapshot& snap,
+                                                  KeyT lo, KeyT hi) {
+  return sorted_in_range(snap.items(), lo, hi);
+}
+
+/// All implementations (typed-test type list). Mirrors the ImplRegistry's
+/// builtin table; test_registry.cpp pins the two views against each other.
 using AllSetTypes = ::testing::Types<
     BundleListSet, BundleSkipListSet, BundleCitrusSet, UnsafeListSet,
     UnsafeSkipListSet, UnsafeCitrusSet, EbrRqListSet, EbrRqSkipListSet,
