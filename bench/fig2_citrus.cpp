@@ -1,10 +1,9 @@
-// Figure 2 (f-j): Citrus-tree throughput across workload mixes.
+// Figure 2 (f-j): Citrus-tree-family throughput across workload mixes,
+// with the competitor set derived from the ImplRegistry.
 // See fig2_skiplist.cpp for flags reproducing the paper's configuration.
 
 #include "fig2_common.h"
 
 int main(int argc, char** argv) {
-  using namespace bref;
-  return bench::run_fig2<BundleCitrusSet, UnsafeCitrusSet, EbrRqCitrusSet,
-                         EbrRqLfCitrusSet, RluCitrusSet>("CT", argc, argv);
+  return bref::bench::run_fig2("citrus", "CT", argc, argv);
 }

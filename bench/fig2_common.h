@@ -1,13 +1,23 @@
 #pragma once
 // Shared driver for Figure 2 (throughput vs thread count across workload
-// mixes) — instantiated for the skip list and the Citrus tree families.
+// mixes) — instantiated for the skip-list and Citrus-tree families.
 // Prints one panel per U-C-RQ mix with one column per technique, matching
 // the paper's series, plus a shape-check summary of who wins each panel.
+//
+// The competitor set is derived from the ImplRegistry at startup rather
+// than hard-coded template parameter lists: every builtin of the panel's
+// base structure, plus every builtin that brings its own structure kind
+// (the LFCA tree was the first), joins the figure automatically. Workers
+// run through TypedSession<AnyOrderedSet>, so a registry-built structure
+// costs one virtual call per operation uniformly across the columns.
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "api/builtin_impls.h"
+#include "api/registry.h"
 #include "harness.h"
 
 namespace bref::bench {
@@ -22,42 +32,77 @@ inline const std::vector<Mix>& fig2_mixes() {
   return mixes;
 }
 
-template <typename BundleT, typename UnsafeT, typename EbrT, typename EbrLfT,
-          typename RluT>
-int run_fig2(const char* structure_tag, int argc, char** argv) {
+/// True when a builtin's structure is not one of the three base structures
+/// the paper instantiates every technique over — i.e. the technique *is*
+/// its own structure (LFCA) and belongs in every panel.
+inline bool self_structured(const ImplDescriptor& d) {
+  return d.structure != "list" && d.structure != "skiplist" &&
+         d.structure != "citrus";
+}
+
+/// The competitor columns for a panel over `structure`: the registry's
+/// builtins of that structure plus the self-structured ones, ordered to
+/// match the paper's column layout — the Unsafe baseline first, Bundle
+/// last, everything else in registration order between them.
+inline std::vector<ImplDescriptor> competitors_for(
+    const std::string& structure) {
+  std::vector<ImplDescriptor> out;
+  for (const auto& d : ImplRegistry::instance().descriptors())
+    if (d.builtin && (d.structure == structure || self_structured(d)))
+      out.push_back(d);
+  auto rank = [](const ImplDescriptor& d) {
+    if (d.technique == "Unsafe") return 0;
+    if (d.technique == "Bundle") return 2;
+    return 1;
+  };
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const ImplDescriptor& a, const ImplDescriptor& b) {
+                     return rank(a) < rank(b);
+                   });
+  return out;
+}
+
+inline int run_fig2(const char* structure, const char* tag, int argc,
+                    char** argv) {
   Args args(argc, argv);
   Config base = config_from_args(args);
   if (!args.has("--keyrange")) base.key_range = 20000;  // quick default
   if (!args.has("--duration")) base.duration_ms = 150;
 
-  std::printf("=== Figure 2: %s throughput (Mops/s), workloads U-C-RQ ===\n",
-              structure_tag);
-  print_header(structure_tag, base);
+  const auto competitors = competitors_for(structure);
 
-  const char* names[5] = {"Unsafe", "EBR-RQ", "EBR-RQ-LF", "RLU", "Bundle"};
+  std::printf("=== Figure 2: %s throughput (Mops/s), workloads U-C-RQ ===\n",
+              tag);
+  print_header(tag, base);
+
   for (const Mix& mix : fig2_mixes()) {
     Config cfg = base;
     cfg.u_pct = mix.u;
     cfg.c_pct = mix.c;
     cfg.rq_pct = mix.rq;
-    std::printf("\n-- %s, %d-%d-%d --\n", structure_tag, mix.u, mix.c,
-                mix.rq);
-    std::printf("%8s %10s %10s %10s %10s %10s\n", "threads", names[0],
-                names[1], names[2], names[3], names[4]);
+    std::printf("\n-- %s, %d-%d-%d --\n", tag, mix.u, mix.c, mix.rq);
+    std::printf("%8s", "threads");
+    for (const auto& d : competitors)
+      std::printf(" %13s", self_structured(d) ? d.name.c_str()
+                                              : d.technique.c_str());
+    std::printf("\n");
     double best_bundle = 0, best_competitor = 0;
     for (int threads : cfg.thread_counts) {
-      double m[5];
-      m[0] = measure([] { return std::make_unique<UnsafeT>(); }, threads, cfg);
-      m[1] = measure([] { return std::make_unique<EbrT>(); }, threads, cfg);
-      m[2] = measure([] { return std::make_unique<EbrLfT>(); }, threads, cfg);
-      m[3] = measure([] { return std::make_unique<RluT>(); }, threads, cfg);
-      m[4] = measure([] { return std::make_unique<BundleT>(); }, threads, cfg);
-      std::printf("%8d %10.3f %10.3f %10.3f %10.3f %10.3f\n", threads, m[0],
-                  m[1], m[2], m[3], m[4]);
-      if (threads == cfg.thread_counts.back()) {
-        best_bundle = m[4];
-        best_competitor = std::max(std::max(m[1], m[2]), m[3]);
+      std::printf("%8d", threads);
+      for (const auto& d : competitors) {
+        const double mops = measure(
+            [&] { return ImplRegistry::instance().create(d.name); }, threads,
+            cfg);
+        std::printf(" %13.3f", mops);
+        if (threads == cfg.thread_counts.back()) {
+          if (d.technique == std::string("Bundle")) {
+            best_bundle = mops;
+          } else if (d.caps.linearizable_rq && mops > best_competitor) {
+            best_competitor = mops;
+          }
+        }
       }
+      std::printf("\n");
     }
     std::printf("shape-check [%d-%d-%d @max threads]: Bundle/best-"
                 "linearizable-competitor = %.2fx %s\n",

@@ -1,4 +1,6 @@
-// Figure 2 (a-e): skip-list throughput across workload mixes.
+// Figure 2 (a-e): skip-list-family throughput across workload mixes, with
+// the competitor set derived from the ImplRegistry (every skip-list
+// builtin plus self-structured techniques such as LFCA).
 // Paper config: key range 100k, prefill 50%, RQ length 50, threads up to
 // 192. Quick defaults here: key range 20k, threads {1,2,4}; pass
 // --keyrange 100000 --threads 1,48,96,144,192 --duration 3000 --runs 3 to
@@ -7,8 +9,5 @@
 #include "fig2_common.h"
 
 int main(int argc, char** argv) {
-  using namespace bref;
-  return bench::run_fig2<BundleSkipListSet, UnsafeSkipListSet,
-                         EbrRqSkipListSet, EbrRqLfSkipListSet,
-                         RluSkipListSet>("SL", argc, argv);
+  return bref::bench::run_fig2("skiplist", "SL", argc, argv);
 }

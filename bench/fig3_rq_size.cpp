@@ -1,23 +1,27 @@
 // Figure 3: throughput relative to Unsafe for range-query lengths
-// {1,10,50,100,250,500} under the 50-0-50 mix, for the skip list (top) and
-// Citrus tree (bottom). Bars in the paper are grouped per length by
-// competitor (EBR-RQ, EBR-RQ-LF, RLU, Bundle) and ordered by thread count;
-// we print one block per length with a row per thread count.
+// {1,10,50,100,250,500} under the 50-0-50 mix, for the skip-list (top) and
+// Citrus-tree (bottom) families. The competitor set per family is derived
+// from the ImplRegistry (fig2_common.h) instead of hard-coded template
+// lists, so self-structured techniques such as LFCA appear automatically.
+// We print one block per length: absolute Mops/s per competitor, then each
+// linearizable competitor's throughput relative to the family's Unsafe
+// baseline.
 
 #include <memory>
+#include <string>
 
-#include "harness.h"
+#include "fig2_common.h"
 
 namespace {
 
 using namespace bref;
 using namespace bref::bench;
 
-template <typename BundleT, typename UnsafeT, typename EbrT, typename EbrLfT,
-          typename RluT>
-void run_family(const char* tag, const Config& base) {
-  std::printf("\n=== Figure 3 (%s): relative throughput vs Unsafe, "
-              "50-0-50 ===\n", tag);
+void run_family(const char* structure, const char* tag, const Config& base) {
+  const auto competitors = competitors_for(structure);
+  const std::string unsafe_name = std::string("Unsafe-") + structure;
+  std::printf("\n=== Figure 3 (%s): relative throughput vs %s, 50-0-50 ===\n",
+              tag, unsafe_name.c_str());
   const int kSizes[6] = {1, 10, 50, 100, 250, 500};
   for (int size : kSizes) {
     Config cfg = base;
@@ -26,23 +30,33 @@ void run_family(const char* tag, const Config& base) {
     cfg.rq_pct = 50;
     cfg.rq_size = size;
     std::printf("-- RQ size %d --\n", size);
-    std::printf("%8s %10s %10s %10s %10s | rel: %9s %9s %9s %9s\n", "threads",
-                "Unsafe", "EBR-RQ", "EBR-RQ-LF", "RLU", "EBR-RQ", "EBR-LF",
-                "RLU", "Bundle");
+    std::printf("%8s", "threads");
+    for (const auto& d : competitors)
+      std::printf(" %13s", self_structured(d) ? d.name.c_str()
+                                              : d.technique.c_str());
+    std::printf(" | rel:");
+    for (const auto& d : competitors)
+      if (d.caps.linearizable_rq)
+        std::printf(" %13s", self_structured(d) ? d.name.c_str()
+                                                : d.technique.c_str());
+    std::printf("\n");
     for (int threads : cfg.thread_counts) {
-      double unsafe =
-          measure([] { return std::make_unique<UnsafeT>(); }, threads, cfg);
-      double ebr =
-          measure([] { return std::make_unique<EbrT>(); }, threads, cfg);
-      double ebrlf =
-          measure([] { return std::make_unique<EbrLfT>(); }, threads, cfg);
-      double rlu =
-          measure([] { return std::make_unique<RluT>(); }, threads, cfg);
-      double bundle =
-          measure([] { return std::make_unique<BundleT>(); }, threads, cfg);
-      std::printf("%8d %10.3f %10.3f %10.3f %10.3f | %9.3f %9.3f %9.3f %9.3f\n",
-                  threads, unsafe, ebr, ebrlf, rlu, ebr / unsafe,
-                  ebrlf / unsafe, rlu / unsafe, bundle / unsafe);
+      std::vector<double> mops;
+      double unsafe_mops = 0;
+      for (const auto& d : competitors) {
+        mops.push_back(measure(
+            [&] { return ImplRegistry::instance().create(d.name); }, threads,
+            cfg));
+        if (d.name == unsafe_name) unsafe_mops = mops.back();
+      }
+      std::printf("%8d", threads);
+      for (double m : mops) std::printf(" %13.3f", m);
+      std::printf(" |     ");  // same width as " | rel:"
+      for (size_t i = 0; i < competitors.size(); ++i)
+        if (competitors[i].caps.linearizable_rq)
+          std::printf(" %13.3f",
+                      unsafe_mops > 0 ? mops[i] / unsafe_mops : 0.0);
+      std::printf("\n");
     }
   }
 }
@@ -50,19 +64,13 @@ void run_family(const char* tag, const Config& base) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace bref;
-  using namespace bref::bench;
   Args args(argc, argv);
   Config base = config_from_args(args);
   if (!args.has("--keyrange")) base.key_range = 20000;
   if (!args.has("--duration")) base.duration_ms = 120;
   print_header("fig3 rq-size sweep", base);
   const std::string ds = args.get_str("--ds", "both");
-  if (ds == "sl" || ds == "both")
-    run_family<BundleSkipListSet, UnsafeSkipListSet, EbrRqSkipListSet,
-               EbrRqLfSkipListSet, RluSkipListSet>("skip list", base);
-  if (ds == "ct" || ds == "both")
-    run_family<BundleCitrusSet, UnsafeCitrusSet, EbrRqCitrusSet,
-               EbrRqLfCitrusSet, RluCitrusSet>("citrus tree", base);
+  if (ds == "sl" || ds == "both") run_family("skiplist", "skip list", base);
+  if (ds == "ct" || ds == "both") run_family("citrus", "citrus tree", base);
   return 0;
 }

@@ -1,47 +1,35 @@
 #pragma once
-// Backwards-compatibility layer over the implementation registry.
+// Registry-derived name lists.
 //
-// Pre-facade code constructed implementations through make_any_set() and a
-// hand-maintained 17-branch if-chain; both are gone. The names below now
-// derive from the ImplRegistry (registry.h) and construction validates
-// options against capabilities. New code should use bref::Set (set.h) —
-// these shims exist so migrating call sites is mechanical and will be
-// removed once nothing depends on them.
+// Historically this header was the backwards-compatibility layer over the
+// implementation registry (make_any_set() and the AnySetOptions alias);
+// with every consumer migrated to bref::Set and RAII sessions the shims
+// are gone and only the name-list helpers remain. They exist as
+// conveniences for sweep-style callers (parameterized tests, benches) —
+// anything richer should enumerate ImplRegistry::instance().descriptors()
+// and filter on capability flags directly.
 
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/builtin_impls.h"
 #include "api/registry.h"
-#include "api/set.h"
 
 namespace bref {
 
-/// Old spelling of SetOptions (same fields, same meaning).
-using AnySetOptions = SetOptions;
-
-/// All registered implementation names, in registration order (the 17
-/// paper configurations first, then anything test code added).
+/// All registered implementation names, in registration order (the 18
+/// builtin configurations first, then anything test code added).
 inline std::vector<std::string> any_set_names() {
   return ImplRegistry::instance().names();
 }
 
-/// Names of the implementations with linearizable range queries — now
-/// derived from capability flags rather than name prefixes.
+/// Names of the implementations with linearizable range queries — derived
+/// from capability flags rather than name prefixes.
 inline std::vector<std::string> any_set_linearizable_names() {
   std::vector<std::string> out;
   for (const auto& d : ImplRegistry::instance().descriptors())
     if (d.caps.linearizable_rq) out.push_back(d.name);
   return out;
-}
-
-/// Construct an implementation by registry name. Unknown names throw
-/// std::invalid_argument; options the implementation cannot honor throw
-/// UnsupportedOptionError (they were silently ignored before the facade).
-[[deprecated("use bref::Set::create")]] inline std::unique_ptr<AnyOrderedSet>
-make_any_set(const std::string& name, const AnySetOptions& opt = {}) {
-  return ImplRegistry::instance().create(name, opt);
 }
 
 }  // namespace bref

@@ -1,5 +1,6 @@
 #pragma once
-// The 17 paper configurations, each hooked into the ImplRegistry with one
+// The 18 builtin configurations — the paper's 17 plus the LFCA tree
+// (arXiv:1709.00722) — each hooked into the ImplRegistry with one
 // registration line. This file is the complete inventory: names,
 // capabilities and factories are derived from the types (ordered_set.h),
 // so nothing here needs editing when a knob or capability changes — and a
@@ -32,5 +33,6 @@ inline const RegisterSet<RluCitrusSet> kRluCitrus{true};
 inline const RegisterSet<SnapCollectorListSet> kSnapCollectorList{true};
 inline const RegisterSet<SnapCollectorSkipListSet> kSnapCollectorSkipList{
     true};
+inline const RegisterSet<LfcaTreeSet> kLfcaTree{true};
 
 }  // namespace bref::builtin

@@ -3,7 +3,7 @@
 // to a default-constructible type so typed test suites and benchmarks can
 // enumerate them at compile time. `kName` follows the paper's naming:
 // Bundle, Unsafe, EBR-RQ, EBR-RQ-LF, RLU (+ Snapcollector, evaluation
-// extra).
+// extra, and LFCA, the contention-adapting tree of arXiv:1709.00722).
 //
 // These are the *implementation-facing* types. The public surface layers
 // on top (see set.h for the full API story):
@@ -31,6 +31,7 @@
 #include "ds/ebrrq/ebrrq_citrus.h"
 #include "ds/ebrrq/ebrrq_list.h"
 #include "ds/ebrrq/ebrrq_skiplist.h"
+#include "ds/lfca/lfca_tree.h"
 #include "ds/rlu/rlu_citrus.h"
 #include "ds/rlu/rlu_list.h"
 #include "ds/rlu/rlu_skiplist.h"
@@ -139,6 +140,17 @@ struct RluCitrusSet : RluCitrus<KeyT, ValT> {
   static constexpr const char* kName = "RLU";
   static constexpr bool kLinearizableRq = true;
   static constexpr const char* kStructure = "citrus";
+};
+
+// ---- LFCA (Winblad et al.; contention-adapting competitor) ------------------
+// Its own structure kind: the technique *is* the tree, so it has no
+// list/skiplist/citrus variants. Reclamation-capable (EBR retires displaced
+// nodes and leaves); no relaxation knob or snapshot timestamp.
+struct LfcaTreeSet : LfcaTree<KeyT, ValT> {
+  using LfcaTree::LfcaTree;
+  static constexpr const char* kName = "LFCA";
+  static constexpr bool kLinearizableRq = true;
+  static constexpr const char* kStructure = "tree";
 };
 
 // ---- Snapcollector (Petrank & Timnat; evaluation extra) ---------------------

@@ -1,6 +1,6 @@
 #pragma once
 // Self-registering implementation registry — the runtime factory behind
-// bref::Set and the deprecated make_any_set().
+// bref::Set.
 //
 // Each technique x structure combination contributes one ImplDescriptor
 // (name, structure, capability flags) plus a factory into a process-wide
@@ -8,11 +8,12 @@
 //
 //   inline const bref::RegisterSet<MyWrapperSet> reg_my_wrapper{};
 //
-// (see builtin_impls.h for the 17 paper configurations) or, scoped to a
+// (see builtin_impls.h for the 18 builtin configurations) or, scoped to a
 // test, `bref::ScopedRegistration<MyWrapperSet> reg;`. Everything else —
 // any_set_names(), capability validation, the README capability table —
-// is *derived* from the descriptors, so adding an 18th implementation
-// touches no registry code.
+// is *derived* from the descriptors, so adding another implementation
+// touches no registry code. The LFCA tree (builtin #18) went in exactly
+// this way: a new header under src/ds/lfca/ plus one registration line.
 //
 // Capabilities are derived from the implementation type itself (the
 // two-factor constructor-shape + runtime-hook tests in impl_traits.h):
@@ -126,8 +127,8 @@ class ImplRegistry {
   }
 
   /// Register a descriptor + factory. Duplicate names are an error: the
-  /// paper's 17 configurations are enumerable by name, and an unnamed
-  /// shadow registration is exactly the drift the registry test pins down.
+  /// builtin configurations are enumerable by name, and an unnamed shadow
+  /// registration is exactly the drift the registry test pins down.
   void add(ImplDescriptor desc, Factory factory) {
     std::lock_guard<std::mutex> g(mu_);
     for (const auto& e : entries_)

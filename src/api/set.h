@@ -14,11 +14,12 @@
 // and SetOptions an implementation cannot honor throw
 // UnsupportedOptionError instead of being silently dropped.
 //
-// Deprecation path (see also any_set.h): the raw-`tid` operation shims on
-// this class mirror the pre-facade calling convention one-for-one so
-// migrating a call site is mechanical — construct a session once, drop the
-// tid argument. They forward with zero added cost but are marked
-// [[deprecated]] and will be removed once nothing in-tree uses them.
+// Operations go through sessions only. The raw-`tid` migration shims that
+// mirrored the pre-facade calling convention ([[deprecated]] insert/remove/
+// contains/range_query on this class, make_any_set in any_set.h) are gone:
+// every in-repo consumer is on sessions. Code that needs the raw interface
+// deliberately — benchmark drivers pinning dense ids, white-box tests —
+// uses session(tid) or the impl() escape hatch.
 
 #include <memory>
 #include <string>
@@ -71,23 +72,6 @@ class Set {
   /// Escape hatch to the type-erased implementation.
   AnyOrderedSet& impl() { return *impl_; }
   const AnyOrderedSet& impl() const { return *impl_; }
-
-  // -- deprecated raw-tid shims (migration aids; see header comment) ------
-  [[deprecated("use session().insert()")]] bool insert(int tid, KeyT key,
-                                                       ValT val) {
-    return impl_->insert(tid, key, val);
-  }
-  [[deprecated("use session().remove()")]] bool remove(int tid, KeyT key) {
-    return impl_->remove(tid, key);
-  }
-  [[deprecated("use session().contains()")]] bool contains(
-      int tid, KeyT key, ValT* out = nullptr) {
-    return impl_->contains(tid, key, out);
-  }
-  [[deprecated("use session().range_query()")]] size_t range_query(
-      int tid, KeyT lo, KeyT hi, std::vector<std::pair<KeyT, ValT>>& out) {
-    return impl_->range_query(tid, lo, hi, out);
-  }
 
  private:
   std::unique_ptr<AnyOrderedSet> impl_;

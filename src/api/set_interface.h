@@ -6,8 +6,7 @@
 // This is the *implementation-facing* contract and therefore still speaks
 // dense thread ids: substrates (EBR, RLU, the RQ tracker) index per-thread
 // state by tid. Applications should not call it directly — bref::Set hands
-// out RAII ThreadSessions that manage ids automatically (see set.h); the
-// raw-tid entry points on Set exist only as deprecated migration shims.
+// out RAII ThreadSessions that manage ids automatically (see set.h).
 
 #include <string>
 #include <utility>

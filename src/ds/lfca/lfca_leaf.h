@@ -1,0 +1,122 @@
+#pragma once
+// Immutable leaf containers for the LFCA tree (Winblad, Sagonas & Jonsson,
+// "Lock-free contention adapting search trees", SPAA'18; arXiv:1709.00722).
+//
+// Every base node of the tree owns one LfcaLeaf: a strictly-sorted,
+// *immutable* array of (key, value) pairs. Updates never mutate a leaf —
+// they build a replacement (with_insert / with_remove) and swing the base
+// node via CAS, so readers can binary-search or copy a leaf with no
+// synchronization beyond holding a pointer to it. This is the property the
+// range queries lean on: once a query has collected the leaves of the base
+// nodes covering [lo, hi], their contents are fixed, and joining them is a
+// plain merge of private data (contrast with bundle chains, where the
+// traversal must chase timestamped references; see DESIGN.md).
+//
+// The SPAA paper uses immutable treaps; sorted arrays keep the same
+// interface (O(log n) lookup, O(n) copy-on-write update, O(1) max, linear
+// split/join) with better constants at the leaf sizes the adaptation
+// policy maintains (a few hundred elements before a split triggers).
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bref {
+
+template <typename K, typename V>
+class LfcaLeaf {
+ public:
+  using Item = std::pair<K, V>;
+
+  LfcaLeaf() = default;
+  explicit LfcaLeaf(std::vector<Item> items) : items_(std::move(items)) {}
+
+  LfcaLeaf(const LfcaLeaf&) = delete;
+  LfcaLeaf& operator=(const LfcaLeaf&) = delete;
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const std::vector<Item>& items() const { return items_; }
+
+  /// Largest key; only meaningful when !empty() (range collection checks
+  /// emptiness before asking).
+  K max_key() const {
+    assert(!items_.empty());
+    return items_.back().first;
+  }
+
+  bool lookup(K key, V* out = nullptr) const {
+    auto it = lower_bound(key);
+    if (it == items_.end() || it->first != key) return false;
+    if (out != nullptr) *out = it->second;
+    return true;
+  }
+
+  /// Copy-on-write insert. Returns the new leaf, or nullptr when the key is
+  /// already present (set semantics: the original value is kept and no
+  /// replacement is needed).
+  const LfcaLeaf* with_insert(K key, V val) const {
+    auto it = lower_bound(key);
+    if (it != items_.end() && it->first == key) return nullptr;
+    std::vector<Item> next;
+    next.reserve(items_.size() + 1);
+    next.insert(next.end(), items_.begin(), it);
+    next.emplace_back(key, val);
+    next.insert(next.end(), it, items_.end());
+    return new LfcaLeaf(std::move(next));
+  }
+
+  /// Copy-on-write remove. Returns the new leaf, or nullptr when the key is
+  /// absent (nothing to replace).
+  const LfcaLeaf* with_remove(K key) const {
+    auto it = lower_bound(key);
+    if (it == items_.end() || it->first != key) return nullptr;
+    std::vector<Item> next;
+    next.reserve(items_.size() - 1);
+    next.insert(next.end(), items_.begin(), it);
+    next.insert(next.end(), it + 1, items_.end());
+    return new LfcaLeaf(std::move(next));
+  }
+
+  /// Median key for a split (high-contention adaptation). Requires
+  /// size() >= 2; both resulting halves are non-empty.
+  K split_key() const {
+    assert(items_.size() >= 2);
+    return items_[items_.size() / 2].first;
+  }
+
+  /// Keys strictly below / at-or-above `key` as fresh leaves.
+  const LfcaLeaf* split_below(K key) const {
+    auto it = lower_bound(key);
+    return new LfcaLeaf(std::vector<Item>(items_.begin(), it));
+  }
+  const LfcaLeaf* split_at_or_above(K key) const {
+    auto it = lower_bound(key);
+    return new LfcaLeaf(std::vector<Item>(it, items_.end()));
+  }
+
+  /// Merge two leaves (low-contention adaptation). Key sets are disjoint —
+  /// the joined bases sit on opposite sides of a route key — but a full
+  /// merge keeps this correct for any pair of sorted inputs.
+  static const LfcaLeaf* join(const LfcaLeaf& a, const LfcaLeaf& b) {
+    std::vector<Item> merged;
+    merged.reserve(a.items_.size() + b.items_.size());
+    std::merge(a.items_.begin(), a.items_.end(), b.items_.begin(),
+               b.items_.end(), std::back_inserter(merged),
+               [](const Item& x, const Item& y) { return x.first < y.first; });
+    return new LfcaLeaf(std::move(merged));
+  }
+
+ private:
+  typename std::vector<Item>::const_iterator lower_bound(K key) const {
+    return std::lower_bound(
+        items_.begin(), items_.end(), key,
+        [](const Item& item, K k) { return item.first < k; });
+  }
+
+  std::vector<Item> items_;
+};
+
+}  // namespace bref

@@ -1,0 +1,146 @@
+#pragma once
+// Node layout for the LFCA tree: one tagged node struct covering the five
+// roles of the SPAA'18 algorithm (route, normal base, the two join roles,
+// range base), the sentinel pointers the join protocol threads through
+// `neigh2`, and the shared result storage of an in-flight range query.
+//
+// Publication discipline (what keeps this TSan-clean without suppressions):
+//   * every non-atomic field of a node is written before the CAS that links
+//     the node into the tree, with three exceptions — `neigh1`, `gparent`
+//     and `otherb` of a join-main node, which are written after the node is
+//     reachable but strictly before the release-CAS of `neigh2` to a real
+//     pointer, and only ever read after an acquire load of `neigh2`
+//     observes that pointer (complete_join's precondition);
+//   * everything mutable after publication (`left`, `right`, `valid`,
+//     `join_id`, `neigh2`, the result storage fields) is a std::atomic.
+//
+// Reclamation: nodes are retired through EBR by the winner of the CAS that
+// unlinks them. A node usually owns its leaf, but the join/range protocols
+// create copies that *share* the original's leaf — those originals are
+// retired node-only and ownership transfers to the copy (see the
+// `retire_*` helpers in lfca_tree.h). Range-query result storage is
+// refcounted by the range-base nodes that reference it and dies with the
+// EBR-free of the last one, so a thread that reached the storage through a
+// pinned node can never see it freed.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ds/lfca/lfca_leaf.h"
+
+namespace bref {
+
+enum class LfcaNodeType : uint8_t {
+  kRoute,         // internal: key + two children
+  kNormal,        // base: immutable leaf + contention statistics
+  kJoinMain,      // base being merged with a neighbor (phase owner)
+  kJoinNeighbor,  // the neighbor drafted into a join
+  kRange,         // base frozen by an in-flight range query
+};
+
+template <typename K, typename V>
+struct LfcaNode;
+
+/// Shared state of one range query. `result` flips nullptr -> joined items
+/// exactly once (CAS); `more_than_one_base` feeds the contention statistics
+/// (queries spanning several bases push the tree toward joins). `refs`
+/// counts the initiating query (one ref, dropped when all_in_range returns)
+/// plus every range-base node published with this storage (dropped when the
+/// node is EBR-freed); the zero transition deletes the storage.
+template <typename K, typename V>
+struct LfcaResultStorage {
+  using Items = std::vector<std::pair<K, V>>;
+
+  std::atomic<Items*> result{nullptr};
+  std::atomic<bool> more_than_one_base{false};
+  std::atomic<int> refs{1};  // creation ref, held by the initiating query
+
+  ~LfcaResultStorage() { delete result.load(std::memory_order_relaxed); }
+
+  void add_ref() { refs.fetch_add(1, std::memory_order_relaxed); }
+  void drop_ref() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+};
+
+template <typename K, typename V>
+struct LfcaNode {
+  using Leaf = LfcaLeaf<K, V>;
+  using Storage = LfcaResultStorage<K, V>;
+
+  const LfcaNodeType type;
+
+  // -- base roles (normal / join-main / join-neighbor / range) -------------
+  const Leaf* data = nullptr;       // immutable items of this base
+  // Contention statistic. The algorithm treats it as approximate (set at
+  // node creation, read by whoever replaces the node); relaxed atomics keep
+  // the test hooks that plant statistics concurrently race-free.
+  std::atomic<int> stat{0};
+  LfcaNode* parent = nullptr;       // owning route node (nullptr: root)
+
+  // -- range base ----------------------------------------------------------
+  K lo{};
+  K hi{};
+  Storage* storage = nullptr;
+
+  // -- join-main -----------------------------------------------------------
+  // neigh2 encodes the join phase: kPreparing -> (kAborted | real n2
+  // pointer) -> kJoinDone. neigh1/gparent/otherb are published by the
+  // release-CAS to the real pointer (see header comment).
+  LfcaNode* neigh1 = nullptr;       // expected neighbor (the drafted copy)
+  std::atomic<LfcaNode*> neigh2{nullptr};
+  LfcaNode* gparent = nullptr;      // grandparent at securing time
+  LfcaNode* otherb = nullptr;       // parent's other branch at securing time
+
+  // -- join-neighbor -------------------------------------------------------
+  LfcaNode* main_node = nullptr;    // the join-main this neighbor serves
+
+  // Join-main node-memory lifetime: 1 for the tree link plus 1 for a
+  // published join-neighbor's main_node reference. Needed because an
+  // *aborted* join leaves main and neighbor linked independently — the
+  // main can be replaced and reclaimed while the neighbor (whose
+  // replaceability check dereferences main_node->neigh2) lives on
+  // arbitrarily long. The GC of the original Java implementation made this
+  // a non-problem; here the last dropper frees the node (lfca_tree.h's
+  // dispose_node).
+  std::atomic<int> link_refs{1};
+
+  // -- route ---------------------------------------------------------------
+  const K key{};                    // split key: left < key <= right
+  std::atomic<LfcaNode*> left{nullptr};
+  std::atomic<LfcaNode*> right{nullptr};
+  std::atomic<bool> valid{true};    // cleared when a join splices this out
+  std::atomic<LfcaNode*> join_id{nullptr};  // join currently claiming this
+
+  /// Base-node constructor (normal / join roles / range).
+  LfcaNode(LfcaNodeType t, const Leaf* leaf, int stat_, LfcaNode* parent_)
+      : type(t), data(leaf), parent(parent_) {
+    stat.store(stat_, std::memory_order_relaxed);
+  }
+
+  /// Route-node constructor.
+  LfcaNode(K key_, LfcaNode* left_, LfcaNode* right_)
+      : type(LfcaNodeType::kRoute), key(key_) {
+    left.store(left_, std::memory_order_relaxed);
+    right.store(right_, std::memory_order_relaxed);
+  }
+
+  bool is_route() const { return type == LfcaNodeType::kRoute; }
+
+  // -- neigh2 phase sentinels ---------------------------------------------
+  // Real nodes are at least pointer-aligned, so low small integers can
+  // never collide with one.
+  static LfcaNode* preparing() { return nullptr; }
+  static LfcaNode* join_done() { return reinterpret_cast<LfcaNode*>(1); }
+  static LfcaNode* join_aborted() { return reinterpret_cast<LfcaNode*>(2); }
+  static bool is_real_neigh2(const LfcaNode* p) {
+    return reinterpret_cast<uintptr_t>(p) > 2;
+  }
+
+  /// parent_of()'s "no longer in the tree" sentinel (distinct domain from
+  /// neigh2; only ever compared, never dereferenced).
+  static LfcaNode* not_found() { return reinterpret_cast<LfcaNode*>(1); }
+};
+
+}  // namespace bref

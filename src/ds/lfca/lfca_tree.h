@@ -1,0 +1,788 @@
+#pragma once
+// Lock-free contention-adapting search tree (LFCA) with immutable-leaf
+// range queries — Winblad, Sagonas & Jonsson, SPAA'18 (arXiv:1709.00722),
+// rewritten in this repo's idiom (thread_registry tids, ebr.h reclamation,
+// registry-derived capabilities).
+//
+// Shape: an internal tree of *route* nodes (immutable key, mutable child
+// pointers) over *base* nodes, each owning an immutable sorted-array leaf
+// (lfca_leaf.h). Every operation finds the base covering its key and CASes
+// a replacement base in; there are no locks anywhere.
+//
+// Adaptation: each base carries a contention statistic. Failed CASes raise
+// it; uncontended updates lower it; range queries spanning several bases
+// lower it further. Above the high threshold the base splits under a new
+// route node (more CAS points, less contention); below the low threshold
+// it joins with a neighbor via the paper's two-phase protocol — an
+// exclusive "secure" phase (claim parent/grandparent join_ids, draft the
+// neighbor) and a help-capable "complete" phase (install the merged base,
+// splice the parent route out). Stalled phases are helped or aborted by
+// whichever thread trips over them, which is what makes the tree
+// lock-free.
+//
+// Range queries: mark every base intersecting [lo, hi] as a *range base*
+// sharing one result storage, in ascending key order; a marked base cannot
+// be replaced until the query's result is set, and updates that hit one
+// help the query finish first. Once all bases are marked, their immutable
+// leaves are concatenated and CASed into the storage — the linearization
+// point. Concurrent queries over an overlapping range help and share the
+// result instead of re-marking (lfca_node.h documents the storage
+// refcounting; DESIGN.md contrasts all this with bundle-chain traversal).
+//
+// Memory: displaced nodes and leaves are retired through EBR by the CAS
+// winner that unlinked them. With `reclaim=false` (the paper family's
+// leaky benchmark mode) operations skip epoch pinning and everything parks
+// until destruction, mirroring the other techniques here.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ds/lfca/lfca_node.h"
+#include "ds/support.h"
+#include "epoch/ebr.h"
+
+namespace bref {
+
+/// Adaptation policy knobs (defaults are the SPAA'18 constants). Tests
+/// tighten the thresholds to make splits/joins frequent and observable.
+struct LfcaTuning {
+  int cont_contrib = 250;      // stat increase per contended update
+  int low_cont_contrib = 1;    // stat decrease per uncontended update
+  int range_contrib = 100;     // extra decrease when an RQ spanned >1 base
+  int high_threshold = 1000;   // split above this
+  int low_threshold = -1000;   // join below this
+};
+
+template <typename K, typename V>
+class LfcaTree {
+ public:
+  using Node = LfcaNode<K, V>;
+  using Leaf = LfcaLeaf<K, V>;
+  using Storage = LfcaResultStorage<K, V>;
+  using Items = typename Storage::Items;
+
+  explicit LfcaTree(bool reclaim = false, LfcaTuning tuning = LfcaTuning{})
+      : reclaim_(reclaim), tuning_(tuning) {
+    root_.store(new Node(LfcaNodeType::kNormal, new Leaf(), 0, nullptr),
+                std::memory_order_relaxed);
+  }
+
+  ~LfcaTree() {
+    free_subtree(root_.load(std::memory_order_relaxed));
+    // Retired nodes parked in EBR bags are freed by ~Ebr() through the
+    // same deleters (node-only vs node+leaf) they were retired with.
+  }
+
+  LfcaTree(const LfcaTree&) = delete;
+  LfcaTree& operator=(const LfcaTree&) = delete;
+
+  // -- point operations ----------------------------------------------------
+
+  bool insert(int tid, K key, V val) {
+    return do_update(tid, key, [&](const Leaf* leaf) {
+      return leaf->with_insert(key, val);
+    });
+  }
+
+  bool remove(int tid, K key) {
+    return do_update(tid, key,
+                     [&](const Leaf* leaf) { return leaf->with_remove(key); });
+  }
+
+  /// Wait-free: descend route nodes, binary-search the immutable leaf.
+  bool contains(int tid, K key, V* out = nullptr) const {
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    Node* base = find_base_node(root_.load(std::memory_order_acquire), key);
+    return base->data->lookup(key, out);
+  }
+
+  // -- range query ---------------------------------------------------------
+
+  /// Linearizable inclusive [lo, hi]: collect the immutable leaves of every
+  /// base intersecting the range (all_in_range), then filter. The snapshot
+  /// linearizes when its result storage is CASed from empty.
+  size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    out.clear();
+    if (lo > hi) return 0;
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    const Items* res = all_in_range(tid, lo, hi, nullptr);
+    for (const auto& kv : *res)
+      if (kv.first >= lo && kv.first <= hi) out.push_back(kv);
+    return out.size();
+  }
+
+  // -- substrate access / options -----------------------------------------
+
+  Ebr& ebr() { return ebr_; }
+  bool reclaim_enabled() const { return reclaim_; }
+  const LfcaTuning& tuning() const { return tuning_; }
+
+  // -- adaptation introspection (tests; quiescent unless noted) ------------
+
+  /// Splits / completed joins since construction (concurrency-safe reads).
+  uint64_t splits_performed() const {
+    return splits_.load(std::memory_order_relaxed);
+  }
+  uint64_t joins_performed() const {
+    return joins_.load(std::memory_order_relaxed);
+  }
+
+  size_t route_count() const {
+    return count_nodes(root_.load(std::memory_order_acquire), true);
+  }
+  size_t base_count() const {
+    return count_nodes(root_.load(std::memory_order_acquire), false);
+  }
+
+  /// Test hooks: read / plant the contention statistic on the base
+  /// covering `key`. Epoch-guarded like any operation, so a driver thread
+  /// may plant statistics against live traffic; the statistic itself is a
+  /// relaxed atomic the algorithm treats as approximate.
+  int debug_stat_of(int tid, K key) const {
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    return find_base_node(root_.load(std::memory_order_acquire), key)
+        ->stat.load(std::memory_order_relaxed);
+  }
+  void debug_set_stat(int tid, K key, int stat) {
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    Node* base = find_base_node(root_.load(std::memory_order_acquire), key);
+    base->stat.store(stat, std::memory_order_relaxed);
+  }
+
+  /// Run the adaptation check on the base covering `key` — exactly what an
+  /// update performs after replacing it. Deterministic driver for the
+  /// split/join machinery when paired with debug_set_stat.
+  void maybe_adapt(int tid, K key) {
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    Node* base = find_base_node(root_.load(std::memory_order_acquire), key);
+    adapt_if_needed(tid, base);
+  }
+
+  // -- quiescent introspection --------------------------------------------
+
+  std::vector<std::pair<K, V>> to_vector() const {
+    std::vector<std::pair<K, V>> out;
+    collect(root_.load(std::memory_order_acquire), out);
+    return out;
+  }
+
+  size_t size_slow() const { return to_vector().size(); }
+
+  /// Route keys respect the search-tree bounds, every leaf is strictly
+  /// sorted, and every leaf key lies inside its base's route interval.
+  bool check_invariants() const {
+    return check_node(root_.load(std::memory_order_acquire), false, K{},
+                      false, K{});
+  }
+
+ private:
+  enum class Contention { kUncontended, kContended };
+
+  // ---- traversal ---------------------------------------------------------
+
+  static Node* find_base_node(Node* n, K key) {
+    while (n->is_route())
+      n = key < n->key ? n->left.load(std::memory_order_acquire)
+                       : n->right.load(std::memory_order_acquire);
+    return n;
+  }
+
+  static Node* find_base_stack(Node* n, K key, std::vector<Node*>& s) {
+    s.clear();
+    while (n->is_route()) {
+      s.push_back(n);
+      n = key < n->key ? n->left.load(std::memory_order_acquire)
+                       : n->right.load(std::memory_order_acquire);
+    }
+    s.push_back(n);
+    return n;
+  }
+
+  static Node* leftmost_and_stack(Node* n, std::vector<Node*>& s) {
+    while (n->is_route()) {
+      s.push_back(n);
+      n = n->left.load(std::memory_order_acquire);
+    }
+    s.push_back(n);
+    return n;
+  }
+
+  /// Next base in ascending key order after the stack's top base: walk up
+  /// past route nodes we left rightward (or that a join invalidated), then
+  /// down the left spine of the next right subtree.
+  static Node* find_next_base_stack(std::vector<Node*>& s) {
+    Node* base = s.back();
+    s.pop_back();
+    if (s.empty()) return nullptr;
+    Node* t = s.back();
+    if (t->left.load(std::memory_order_acquire) == base)
+      return leftmost_and_stack(t->right.load(std::memory_order_acquire), s);
+    const K be_greater_than = t->key;
+    while (!s.empty()) {
+      t = s.back();
+      if (t->valid.load(std::memory_order_acquire) &&
+          t->key > be_greater_than)
+        return leftmost_and_stack(t->right.load(std::memory_order_acquire),
+                                  s);
+      s.pop_back();
+    }
+    return nullptr;
+  }
+
+  static Node* leftmost(Node* n) {
+    while (n->is_route()) n = n->left.load(std::memory_order_acquire);
+    return n;
+  }
+  static Node* rightmost(Node* n) {
+    while (n->is_route()) n = n->right.load(std::memory_order_acquire);
+    return n;
+  }
+
+  /// Parent of route node `n` by key search; not_found() when `n` is no
+  /// longer reachable, nullptr when `n` is the root.
+  Node* parent_of(Node* n) const {
+    Node* prev = nullptr;
+    Node* curr = root_.load(std::memory_order_acquire);
+    while (curr != n && curr->is_route()) {
+      prev = curr;
+      curr = n->key < curr->key ? curr->left.load(std::memory_order_acquire)
+                                : curr->right.load(std::memory_order_acquire);
+    }
+    return curr == n ? prev : Node::not_found();
+  }
+
+  // ---- replacement & lifecycle ------------------------------------------
+
+  /// Swing the parent's (or root's) pointer from `b` to `newb`. The caller
+  /// that wins owns retiring `b`.
+  bool try_replace(Node* b, Node* newb) {
+    Node* expected = b;
+    if (b->parent == nullptr)
+      return root_.compare_exchange_strong(expected, newb,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire);
+    if (b->parent->left.load(std::memory_order_acquire) == b)
+      return b->parent->left.compare_exchange_strong(
+          expected, newb, std::memory_order_acq_rel,
+          std::memory_order_acquire);
+    if (b->parent->right.load(std::memory_order_acquire) == b)
+      return b->parent->right.compare_exchange_strong(
+          expected, newb, std::memory_order_acq_rel,
+          std::memory_order_acquire);
+    return false;
+  }
+
+  /// A base can be replaced when no protocol still needs it frozen: plain
+  /// bases always; join participants once their join aborted (main) or
+  /// aborted/finished (neighbor); range bases once the query's result is
+  /// set.
+  bool is_replaceable(Node* n) const {
+    switch (n->type) {
+      case LfcaNodeType::kNormal:
+        return true;
+      case LfcaNodeType::kJoinMain:
+        return n->neigh2.load(std::memory_order_acquire) ==
+               Node::join_aborted();
+      case LfcaNodeType::kJoinNeighbor: {
+        Node* m2 = n->main_node->neigh2.load(std::memory_order_acquire);
+        return m2 == Node::join_aborted() || m2 == Node::join_done();
+      }
+      case LfcaNodeType::kRange:
+        return n->storage->result.load(std::memory_order_acquire) != nullptr;
+      case LfcaNodeType::kRoute:
+        return false;
+    }
+    return false;
+  }
+
+  /// Guarantee progress past a node frozen by someone else's protocol:
+  /// abort a join still securing, push a secured join through its
+  /// completion phase, or help a range query collect its snapshot.
+  void help_if_needed(int tid, Node* n) {
+    if (n->type == LfcaNodeType::kJoinNeighbor) n = n->main_node;
+    if (n->type == LfcaNodeType::kJoinMain) {
+      Node* n2 = n->neigh2.load(std::memory_order_acquire);
+      if (n2 == Node::preparing()) {
+        Node* expected = Node::preparing();
+        n->neigh2.compare_exchange_strong(expected, Node::join_aborted(),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+      } else if (Node::is_real_neigh2(n2)) {
+        complete_join(tid, n);
+      }
+    } else if (n->type == LfcaNodeType::kRange &&
+               n->storage->result.load(std::memory_order_acquire) ==
+                   nullptr) {
+      all_in_range(tid, n->lo, n->hi, n->storage);
+    }
+  }
+
+  // Retirement split: winners of an unlink CAS retire the displaced node.
+  // "node_only" is for originals whose leaf migrated into a protocol copy
+  // (join drafts, range marking). Disposal — which EBR runs after the
+  // grace period — also unwinds the cross-node references: a range base
+  // drops its storage ref, a join-neighbor drops its ref on the join-main,
+  // and a join-main's own memory is only freed once both the tree link and
+  // any neighbor reference are gone (see link_refs in lfca_node.h).
+  static void drop_main_ref(Node* m) {
+    if (m->link_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete m;
+  }
+  static void dispose_node(Node* n, bool with_data) {
+    if (n->type == LfcaNodeType::kRange) n->storage->drop_ref();
+    if (with_data) delete n->data;
+    switch (n->type) {
+      case LfcaNodeType::kJoinNeighbor:
+        drop_main_ref(n->main_node);
+        delete n;
+        break;
+      case LfcaNodeType::kJoinMain:
+        drop_main_ref(n);  // node memory freed by the last dropper
+        break;
+      default:
+        delete n;
+    }
+  }
+  static void delete_node_only(void* p) {
+    dispose_node(static_cast<Node*>(p), /*with_data=*/false);
+  }
+  static void delete_node_and_data(void* p) {
+    dispose_node(static_cast<Node*>(p), /*with_data=*/true);
+  }
+  void retire_node_only(int tid, Node* n) {
+    ebr_.retire(tid, n, &LfcaTree::delete_node_only);
+  }
+  void retire_node_and_data(int tid, Node* n) {
+    ebr_.retire(tid, n, &LfcaTree::delete_node_and_data);
+  }
+
+  // ---- contention statistics & adaptation -------------------------------
+
+  int new_stat(Node* n, Contention info) const {
+    const int stat = n->stat.load(std::memory_order_relaxed);
+    int range_sub = 0;
+    if (n->type == LfcaNodeType::kRange &&
+        n->storage->more_than_one_base.load(std::memory_order_acquire))
+      range_sub = tuning_.range_contrib;
+    if (info == Contention::kContended && stat <= tuning_.high_threshold)
+      return stat + tuning_.cont_contrib - range_sub;
+    if (info == Contention::kUncontended && stat >= tuning_.low_threshold)
+      return stat - tuning_.low_cont_contrib - range_sub;
+    return stat;
+  }
+
+  void adapt_if_needed(int tid, Node* b) {
+    if (!is_replaceable(b)) return;
+    const int stat = b->stat.load(std::memory_order_relaxed);
+    if (stat > tuning_.high_threshold)
+      high_contention_adaptation(tid, b);
+    else if (stat < tuning_.low_threshold)
+      low_contention_adaptation(tid, b);
+  }
+
+  /// Split: replace the base with a route node over two fresh halves.
+  void high_contention_adaptation(int tid, Node* b) {
+    if (b->data->size() < 2) return;
+    const K split = b->data->split_key();
+    Node* r = new Node(split, nullptr, nullptr);
+    Node* left = new Node(LfcaNodeType::kNormal, b->data->split_below(split),
+                          0, r);
+    Node* right = new Node(LfcaNodeType::kNormal,
+                           b->data->split_at_or_above(split), 0, r);
+    r->left.store(left, std::memory_order_relaxed);
+    r->right.store(right, std::memory_order_relaxed);
+    if (try_replace(b, r)) {
+      retire_node_and_data(tid, b);
+      splits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      delete left->data;
+      delete right->data;
+      delete left;
+      delete right;
+      delete r;
+    }
+  }
+
+  /// Join: two-phase. secure_join claims the neighborhood exclusively;
+  /// complete_join (help-capable) installs the merged base and splices the
+  /// parent route node out.
+  void low_contention_adaptation(int tid, Node* b) {
+    Node* p = b->parent;
+    if (p == nullptr) return;  // root base: nothing to join with
+    if (p->left.load(std::memory_order_acquire) == b) {
+      Node* m = secure_join(tid, b, /*left_side=*/true);
+      if (m != nullptr) complete_join(tid, m);
+    } else if (p->right.load(std::memory_order_acquire) == b) {
+      Node* m = secure_join(tid, b, /*left_side=*/false);
+      if (m != nullptr) complete_join(tid, m);
+    }
+  }
+
+  /// Phase 1 (exclusive; only the initiator runs it — helpers may abort it
+  /// via neigh2 but never advance it). Claims b as join-main, drafts the
+  /// adjacent base of the sibling subtree as join-neighbor, claims parent
+  /// and grandparent join_ids, then publishes the merged replacement
+  /// through the release-CAS of neigh2 — which is also what makes the
+  /// post-publication writes to neigh1/gparent/otherb visible to helpers.
+  Node* secure_join(int tid, Node* b, bool left_side) {
+    Node* p = b->parent;
+    Node* n0 = left_side
+                   ? leftmost(p->right.load(std::memory_order_acquire))
+                   : rightmost(p->left.load(std::memory_order_acquire));
+    if (!is_replaceable(n0)) return nullptr;
+
+    // Claim b: replace it with a join-main copy (shares b's leaf).
+    Node* m = new Node(LfcaNodeType::kJoinMain, b->data,
+                       b->stat.load(std::memory_order_relaxed), p);
+    auto& side = left_side ? p->left : p->right;
+    Node* expected = b;
+    if (!side.compare_exchange_strong(expected, m,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      delete m;
+      return nullptr;
+    }
+    retire_node_only(tid, b);  // leaf ownership moved to m
+
+    // Draft the neighbor: replace n0 with a join-neighbor copy. The copy
+    // holds a reference on m's node memory (dropped when the copy is
+    // disposed) so m stays dereferenceable as long as the copy is.
+    Node* n1 =
+        new Node(LfcaNodeType::kJoinNeighbor, n0->data,
+                 n0->stat.load(std::memory_order_relaxed), n0->parent);
+    n1->main_node = m;
+    m->link_refs.fetch_add(1, std::memory_order_relaxed);
+    if (!try_replace(n0, n1)) {
+      m->link_refs.fetch_sub(1, std::memory_order_relaxed);
+      delete n1;
+      abort_join(m, nullptr, nullptr);
+      return nullptr;
+    }
+    retire_node_only(tid, n0);  // leaf ownership moved to n1
+
+    // Claim the parent and grandparent for this join.
+    Node* expect_id = nullptr;
+    if (!p->join_id.compare_exchange_strong(expect_id, m,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      abort_join(m, nullptr, nullptr);
+      return nullptr;
+    }
+    Node* gparent = parent_of(p);
+    if (gparent == Node::not_found()) {
+      abort_join(m, p, nullptr);
+      return nullptr;
+    }
+    if (gparent != nullptr) {
+      expect_id = nullptr;
+      if (!gparent->join_id.compare_exchange_strong(
+              expect_id, m, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        abort_join(m, p, nullptr);
+        return nullptr;
+      }
+    }
+
+    // Publish the completion plan. These three writes happen after m is
+    // reachable but are only read behind an acquire of neigh2 == n2.
+    m->gparent = gparent;
+    m->otherb = (left_side ? p->right : p->left)
+                    .load(std::memory_order_acquire);
+    m->neigh1 = n1;
+    Node* joined_parent = m->otherb == n1 ? gparent : n1->parent;
+    Node* n2 = new Node(LfcaNodeType::kNormal, Leaf::join(*m->data, *n1->data),
+                        n1->stat.load(std::memory_order_relaxed),
+                        joined_parent);
+    expected = Node::preparing();
+    if (m->neigh2.compare_exchange_strong(expected, n2,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
+      return m;
+
+    // A helper aborted us between the claims and the publish.
+    delete n2->data;
+    delete n2;
+    clear_join_ids(m, p, gparent);
+    return nullptr;
+  }
+
+  /// Abort a secured-but-unpublished join and release its claims. `p` /
+  /// `gp` are the route nodes whose join_id this join already holds
+  /// (nullptr when unclaimed).
+  void abort_join(Node* m, Node* p, Node* gp) {
+    Node* expected = Node::preparing();
+    m->neigh2.compare_exchange_strong(expected, Node::join_aborted(),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+    clear_join_ids(m, p, gp);
+  }
+
+  void clear_join_ids(Node* m, Node* p, Node* gp) {
+    if (p != nullptr) {
+      Node* expected = m;
+      p->join_id.compare_exchange_strong(expected, nullptr,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+    }
+    if (gp != nullptr) {
+      Node* expected = m;
+      gp->join_id.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+    }
+  }
+
+  /// Phase 2 (help-capable; every CAS has a unique winner who retires the
+  /// displaced node): install n2 over the drafted neighbor, invalidate the
+  /// parent route node, splice it out of the grandparent, release the
+  /// grandparent's claim, mark the join done.
+  void complete_join(int tid, Node* m) {
+    Node* n2 = m->neigh2.load(std::memory_order_acquire);
+    if (!Node::is_real_neigh2(n2)) return;  // done or aborted already
+    if (try_replace(m->neigh1, n2))
+      retire_node_and_data(tid, m->neigh1);  // n2 carries the merged leaf
+    m->parent->valid.store(false, std::memory_order_release);
+    Node* replacement = m->otherb == m->neigh1 ? n2 : m->otherb;
+    bool spliced = false;
+    if (m->gparent == nullptr) {
+      Node* expected = m->parent;
+      spliced = root_.compare_exchange_strong(expected, replacement,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire);
+    } else if (m->gparent->left.load(std::memory_order_acquire) ==
+               m->parent) {
+      Node* expected = m->parent;
+      spliced = m->gparent->left.compare_exchange_strong(
+          expected, replacement, std::memory_order_acq_rel,
+          std::memory_order_acquire);
+      clear_join_ids(m, nullptr, m->gparent);
+    } else if (m->gparent->right.load(std::memory_order_acquire) ==
+               m->parent) {
+      Node* expected = m->parent;
+      spliced = m->gparent->right.compare_exchange_strong(
+          expected, replacement, std::memory_order_acq_rel,
+          std::memory_order_acquire);
+      clear_join_ids(m, nullptr, m->gparent);
+    }
+    if (spliced) {
+      retire_node_only(tid, m->parent);  // the route node (no leaf)
+      retire_node_and_data(tid, m);      // m still owns the pre-merge leaf
+      joins_.fetch_add(1, std::memory_order_relaxed);
+    }
+    m->neigh2.store(Node::join_done(), std::memory_order_release);
+  }
+
+  // ---- updates -----------------------------------------------------------
+
+  /// Paper Fig. 6 skeleton. `fn(leaf)` returns the replacement leaf or
+  /// nullptr for a no-change operation (insert of a present key / remove of
+  /// an absent one), which needs no replacement: the answer linearizes at
+  /// the traversal's read of the base while it was linked.
+  template <typename LeafFn>
+  bool do_update(int tid, K key, LeafFn&& fn) {
+    Contention info = Contention::kUncontended;
+    OptEbrGuard g(ebr_, tid, reclaim_);
+    for (;;) {
+      Node* base =
+          find_base_node(root_.load(std::memory_order_acquire), key);
+      if (is_replaceable(base)) {
+        const Leaf* fresh = fn(base->data);
+        if (fresh == nullptr) return false;
+        Node* newb = new Node(LfcaNodeType::kNormal, fresh,
+                              new_stat(base, info), base->parent);
+        if (try_replace(base, newb)) {
+          retire_node_and_data(tid, base);
+          adapt_if_needed(tid, newb);
+          return true;
+        }
+        delete fresh;
+        delete newb;
+      }
+      info = Contention::kContended;
+      help_if_needed(tid, base);
+    }
+  }
+
+  // ---- range collection (paper Fig. 9) ----------------------------------
+
+  Node* new_range_base(Node* b, K lo, K hi, Storage* st) const {
+    Node* n = new Node(LfcaNodeType::kRange, b->data,
+                       b->stat.load(std::memory_order_relaxed), b->parent);
+    n->lo = lo;
+    n->hi = hi;
+    n->storage = st;
+    return n;
+  }
+
+  /// Mark every base intersecting [lo, hi] (ascending key order) with one
+  /// shared storage, then CAS the concatenation of their leaves into it.
+  /// With `help_s` set, continue someone else's query instead. Returns the
+  /// unfiltered union of the collected leaves; the caller slices [lo, hi].
+  /// Must run under the caller's EBR guard: every pointer chased here
+  /// (nodes from the stack, the storage, the returned items) is kept alive
+  /// by the pin, not by ownership.
+  const Items* all_in_range(int tid, K lo, K hi, Storage* help_s) {
+    std::vector<Node*> s, backup_s, done;
+    Storage* my_s = nullptr;
+    Node* b;
+
+  find_first:
+    done.clear();
+    b = find_base_stack(root_.load(std::memory_order_acquire), lo, s);
+    if (help_s != nullptr) {
+      if (b->type != LfcaNodeType::kRange || b->storage != help_s) {
+        // The query's first base was already replaced, which (by the
+        // marking protocol) implies its result is set.
+        return help_s->result.load(std::memory_order_acquire);
+      }
+      my_s = help_s;
+    } else if (is_replaceable(b)) {
+      if (my_s == nullptr) my_s = new Storage();  // reused across retries
+      Node* n = new_range_base(b, lo, hi, my_s);
+      my_s->add_ref();
+      if (!try_replace(b, n)) {
+        my_s->drop_ref();
+        delete n;
+        goto find_first;
+      }
+      retire_node_only(tid, b);  // leaf ownership moved to n
+      s.back() = n;
+      b = n;
+    } else if (b->type == LfcaNodeType::kRange && b->hi >= hi) {
+      // An in-flight query already covers us: help it and share its
+      // snapshot (its result is set inside our window — see DESIGN.md).
+      Storage* other = b->storage;
+      const K other_lo = b->lo;
+      const K other_hi = b->hi;
+      const Items* r = all_in_range(tid, other_lo, other_hi, other);
+      if (my_s != nullptr) my_s->drop_ref();  // never published
+      return r;
+    } else {
+      help_if_needed(tid, b);
+      goto find_first;
+    }
+
+    for (;;) {
+      done.push_back(b);
+      backup_s = s;
+      if (!b->data->empty() && b->data->max_key() >= hi) break;
+
+    find_next:
+      b = find_next_base_stack(s);
+      if (b == nullptr) break;
+      if (const Items* r = my_s->result.load(std::memory_order_acquire);
+          r != nullptr) {
+        // Someone finished the query while we walked.
+        if (help_s == nullptr) my_s->drop_ref();
+        return r;
+      }
+      if (b->type == LfcaNodeType::kRange && b->storage == my_s) continue;
+      if (is_replaceable(b)) {
+        Node* n = new_range_base(b, lo, hi, my_s);
+        my_s->add_ref();
+        if (try_replace(b, n)) {
+          retire_node_only(tid, b);
+          s.back() = n;
+          b = n;
+          continue;
+        }
+        my_s->drop_ref();
+        delete n;
+        s = backup_s;
+        goto find_next;
+      }
+      help_if_needed(tid, b);
+      s = backup_s;
+      goto find_next;
+    }
+
+    // Concatenate the frozen leaves (ascending bases => already sorted).
+    Items* candidate = new Items();
+    size_t total = 0;
+    for (Node* d : done) total += d->data->size();
+    candidate->reserve(total);
+    for (Node* d : done)
+      candidate->insert(candidate->end(), d->data->items().begin(),
+                        d->data->items().end());
+
+    Items* expected = nullptr;
+    const Items* result = candidate;
+    if (my_s->result.compare_exchange_strong(expected, candidate,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+      if (done.size() > 1)
+        my_s->more_than_one_base.store(true, std::memory_order_release);
+      // Feed the adaptation: a query that had to stitch many bases argues
+      // for joins; pick one of them (round-robin stand-in for rand()).
+      adapt_if_needed(
+          tid, done[adapt_pick_.fetch_add(1, std::memory_order_relaxed) %
+                    done.size()]);
+    } else {
+      delete candidate;
+      result = expected;  // the winner's snapshot
+    }
+    if (help_s == nullptr) my_s->drop_ref();  // creation ref
+    return result;
+  }
+
+  // ---- quiescent helpers -------------------------------------------------
+
+  void collect(Node* n, std::vector<std::pair<K, V>>& out) const {
+    if (n->is_route()) {
+      collect(n->left.load(std::memory_order_acquire), out);
+      collect(n->right.load(std::memory_order_acquire), out);
+      return;
+    }
+    out.insert(out.end(), n->data->items().begin(), n->data->items().end());
+  }
+
+  size_t count_nodes(Node* n, bool routes) const {
+    if (n->is_route())
+      return (routes ? 1 : 0) +
+             count_nodes(n->left.load(std::memory_order_acquire), routes) +
+             count_nodes(n->right.load(std::memory_order_acquire), routes);
+    return routes ? 0 : 1;
+  }
+
+  // Bounds are [lo, hi): lo inclusive, hi exclusive, each optional.
+  bool check_node(Node* n, bool has_lo, K lo, bool has_hi, K hi) const {
+    if (n->is_route()) {
+      // Left subtree keys < key <= right subtree keys, inside the bounds.
+      if (has_lo && n->key <= lo) return false;
+      if (has_hi && n->key >= hi) return false;
+      return check_node(n->left.load(std::memory_order_acquire), has_lo, lo,
+                        true, n->key) &&
+             check_node(n->right.load(std::memory_order_acquire), true,
+                        n->key, has_hi, hi);
+    }
+    const auto& items = n->data->items();
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0 && items[i - 1].first >= items[i].first) return false;
+      if (has_lo && items[i].first < lo) return false;
+      if (has_hi && items[i].first >= hi) return false;
+    }
+    return true;
+  }
+
+  void free_subtree(Node* n) {
+    if (n->is_route()) {
+      free_subtree(n->left.load(std::memory_order_relaxed));
+      free_subtree(n->right.load(std::memory_order_relaxed));
+      delete n;
+      return;
+    }
+    dispose_node(n, /*with_data=*/true);
+  }
+
+  std::atomic<Node*> root_{nullptr};
+  mutable Ebr ebr_;
+  const bool reclaim_;
+  const LfcaTuning tuning_;
+  std::atomic<uint64_t> splits_{0};
+  std::atomic<uint64_t> joins_{0};
+  std::atomic<uint64_t> adapt_pick_{0};
+};
+
+}  // namespace bref

@@ -10,10 +10,19 @@
 //
 // Design: a global epoch counter; each thread announces the epoch it read
 // when it pins (enters an operation) and announces quiescence when it
-// unpins. Retired objects go into the bag of the thread's current epoch
-// (three generations per thread); a bag is freed once the global epoch has
-// advanced twice past it, which implies every thread has since been
-// quiescent or has re-pinned in a newer epoch.
+// unpins. Retired objects go into the bag of the *current global* epoch
+// (three generations per thread, each stamped with the epoch it was filled
+// under); a bag is freed once the global epoch has advanced twice past its
+// stamp, which implies every thread has since been quiescent or has
+// re-pinned in a newer epoch.
+//
+// The global (not the pinned-at) epoch matters when a pin spans an
+// advance: an object unlinked at global epoch E can be observed by readers
+// pinned at E, and a reader pinned at E only blocks the E+1 -> E+2
+// advance. Bagging by the retirer's stale pinned epoch E-1 would free the
+// object at E+1 — one epoch early, under that reader. (Found the hard way
+// via the LFCA tree, whose long copy-on-write operations make pins
+// routinely span advances.)
 
 #include <atomic>
 #include <cassert>
@@ -74,11 +83,18 @@ class Ebr {
   };
 
   /// Retire an object; it is freed via `deleter(p)` once safe. Must be
-  /// called while pinned.
+  /// called while pinned (or while provably unreachable, e.g. the leaky
+  /// benchmark mode where nothing is freed until destruction).
   void retire(int tid, void* p, void (*deleter)(void*)) {
     hwm_.note(tid);
     Slot& s = *slots_[tid];
-    s.bags[s.local_epoch % kGenerations].push_back({p, deleter});
+    // Bag under the current *global* epoch: the unlink happened no later
+    // than this read, so the bag's stamp upper-bounds every reader that
+    // could still hold the object (see header comment).
+    const uint64_t g = global_epoch_.load(std::memory_order_acquire);
+    const size_t i = g % kGenerations;
+    s.bags[i].push_back({p, deleter});
+    s.bag_epoch[i] = g;
     s.retired_count++;
   }
 
@@ -140,14 +156,17 @@ class Ebr {
     uint64_t pin_count{0};
     uint64_t retired_count{0};
     std::vector<RetiredObj> bags[kGenerations];
+    uint64_t bag_epoch[kGenerations] = {};  // epoch each bag was filled under
   };
 
   void on_new_epoch(Slot& s, uint64_t e) {
-    // Entering epoch e: anything retired in epoch <= e-2 is unreachable by
-    // every thread. Bag (e+1) % 3 holds epoch e-2's garbage. If we skipped
-    // epochs entirely, the bag for e-1's slot is also stale garbage.
-    drain_counted(s.bags[(e + 1) % kGenerations]);
-    if (e > s.local_epoch + 1) drain_counted(s.bags[(e + 2) % kGenerations]);
+    // Entering epoch e: a bag stamped B became unreachable once the global
+    // epoch passed B+2 — every thread has since been quiescent or pinned
+    // in an epoch past B. Checking stamps (rather than inferring epochs
+    // from slot indices) stays correct when this thread skipped epochs.
+    for (size_t i = 0; i < kGenerations; ++i)
+      if (!s.bags[i].empty() && e >= s.bag_epoch[i] + 2)
+        drain_counted(s.bags[i]);
     s.local_epoch = e;
   }
 

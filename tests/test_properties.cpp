@@ -5,11 +5,18 @@
 //                         (model equivalence, RQ slicing, idempotence).
 //   * LinRqProperty     - linearizable implementations x concurrent
 //                         happens-before visibility properties.
-//   * RelaxationSweep   - Bundle structures x relax threshold T: point ops
-//                         stay linearizable (per-key audit) and quiescent
-//                         range queries stay exact for every T — only
-//                         concurrent RQ freshness is traded away (Fig. 5).
-//   * ReclaimSweep      - Bundle structures x reclamation on/off.
+//   * RelaxationSweep   - relaxation-capable implementations x relax
+//                         threshold T: point ops stay linearizable
+//                         (per-key audit) and quiescent range queries stay
+//                         exact for every T — only concurrent RQ freshness
+//                         is traded away (Fig. 5).
+//   * ReclaimSweep      - reclamation-capable implementations x
+//                         reclamation on/off.
+//
+// The two option sweeps enumerate the ImplRegistry filtered by the
+// capability under test instead of naming implementations, so a new
+// technique with the capability (LFCA was the first) is swept with no test
+// edits.
 //
 // These complement the typed suites (compile-time enumeration) with
 // combinatorial run-time sweeps the typed machinery cannot express.
@@ -254,13 +261,22 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
-// RelaxationSweep: Bundle structures x relax threshold T (Fig. 5 knob).
+// RelaxationSweep: relaxation-capable implementations x threshold T (the
+// Fig. 5 knob), enumerated from the registry.
 // ---------------------------------------------------------------------------
 
 struct RelaxParam {
-  const char* impl;
+  std::string impl;
   uint64_t relax_t;
 };
+
+std::vector<RelaxParam> relaxation_sweep_params() {
+  std::vector<RelaxParam> out;
+  for (const auto& d : ImplRegistry::instance().descriptors())
+    if (d.caps.relaxation)
+      for (uint64_t t : {1, 2, 5, 50}) out.push_back({d.name, t});
+  return out;
+}
 
 class RelaxationSweep : public ::testing::TestWithParam<RelaxParam> {
  protected:
@@ -336,17 +352,8 @@ TEST_P(RelaxationSweep, PointOpsRemainLinearizableUnderRelaxation) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    BundleTimesT, RelaxationSweep,
-    ::testing::Values(RelaxParam{"Bundle-list", 1},
-                      RelaxParam{"Bundle-list", 2},
-                      RelaxParam{"Bundle-list", 5},
-                      RelaxParam{"Bundle-skiplist", 1},
-                      RelaxParam{"Bundle-skiplist", 2},
-                      RelaxParam{"Bundle-skiplist", 5},
-                      RelaxParam{"Bundle-skiplist", 50},
-                      RelaxParam{"Bundle-citrus", 1},
-                      RelaxParam{"Bundle-citrus", 5},
-                      RelaxParam{"Bundle-citrus", 50}),
+    RegistryTimesT, RelaxationSweep,
+    ::testing::ValuesIn(relaxation_sweep_params()),
     [](const ::testing::TestParamInfo<RelaxParam>& info) {
       std::string n = info.param.impl;
       for (auto& c : n)
@@ -355,13 +362,24 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
-// ReclaimSweep: Bundle structures x reclamation on/off (Table 1 knob).
+// ReclaimSweep: reclamation-capable implementations x reclamation on/off
+// (the Table 1 knob), enumerated from the registry. The assertions check
+// snapshot consistency, so the filter also requires linearizable_rq — the
+// Unsafe baselines can reclaim but exist to violate exactly this.
 // ---------------------------------------------------------------------------
 
 struct ReclaimParam {
-  const char* impl;
+  std::string impl;
   bool reclaim;
 };
+
+std::vector<ReclaimParam> reclaim_sweep_params() {
+  std::vector<ReclaimParam> out;
+  for (const auto& d : ImplRegistry::instance().descriptors())
+    if (d.caps.reclamation && d.caps.linearizable_rq)
+      for (bool r : {false, true}) out.push_back({d.name, r});
+  return out;
+}
 
 class ReclaimSweep : public ::testing::TestWithParam<ReclaimParam> {
  protected:
@@ -405,13 +423,8 @@ TEST_P(ReclaimSweep, ChurnWithRangeQueriesKeepsSnapshotsConsistent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    BundleTimesReclaim, ReclaimSweep,
-    ::testing::Values(ReclaimParam{"Bundle-list", false},
-                      ReclaimParam{"Bundle-list", true},
-                      ReclaimParam{"Bundle-skiplist", false},
-                      ReclaimParam{"Bundle-skiplist", true},
-                      ReclaimParam{"Bundle-citrus", false},
-                      ReclaimParam{"Bundle-citrus", true}),
+    RegistryTimesReclaim, ReclaimSweep,
+    ::testing::ValuesIn(reclaim_sweep_params()),
     [](const ::testing::TestParamInfo<ReclaimParam>& info) {
       std::string n = info.param.impl;
       for (auto& c : n)

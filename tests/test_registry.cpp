@@ -1,15 +1,16 @@
 // Registry, capability and facade tests.
 //
 // Pins down the redesigned public API layer:
-//   * the self-registering ImplRegistry holds exactly the 17 paper
-//     configurations, all constructible, with metadata matching their
-//     descriptors (catching drift like an 18th registration slipping in
-//     unnamed or a paper configuration going missing);
+//   * the self-registering ImplRegistry holds exactly the 18 builtin
+//     configurations — the paper's 17 plus the LFCA tree — all
+//     constructible, with metadata matching their descriptors (catching
+//     drift like a registration slipping in unnamed or a builtin going
+//     missing);
 //   * SetOptions an implementation cannot honor throw
 //     UnsupportedOptionError instead of being silently dropped — including
-//     the regression observable pre-redesign, where
-//     make_any_set("RLU-list", {.reclaim = true}) succeeded and leaked;
-//   * an 18th implementation plugs in with one registration line
+//     the regression observable pre-redesign, where constructing
+//     "RLU-list" with {.reclaim = true} succeeded and leaked;
+//   * one more implementation plugs in with one registration line
 //     (ScopedRegistration over a toy wrapper) and no registry edits;
 //   * ThreadSession RAII id management recycles dense ids;
 //   * RangeSnapshot's reusable-buffer and timestamp contracts.
@@ -29,16 +30,17 @@
 namespace bref {
 namespace {
 
-// The paper's 17 configurations (5 techniques x 3 structures, minus the
-// never-built Snapcollector-citrus). A new *builtin* must be added here
-// deliberately, not by accident.
-const std::set<std::string> kPaperConfigs = {
+// The 18 builtins: the paper's 17 configurations (5 techniques x 3
+// structures, minus the never-built Snapcollector-citrus) plus the LFCA
+// tree, which brings its own structure kind. A new *builtin* must be added
+// here deliberately, not by accident.
+const std::set<std::string> kBuiltinConfigs = {
     "Bundle-list",        "Bundle-skiplist",        "Bundle-citrus",
     "Unsafe-list",        "Unsafe-skiplist",        "Unsafe-citrus",
     "EBR-RQ-list",        "EBR-RQ-skiplist",        "EBR-RQ-citrus",
     "EBR-RQ-LF-list",     "EBR-RQ-LF-skiplist",     "EBR-RQ-LF-citrus",
     "RLU-list",           "RLU-skiplist",           "RLU-citrus",
-    "Snapcollector-list", "Snapcollector-skiplist"};
+    "Snapcollector-list", "Snapcollector-skiplist", "LFCA-tree"};
 
 std::vector<ImplDescriptor> builtin_descriptors() {
   std::vector<ImplDescriptor> out;
@@ -51,13 +53,13 @@ std::vector<ImplDescriptor> builtin_descriptors() {
 // Registry inventory.
 // ---------------------------------------------------------------------------
 
-TEST(Registry, ContainsExactlyThePaperConfigurations) {
+TEST(Registry, ContainsExactlyTheBuiltinConfigurations) {
   std::set<std::string> names;
   for (auto& d : builtin_descriptors()) {
     EXPECT_TRUE(names.insert(d.name).second) << "duplicate: " << d.name;
   }
-  EXPECT_EQ(names, kPaperConfigs);
-  EXPECT_EQ(builtin_descriptors().size(), 17u);
+  EXPECT_EQ(names, kBuiltinConfigs);
+  EXPECT_EQ(builtin_descriptors().size(), 18u);
 }
 
 TEST(Registry, EveryDescriptorIsConstructibleAndSelfConsistent) {
@@ -84,15 +86,16 @@ TEST(Registry, CapabilityMatrixMatchesTheTechniques) {
     SCOPED_TRACE(d.name);
     const bool bundle = d.technique == "Bundle";
     const bool unsafe_ = d.technique == "Unsafe";
+    const bool lfca = d.technique == "LFCA";
     // Only the Unsafe baselines lack linearizable range queries.
     EXPECT_EQ(d.caps.linearizable_rq, !unsafe_);
     // Only bundled structures expose the Fig. 5 relaxation knob and the
     // snapshot timestamp.
     EXPECT_EQ(d.caps.relaxation, bundle);
     EXPECT_EQ(d.caps.rq_timestamp, bundle);
-    // Bundled and Unsafe structures run on EBR and can reclaim; the
+    // Bundled, Unsafe and LFCA structures run on EBR and can reclaim; the
     // EBR-RQ/RLU/Snapcollector ports keep the paper's leaky benchmark mode.
-    EXPECT_EQ(d.caps.reclamation, bundle || unsafe_);
+    EXPECT_EQ(d.caps.reclamation, bundle || unsafe_ || lfca);
   }
 }
 
@@ -131,16 +134,6 @@ TEST(CapabilityOptions, RluReclaimThrowsInsteadOfSilentlyDropping) {
   }
 }
 
-TEST(CapabilityOptions, DeprecatedMakeAnySetShimChecksToo) {
-  // The migration shim routes through the same registry validation.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_THROW((void)make_any_set("RLU-list", AnySetOptions{.reclaim = true}),
-               UnsupportedOptionError);
-  EXPECT_NE(make_any_set("RLU-list"), nullptr);
-#pragma GCC diagnostic pop
-}
-
 TEST(CapabilityOptions, EveryImplementationRejectsWhatItCannotHonor) {
   for (const auto& d : ImplRegistry::instance().descriptors()) {
     SCOPED_TRACE(d.name);
@@ -175,7 +168,8 @@ TEST(CapabilityOptions, HonoredOptionsActuallyReachTheStructure) {
 }
 
 // ---------------------------------------------------------------------------
-// The 18th implementation: a toy wrapper + one registration line.
+// The 19th implementation: a toy wrapper + one registration line. (The
+// 18th, LFCA-tree, went in through builtin_impls.h exactly this way.)
 // ---------------------------------------------------------------------------
 
 // Capability inference is two-factor (constructor shape AND runtime hook,
@@ -200,7 +194,7 @@ struct ToyWrapperSet : BundledList<KeyT, ValT> {
   static constexpr const char* kStructure = "list";
 };
 
-TEST(Registry, EighteenthImplementationIsOneRegistrationLine) {
+TEST(Registry, ExtraImplementationIsOneRegistrationLine) {
   const size_t before = ImplRegistry::instance().size();
   {
     ScopedRegistration<ToyWrapperSet> reg;  // the one line
@@ -217,7 +211,7 @@ TEST(Registry, EighteenthImplementationIsOneRegistrationLine) {
     EXPECT_TRUE(sess.insert(1, 2));
     EXPECT_EQ(sess.range_query(0, 10).size(), 1u);
     // Builtins are unaffected.
-    EXPECT_EQ(builtin_descriptors().size(), 17u);
+    EXPECT_EQ(builtin_descriptors().size(), 18u);
   }
   // Scope ended: the toy is gone, the table restored.
   EXPECT_EQ(ImplRegistry::instance().size(), before);

@@ -85,13 +85,13 @@ using AllSetTypes = ::testing::Types<
     UnsafeSkipListSet, UnsafeCitrusSet, EbrRqListSet, EbrRqSkipListSet,
     EbrRqCitrusSet, EbrRqLfListSet, EbrRqLfSkipListSet, EbrRqLfCitrusSet,
     RluListSet, RluSkipListSet, RluCitrusSet, SnapCollectorListSet,
-    SnapCollectorSkipListSet>;
+    SnapCollectorSkipListSet, LfcaTreeSet>;
 
 /// Implementations with linearizable range queries (Unsafe excluded).
 using LinearizableSetTypes = ::testing::Types<
     BundleListSet, BundleSkipListSet, BundleCitrusSet, EbrRqListSet,
     EbrRqSkipListSet, EbrRqCitrusSet, EbrRqLfListSet, EbrRqLfSkipListSet,
     EbrRqLfCitrusSet, RluListSet, RluSkipListSet, RluCitrusSet,
-    SnapCollectorListSet, SnapCollectorSkipListSet>;
+    SnapCollectorListSet, SnapCollectorSkipListSet, LfcaTreeSet>;
 
 }  // namespace bref::testutil
