@@ -13,11 +13,21 @@
 // range (entry distance); the gap is larger for the skip list, whose index
 // layers turn the entry walk into O(log n).
 
+// A second axis ablates the *allocation* path of the entries themselves:
+// the same mixed workload (update-heavy, cleaner running so entries
+// recycle) with the per-thread entry pools (core/entry_pool.h) on vs
+// bypassed to plain new/delete. Expected shape: pooled wins by more as
+// threads grow (the allocator serializes), and pooled allocs/op collapses
+// toward zero once the pool is warm while malloc pays one heap round-trip
+// per entry.
+
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <memory>
 #include <thread>
 
+#include "core/bundle_cleaner.h"
 #include "harness.h"
 
 namespace {
@@ -100,12 +110,54 @@ void run_family(const char* tag, const Config& base,
   }
 }
 
+/// One cell of the pooled-vs-malloc axis: mixed trial on a reclaiming
+/// structure with the cleaner pruning at 1 ms, entry pools forced on/off.
+template <typename DS>
+Measured measure_alloc_mode(int threads, const Config& cfg, bool pooled) {
+  EntryPoolRegistry::instance().set_pooling_enabled(pooled);
+  Measured m = measure_detailed(
+      [&] { return std::make_unique<DS>(1, /*reclaim=*/true); }, threads, cfg,
+      [](DS& ds, int th, const Config& c) {
+        BundleCleaner<DS> cleaner(ds, std::chrono::milliseconds(1));
+        Result r = run_mixed_trial(ds, th, c);
+        cleaner.stop();
+        return r;
+      });
+  EntryPoolRegistry::instance().set_pooling_enabled(true);
+  return m;
+}
+
+template <typename DS>
+void run_alloc_family(const char* tag, const char* impl, const Config& base) {
+  Config cfg = base;
+  cfg.u_pct = 90;
+  cfg.c_pct = 0;
+  cfg.rq_pct = 10;
+  std::printf("\n-- %s: pooled vs malloc entry allocation (90-0-10, "
+              "cleaner d=1ms) --\n", tag);
+  std::printf("%8s %12s %12s %9s %16s %16s\n", "threads", "pooled", "malloc",
+              "speedup", "pooled allocs/op", "malloc allocs/op");
+  for (int threads : cfg.thread_counts) {
+    const Measured pooled = measure_alloc_mode<DS>(threads, cfg, true);
+    const Measured malloc_ = measure_alloc_mode<DS>(threads, cfg, false);
+    JsonSink::instance().record(std::string(impl) + "-pooled", "90-0-10",
+                                threads, pooled);
+    JsonSink::instance().record(std::string(impl) + "-malloc", "90-0-10",
+                                threads, malloc_);
+    std::printf("%8d %12.3f %12.3f %8.2fx %16.6f %16.6f\n", threads,
+                pooled.mops, malloc_.mops,
+                malloc_.mops > 0 ? pooled.mops / malloc_.mops : 0.0,
+                pooled.allocs_per_op, malloc_.allocs_per_op);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv);
   Config base = config_from_args(args);
   if (!args.has("--duration")) base.duration_ms = 120;
+  json_init(args, "ablation_entry_path", base);
   print_header("ablation: RQ entry path", base);
   std::vector<long> ranges{1000, 10000, 50000};
   if (args.has("--keyrange")) ranges = {base.key_range};
@@ -120,5 +172,18 @@ int main(int argc, char** argv) {
               "same O(n) hops from the head; only the per-hop bundle "
               "dereference differs, so expect a modest gap that can vanish "
               "in noise at small key ranges.\n");
+
+  // ---- entry-allocation axis ----
+  Config alloc_cfg = base;
+  if (!args.has("--threads")) alloc_cfg.thread_counts = {1, 2, 4, 8};
+  if (!args.has("--keyrange")) alloc_cfg.key_range = 10000;
+  run_alloc_family<BundledSkipList<KeyT, ValT>>(
+      "skip list", "Bundle-skiplist", alloc_cfg);
+  run_alloc_family<BundledList<KeyT, ValT>>("lazy list", "Bundle-list",
+                                            alloc_cfg);
+  std::printf("\nshape-check: pooled should win by more as threads grow, "
+              "with pooled allocs/op near zero once warm and malloc "
+              "allocs/op near the entries-per-update rate.\n");
+  JsonSink::instance().flush();
   return 0;
 }

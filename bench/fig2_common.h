@@ -68,6 +68,7 @@ inline int run_fig2(const char* structure, const char* tag, int argc,
   Config base = config_from_args(args);
   if (!args.has("--keyrange")) base.key_range = 20000;  // quick default
   if (!args.has("--duration")) base.duration_ms = 150;
+  json_init(args, (std::string("fig2_") + structure).c_str(), base);
 
   const auto competitors = competitors_for(structure);
 
@@ -87,12 +88,16 @@ inline int run_fig2(const char* structure, const char* tag, int argc,
                                               : d.technique.c_str());
     std::printf("\n");
     double best_bundle = 0, best_competitor = 0;
+    char mix_str[32];
+    std::snprintf(mix_str, sizeof mix_str, "%d-%d-%d", mix.u, mix.c, mix.rq);
     for (int threads : cfg.thread_counts) {
       std::printf("%8d", threads);
       for (const auto& d : competitors) {
-        const double mops = measure(
+        const Measured md = measure_detailed(
             [&] { return ImplRegistry::instance().create(d.name); }, threads,
             cfg);
+        const double mops = md.mops;
+        JsonSink::instance().record(d.name, mix_str, threads, md);
         std::printf(" %13.3f", mops);
         if (threads == cfg.thread_counts.back()) {
           if (d.technique == std::string("Bundle")) {
@@ -112,6 +117,7 @@ inline int run_fig2(const char* structure, const char* tag, int argc,
                     : "(competitor wins - paper expects this only in the "
                       "90-0-10 / 0-90-10 corner cases)");
   }
+  JsonSink::instance().flush();
   return 0;
 }
 

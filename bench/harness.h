@@ -24,6 +24,7 @@
 #include "common/cacheline.h"
 #include "common/random.h"
 #include "common/timing.h"
+#include "core/entry_pool.h"
 
 namespace bref::bench {
 
@@ -120,16 +121,58 @@ Result run_mixed_trial(DS& ds, int threads, const Config& cfg) {
   return r;
 }
 
-/// Build + prefill + run `runs` trials, returning the average Mops/s.
-template <typename MakeFn>
-double measure(MakeFn&& make, int threads, const Config& cfg) {
+/// measure() result with the entry-allocation profile of the timed trials:
+/// `pool` is the delta of every EntryPool's counters across the trials
+/// (prefill excluded), `allocs_per_op` the heap allocations the bundle
+/// entry path performed per operation — zero in pooled steady state, about
+/// entries-per-update on the malloc baseline, and identically zero for
+/// impls that have no bundle entries (their allocations are
+/// uninstrumented).
+struct Measured {
+  double mops = 0;
+  uint64_t ops = 0;
+  double allocs_per_op = 0;
+  EntryPoolStats pool;
+};
+
+/// Build + prefill + run `runs` trials. `trial` runs one timed trial on a
+/// prefilled structure (defaults to run_mixed_trial; the ablations wrap
+/// it to run a cleaner alongside); the pool-counter delta brackets it.
+template <typename MakeFn, typename TrialFn>
+Measured measure_detailed(MakeFn&& make, int threads, const Config& cfg,
+                          TrialFn&& trial) {
+  Measured m;
   double total = 0;
   for (int run = 0; run < cfg.runs; ++run) {
     auto ds = make();
     prefill(*ds, cfg.key_range);
-    total += run_mixed_trial(*ds, threads, cfg).mops;
+    EntryPoolStats before = EntryPoolRegistry::instance().totals();
+    Result r = trial(*ds, threads, cfg);
+    EntryPoolStats delta = EntryPoolRegistry::instance().totals();
+    delta -= before;
+    m.pool += delta;
+    m.ops += r.ops;
+    total += r.mops;
   }
-  return total / cfg.runs;
+  m.mops = total / cfg.runs;
+  m.allocs_per_op =
+      m.ops > 0 ? static_cast<double>(m.pool.allocs()) / m.ops : 0.0;
+  return m;
+}
+
+template <typename MakeFn>
+Measured measure_detailed(MakeFn&& make, int threads, const Config& cfg) {
+  return measure_detailed(
+      make, threads, cfg,
+      [](auto& ds, int th, const Config& c) {
+        return run_mixed_trial(ds, th, c);
+      });
+}
+
+/// Average Mops/s only (the figure benches' historical shape).
+template <typename MakeFn>
+double measure(MakeFn&& make, int threads, const Config& cfg) {
+  return measure_detailed(make, threads, cfg).mops;
 }
 
 // ---- tiny argv parser ------------------------------------------------------
@@ -205,6 +248,109 @@ inline void print_header(const char* title, const Config& cfg) {
               cfg.runs, cfg.rq_size);
   if (cfg.zipf_theta > 0) std::printf(" zipf=%.2f", cfg.zipf_theta);
   std::printf("\n");
+}
+
+// ---- machine-readable output (--json) --------------------------------------
+//
+// Every harness bench accepts `--json [path]`; when given, each measured
+// cell is also recorded here and flushed as one JSON document (default
+// path BENCH_<bench>.json) so CI can archive the perf trajectory instead
+// of scraping stdout. Schema v1 record: impl, mix (U-C-RQ), threads,
+// mops, ops, allocs_per_op (entry-path heap allocations), pool counters.
+
+class JsonSink {
+ public:
+  struct Record {
+    std::string impl;
+    std::string mix;
+    int threads = 0;
+    Measured m;
+  };
+
+  static JsonSink& instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  /// Enable collection; `bench` names the binary, `path` the output file.
+  void enable(std::string bench, std::string path, const Config& cfg) {
+    bench_ = std::move(bench);
+    path_ = std::move(path);
+    cfg_ = cfg;
+  }
+  bool enabled() const { return !path_.empty(); }
+
+  void record(std::string impl, std::string mix, int threads,
+              const Measured& m) {
+    if (!enabled()) return;
+    records_.push_back({std::move(impl), std::move(mix), threads, m});
+  }
+
+  /// Write the collected document; call once at the end of main().
+  void flush() {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"schema\": 1,\n  \"bench\": \"%s\",\n",
+                 bench_.c_str());
+    std::fprintf(f,
+                 "  \"config\": {\"keyrange\": %lld, \"duration_ms\": %d, "
+                 "\"runs\": %d, \"rq_size\": %d, \"seed\": %llu, "
+                 "\"zipf\": %.3f},\n",
+                 static_cast<long long>(cfg_.key_range), cfg_.duration_ms,
+                 cfg_.runs, cfg_.rq_size,
+                 static_cast<unsigned long long>(cfg_.seed), cfg_.zipf_theta);
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(
+          f,
+          "    {\"impl\": \"%s\", \"mix\": \"%s\", \"threads\": %d, "
+          "\"mops\": %.6f, \"ops\": %llu, \"allocs_per_op\": %.8f, "
+          "\"pool_hits\": %llu, \"pool_misses\": %llu, "
+          "\"pool_recycled\": %llu}%s\n",
+          r.impl.c_str(), r.mix.c_str(), r.threads, r.m.mops,
+          static_cast<unsigned long long>(r.m.ops), r.m.allocs_per_op,
+          static_cast<unsigned long long>(r.m.pool.hits),
+          static_cast<unsigned long long>(r.m.pool.misses),
+          static_cast<unsigned long long>(r.m.pool.recycled),
+          i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# json: wrote %zu records to %s\n", records_.size(),
+                path_.c_str());
+    records_.clear();
+    path_.clear();
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  Config cfg_;
+  std::vector<Record> records_;
+};
+
+/// `--json` handling: absent -> disabled (empty string); bare `--json` or
+/// `--json --next-flag` -> the default BENCH_<bench>.json; `--json path`
+/// -> that path. Call after config_from_args, then JsonSink::instance()
+/// .enable(...) when non-empty.
+inline std::string json_path_from_args(const Args& args,
+                                       const std::string& bench) {
+  if (!args.has("--json")) return "";
+  std::string v = args.get_str("--json", "");
+  if (v.empty() || v.rfind("--", 0) == 0) return "BENCH_" + bench + ".json";
+  return v;
+}
+
+/// One-line setup used by the bench mains.
+inline void json_init(const Args& args, const char* bench,
+                      const Config& cfg) {
+  std::string path = json_path_from_args(args, bench);
+  if (!path.empty()) JsonSink::instance().enable(bench, std::move(path), cfg);
 }
 
 }  // namespace bref::bench

@@ -9,6 +9,7 @@
 
 #include "common/dcss.h"
 #include "core/bundle.h"
+#include "core/entry_pool.h"
 #include "core/global_timestamp.h"
 #include "core/rq_tracker.h"
 #include "epoch/ebr.h"
@@ -47,7 +48,7 @@ void BM_Bundle_PrepareFinalize(benchmark::State& state) {
   b.init(&n, 0);
   timestamp_t ts = 0;
   for (auto _ : state) {
-    auto* e = b.prepare(&n);
+    auto* e = b.prepare(0, &n);
     Bundle<FakeNode>::finalize(e, ++ts);
   }
   state.SetItemsProcessed(state.iterations());
@@ -62,11 +63,60 @@ void BM_Bundle_DereferenceDepth(benchmark::State& state) {
   FakeNode n{0};
   b.init(&n, 0);
   for (int i = 1; i <= depth; ++i)
-    Bundle<FakeNode>::finalize(b.prepare(&n), 100 + i);
+    Bundle<FakeNode>::finalize(b.prepare(0, &n), 100 + i);
   for (auto _ : state) benchmark::DoNotOptimize(b.dereference(100));
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Bundle_DereferenceDepth)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// The full steady-state update hot path — prepare, finalize, periodic
+// prune, EBR-driven recycle — with the entry pool on vs ablated to
+// new/delete. Each thread churns its own bundle (the allocator, not bundle
+// contention, is what's under test); the pooled path should hold its
+// throughput as threads grow while the malloc path pays the allocator on
+// every entry.
+void pool_on(const benchmark::State&) {
+  EntryPoolRegistry::instance().set_pooling_enabled(true);
+}
+void pool_off(const benchmark::State&) {
+  EntryPoolRegistry::instance().set_pooling_enabled(false);
+}
+
+void update_hot_path(benchmark::State& state) {
+  static Ebr ebr;
+  const int tid = state.thread_index();
+  Bundle<FakeNode> b;
+  FakeNode n{0};
+  b.init(&n, 0);
+  timestamp_t ts = 0;
+  for (auto _ : state) {
+    ebr.pin(tid);
+    auto* e = b.prepare(tid, &n);
+    Bundle<FakeNode>::finalize(e, ++ts);
+    // Bounded history, as under the background cleaner: prune everything a
+    // ts-8 snapshot no longer needs, letting EBR recycle it to the pool.
+    if ((ts & 15) == 0) b.reclaim_older(ts - 8, ebr, tid);
+    ebr.unpin(tid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Bundle_UpdateHotPath_Pooled(benchmark::State& state) {
+  update_hot_path(state);
+}
+BENCHMARK(BM_Bundle_UpdateHotPath_Pooled)
+    ->Setup(pool_on)
+    ->Threads(1)
+    ->Threads(8);
+
+void BM_Bundle_UpdateHotPath_Malloc(benchmark::State& state) {
+  update_hot_path(state);
+}
+BENCHMARK(BM_Bundle_UpdateHotPath_Malloc)
+    ->Setup(pool_off)
+    ->Teardown(pool_on)
+    ->Threads(1)
+    ->Threads(8);
 
 void BM_Ebr_PinUnpin(benchmark::State& state) {
   static Ebr ebr;

@@ -93,11 +93,14 @@ class MiniKv {
   }
 
  private:
-  /// Session pinned to the caller's persistent dense id: constructing one
-  /// is free (no registry round-trip) because tl_thread_id() owns the id.
-  ThreadSession session() { return index_.session(tl_thread_id()); }
+  /// Session on the caller's pooled per-thread id: as cheap as the old
+  /// tl_thread_id() pattern (no registry round-trip after a thread's first
+  /// call), but the id is *released* when the thread exits — a store
+  /// serving short-lived connection threads no longer leaks id slots.
+  ThreadSession session() { return pool_.session(); }
 
   Set index_;
+  SessionPool pool_{index_};
   ValueLog log_;
 };
 

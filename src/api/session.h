@@ -26,6 +26,7 @@
 // Constructing with an explicit id (the benchmark drivers' pattern) pins
 // the id and skips registry acquisition/release entirely.
 
+#include <concepts>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -161,5 +162,57 @@ template <typename DS>
 TypedSession<DS> make_session(DS& set, int tid) {
   return TypedSession<DS>(set, tid);
 }
+
+/// Per-thread session cache for applications that spawn short-lived
+/// threads. The old application convenience, tl_thread_id(), acquires a
+/// dense id the first time a thread touches a structure and never gives it
+/// back — a server recycling worker threads burns through the kMaxThreads
+/// id space. A SessionPool hands each OS thread one cached id and releases
+/// it to the global ThreadRegistry when the thread exits:
+///
+///   MiniKv() : index_(Set::create("Bundle-skiplist")), pool_(index_) {}
+///   void put(...) { auto s = pool_.session(); s.insert(...); }
+///
+/// session() is as cheap as the tl_thread_id() pattern it replaces (one
+/// thread_local lookup; no registry round-trip after the thread's first
+/// call) because the returned session borrows the cached id rather than
+/// owning it. The cache is per OS thread, not per pool: two pools on the
+/// same thread share one id, which is exactly how explicit-tid callers
+/// use one id across many structures. Sessions must not outlive the
+/// calling thread (they borrow its id).
+class SessionPool {
+ public:
+  explicit SessionPool(AnyOrderedSet& set) : set_(&set) {}
+  /// Convenience: bind to any Set-facade-like owner exposing impl().
+  template <typename SetT>
+    requires requires(SetT& s) { { s.impl() } -> std::convertible_to<AnyOrderedSet&>; }
+  explicit SessionPool(SetT& set) : set_(&set.impl()) {}
+
+  /// A session on this thread's cached id; acquires the id on the
+  /// thread's first call, from the global registry.
+  ThreadSession session() { return ThreadSession(*set_, thread_tid()); }
+
+  /// The calling thread's cached dense id (acquiring it if needed) —
+  /// for callers that also drive explicit-tid surfaces.
+  static int thread_tid() {
+    TlsSlot& s = slot();
+    if (s.tid < 0) s.tid = ThreadRegistry::instance().acquire();
+    return s.tid;
+  }
+
+ private:
+  struct TlsSlot {
+    int tid = -1;
+    ~TlsSlot() {
+      if (tid >= 0) ThreadRegistry::instance().release(tid);
+    }
+  };
+  static TlsSlot& slot() {
+    thread_local TlsSlot s;
+    return s;
+  }
+
+  AnyOrderedSet* set_;
+};
 
 }  // namespace bref

@@ -37,11 +37,17 @@ class DcssProvider {
     assert((e2 & kDescBit) == 0 && (v2 & kDescBit) == 0 && e2 != v2);
     Desc& d = *descs_[tid];
     const uint64_t s = d.seq.load(std::memory_order_relaxed) + 1;  // odd
-    d.addr1 = &a1;
-    d.exp1 = e1;
-    d.addr2 = &a2;
-    d.exp2 = e2;
-    d.val2 = v2;
+    // Relaxed field stores: the release on seq below publishes them to
+    // helpers, whose acquire load of seq == s is the license to read. A
+    // stale helper of an older round may still read these concurrently —
+    // that mixed snapshot is harmless (the versioned verdict RMW and the
+    // never-reused packed pointer gate every effect), but the accesses
+    // must be atomic for the race to be defined behaviour.
+    d.addr1.store(&a1, std::memory_order_relaxed);
+    d.exp1.store(e1, std::memory_order_relaxed);
+    d.addr2.store(&a2, std::memory_order_relaxed);
+    d.exp2.store(e2, std::memory_order_relaxed);
+    d.val2.store(v2, std::memory_order_relaxed);
     d.verdict.store(pack_verdict(s, kUndecided), std::memory_order_relaxed);
     d.seq.store(s, std::memory_order_release);  // activate round s
 
@@ -97,11 +103,15 @@ class DcssProvider {
 
   struct Desc {
     std::atomic<uint64_t> seq{0};  // odd = active round; even = quiescent
-    const std::atomic<uint64_t>* addr1{nullptr};
-    uint64_t exp1{0};
-    std::atomic<uint64_t>* addr2{nullptr};
-    uint64_t exp2{0};
-    uint64_t val2{0};
+    // Operand fields are atomics accessed relaxed: written by the owner
+    // before the seq release, read by helpers after a seq acquire, and
+    // possibly read concurrently by stale helpers of a retired round
+    // (benign — see dcss()).
+    std::atomic<const std::atomic<uint64_t>*> addr1{nullptr};
+    std::atomic<uint64_t> exp1{0};
+    std::atomic<std::atomic<uint64_t>*> addr2{nullptr};
+    std::atomic<uint64_t> exp2{0};
+    std::atomic<uint64_t> val2{0};
     std::atomic<uint64_t> verdict{0};  // (seq << 2) | {UNDECIDED,SUCC,FAIL}
   };
 
@@ -120,8 +130,11 @@ class DcssProvider {
     uint64_t ver = d.verdict.load(std::memory_order_acquire);
     if ((ver >> 2) == s && (ver & 3) == kUndecided) {
       const uint64_t decided =
-          (d.addr1->load(std::memory_order_seq_cst) == d.exp1) ? kSucceeded
-                                                               : kFailed;
+          (d.addr1.load(std::memory_order_relaxed)
+                   ->load(std::memory_order_seq_cst) ==
+           d.exp1.load(std::memory_order_relaxed))
+              ? kSucceeded
+              : kFailed;
       uint64_t expect = pack_verdict(s, kUndecided);
       d.verdict.compare_exchange_strong(expect, pack_verdict(s, decided),
                                         std::memory_order_acq_rel);
@@ -130,8 +143,11 @@ class DcssProvider {
     if ((ver >> 2) != s) return false;  // round already retired (owner only)
     const bool ok = (ver & 3) == kSucceeded;
     uint64_t cur = packed;
-    d.addr2->compare_exchange_strong(cur, ok ? d.val2 : d.exp2,
-                                     std::memory_order_acq_rel);
+    d.addr2.load(std::memory_order_relaxed)
+        ->compare_exchange_strong(cur,
+                                  ok ? d.val2.load(std::memory_order_relaxed)
+                                     : d.exp2.load(std::memory_order_relaxed),
+                                  std::memory_order_acq_rel);
     return ok;
   }
 
@@ -142,11 +158,11 @@ class DcssProvider {
     if (d.seq.load(std::memory_order_acquire) != s) return;  // round over
     // Snapshot fields, then revalidate the round so we never act on a
     // half-written descriptor from a newer round.
-    const std::atomic<uint64_t>* addr1 = d.addr1;
-    const uint64_t exp1 = d.exp1;
-    std::atomic<uint64_t>* addr2 = d.addr2;
-    const uint64_t exp2 = d.exp2;
-    const uint64_t val2 = d.val2;
+    const std::atomic<uint64_t>* addr1 = d.addr1.load(std::memory_order_relaxed);
+    const uint64_t exp1 = d.exp1.load(std::memory_order_relaxed);
+    std::atomic<uint64_t>* addr2 = d.addr2.load(std::memory_order_relaxed);
+    const uint64_t exp2 = d.exp2.load(std::memory_order_relaxed);
+    const uint64_t val2 = d.val2.load(std::memory_order_relaxed);
     if (d.seq.load(std::memory_order_acquire) != s) return;
 
     uint64_t ver = d.verdict.load(std::memory_order_acquire);

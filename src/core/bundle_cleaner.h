@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "common/thread_registry.h"
+#include "core/entry_pool.h"
 
 namespace bref {
 
@@ -53,6 +54,19 @@ class BundleCleaner {
   }
   uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
 
+  /// Entry-pool counters for the structure being cleaned (pool hits,
+  /// misses = slab/bypass allocations, recycles). An entry this cleaner
+  /// prunes shows up as `recycled` once its EBR grace period elapses and
+  /// the drain pushes it back to its owner's pool. Zero-initialized for DS
+  /// types without a pooled entry path.
+  EntryPoolStats pool_stats() const {
+    if constexpr (requires(const DS& d) { d.entry_pool_stats(); }) {
+      return ds_->entry_pool_stats();
+    } else {
+      return {};
+    }
+  }
+
   static constexpr int kCleanerTid = kMaxThreads - 1;
 
  private:
@@ -65,6 +79,14 @@ class BundleCleaner {
       lk.unlock();
       reclaimed_.fetch_add(ds_->prune_bundles(kCleanerTid),
                            std::memory_order_relaxed);
+      // A prune pass holds one long EBR pin, which blocks every epoch
+      // advance for its duration; with small delays that starves
+      // reclamation (bags never ripen, entry recycling stalls, pools
+      // re-allocate). Between passes, push the epoch and drain our own
+      // bags so pruned entries reach the owners' pools within ~a pass.
+      if constexpr (requires(DS& d) { d.ebr(); }) {
+        ds_->ebr().quiesce(kCleanerTid);
+      }
       passes_.fetch_add(1, std::memory_order_relaxed);
       lk.lock();
       if (stopped_) return;

@@ -1,0 +1,316 @@
+#pragma once
+// Per-thread pooled allocation for bundle entries (the update hot path).
+//
+// Every update in every bundled structure creates one BundleEntry per
+// changed bundle (Algorithm 2 line 2), and the background cleaner retires
+// each pruned entry through EBR. With plain new/delete the allocator — not
+// the algorithm — bounds update throughput in update-heavy mixes (the TR
+// follow-up, arXiv:2201.00874, singles out entry overheads as the cost to
+// beat). This pool makes the steady-state entry path allocation-free:
+//
+//   * acquire(tid) pops from the calling thread's cache-padded free list;
+//     an empty list first drains the thread's inbox of recycled entries,
+//     and only then touches the allocator (one slab of kSlabEntries).
+//   * Entries are stamped at slab construction with the pool slot that
+//     allocated them (pool_tid). release() routes an entry back to its
+//     *owner's* inbox no matter which thread frees it — the cleaner thread
+//     drains EBR bags, so recycled entries flow cleaner -> updater without
+//     any thread ever pushing to a list another thread pops from
+//     (single-producer free list + MPSC inbox; the inbox push is a CAS
+//     prepend, which is ABA-safe because nothing ever pops a single node).
+//   * Entry objects are constructed once per slab and never destructed;
+//     "free" entries are live objects whose `next` atomic doubles as the
+//     free-list link. No placement-new churn, no aliasing tricks, and the
+//     atomics stay valid objects for stale readers racing a recycle (which
+//     EBR's grace period is what makes safe in the first place).
+//
+// The malloc bypass (set_pooling_enabled(false), or per-pool) keeps the
+// old new/delete behaviour so benches can ablate pooled vs malloc with the
+// same binary; entries remember their origin (pool_tid == kPoolMalloced),
+// so the toggle may only be flipped while no operations are in flight.
+//
+// Under AddressSanitizer the payload words of a pooled-free entry (ptr and
+// ts — everything except the link and the owner tag) are poisoned while
+// the entry sits in a free list, so a reader that reaches a recycled entry
+// *before* its EBR grace period has elapsed faults loudly instead of
+// reading a stale-but-plausible timestamp (exercised by
+// tests/test_entry_pool.cpp's churn test).
+//
+// Duck-typing requirements on T:
+//   * constructor T(int32_t owner_tid);
+//   * member `std::atomic<T*> next` (chain link, reused as free-list link);
+//   * member `const int32_t pool_tid`;
+//   * `static constexpr size_t kPoolPoisonBytes` — leading bytes safe to
+//     poison while pooled (must not cover `next` or `pool_tid`).
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/spinlock.h"
+#include "common/thread_registry.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define BREF_ENTRY_POOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define BREF_ENTRY_POOL_ASAN 1
+#endif
+#endif
+#ifdef BREF_ENTRY_POOL_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace bref {
+
+/// Owner tag for entries handed out by the malloc bypass.
+inline constexpr int32_t kPoolMalloced = -1;
+
+/// Aggregated counters for one pool (or, via EntryPoolRegistry::totals(),
+/// every pool in the process). `hits` are acquires served without touching
+/// the allocator; `misses` are acquires that allocated (a slab, or a
+/// bypass malloc); `recycled` counts entries returned to an inbox.
+struct EntryPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t recycled = 0;
+  uint64_t slabs = 0;     // slab allocations (one malloc each)
+  uint64_t malloced = 0;  // bypass allocations (one malloc each)
+
+  /// Heap allocations attributable to the entry path.
+  uint64_t allocs() const { return slabs + malloced; }
+
+  EntryPoolStats& operator-=(const EntryPoolStats& o) {
+    hits -= o.hits;
+    misses -= o.misses;
+    recycled -= o.recycled;
+    slabs -= o.slabs;
+    malloced -= o.malloced;
+    return *this;
+  }
+  EntryPoolStats& operator+=(const EntryPoolStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    recycled += o.recycled;
+    slabs += o.slabs;
+    malloced += o.malloced;
+    return *this;
+  }
+};
+
+/// Process-wide directory of every instantiated EntryPool<T>. The bench
+/// harness reads aggregate allocation counters here without naming entry
+/// types, and the pooled-vs-malloc ablation flips every pool at once.
+class EntryPoolRegistry {
+ public:
+  using StatsFn = EntryPoolStats (*)();
+  using EnableFn = void (*)(bool);
+
+  static EntryPoolRegistry& instance() {
+    static EntryPoolRegistry reg;
+    return reg;
+  }
+
+  void register_pool(StatsFn stats, EnableFn enable) {
+    std::lock_guard<Spinlock> g(lock_);
+    pools_.push_back({stats, enable});
+  }
+
+  /// Sum of every pool's counters (pools are never unregistered).
+  EntryPoolStats totals() const {
+    std::lock_guard<Spinlock> g(lock_);
+    EntryPoolStats s;
+    for (const auto& p : pools_) s += p.stats();
+    return s;
+  }
+
+  /// Flip every pool (and pools created later) between pooled and malloc
+  /// mode. Only call while no structure operations are in flight.
+  void set_pooling_enabled(bool on) {
+    std::lock_guard<Spinlock> g(lock_);
+    default_enabled_ = on;
+    for (const auto& p : pools_) p.enable(on);
+  }
+
+  bool pooling_default() const {
+    std::lock_guard<Spinlock> g(lock_);
+    return default_enabled_;
+  }
+
+ private:
+  struct PoolRef {
+    StatsFn stats;
+    EnableFn enable;
+  };
+  mutable Spinlock lock_;
+  bool default_enabled_ = true;
+  std::vector<PoolRef> pools_;
+};
+
+template <typename T>
+class EntryPool {
+ public:
+  /// Entries per slab: one miss buys this many subsequent local hits. 512
+  /// 32-byte entries = 16 KiB per slab, small enough that a thread that
+  /// only ever needs a handful of entries wastes little.
+  static constexpr size_t kSlabEntries = 512;
+
+  /// Leaky singleton: never destroyed, so a structure destroyed during
+  /// static teardown can still recycle its chains. Slabs stay reachable
+  /// through the instance pointer, so LeakSanitizer does not report them.
+  static EntryPool& instance() {
+    static EntryPool* pool = new EntryPool();
+    return *pool;
+  }
+
+  /// Pop an entry for thread `tid`. The returned entry's fields (other
+  /// than pool_tid) are unspecified; the caller initializes them before
+  /// publication.
+  T* acquire(int tid) {
+    assert(tid >= 0 && tid < kMaxThreads);
+    if (!enabled_.load(std::memory_order_relaxed)) {
+      PerThread& pt = *slots_[tid];
+      bump(pt.misses);
+      bump(pt.malloced);
+      return new T(kPoolMalloced);
+    }
+    PerThread& pt = *slots_[tid];
+    T* e = pt.free_head;
+    if (e == nullptr) {
+      // Acquire pairs with the release CAS in release_pooled: everything
+      // the recycler did before pushing (EBR drain included) is visible
+      // before we hand the entry out for reuse.
+      e = pt.inbox.exchange(nullptr, std::memory_order_acquire);
+    }
+    if (e == nullptr) {
+      e = new_slab(pt, tid);
+      bump(pt.misses);
+    } else {
+      bump(pt.hits);
+    }
+    pt.free_head = e->next.load(std::memory_order_relaxed);
+    unpoison(e);
+    return e;
+  }
+
+  /// Return an entry from any thread. Routes to the owner slot's inbox;
+  /// bypass entries go back to the heap.
+  static void release(T* e) {
+    if (e->pool_tid == kPoolMalloced) {
+      delete e;
+      return;
+    }
+    instance().release_pooled(e);
+  }
+
+  /// Pooled vs malloc toggle (ablation baseline). Entries remember their
+  /// origin, so flipping never mismatches acquire/release — but only flip
+  /// while no operations are in flight (the flag is read unsynchronized).
+  void set_pooling_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool pooling_enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  EntryPoolStats stats() const {
+    EntryPoolStats s;
+    for (int i = 0; i < kMaxThreads; ++i) {
+      const PerThread& pt = *slots_[i];
+      s.hits += pt.hits.load(std::memory_order_relaxed);
+      s.misses += pt.misses.load(std::memory_order_relaxed);
+      s.recycled += pt.recycled.load(std::memory_order_relaxed);
+      s.slabs += pt.slabs.load(std::memory_order_relaxed);
+      s.malloced += pt.malloced.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  EntryPool(const EntryPool&) = delete;
+  EntryPool& operator=(const EntryPool&) = delete;
+
+ private:
+  struct PerThread {
+    T* free_head = nullptr;          // owner-only LIFO, linked via T::next
+    std::atomic<T*> inbox{nullptr};  // MPSC: any thread pushes, owner drains
+    // Single-writer counters (owner thread) except `recycled` (any
+    // pusher); all atomic so aggregation never races the hot path.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> recycled{0};
+    std::atomic<uint64_t> slabs{0};
+    std::atomic<uint64_t> malloced{0};
+  };
+
+  EntryPool() {
+    enabled_.store(EntryPoolRegistry::instance().pooling_default(),
+                   std::memory_order_relaxed);
+    EntryPoolRegistry::instance().register_pool(
+        [] { return instance().stats(); },
+        [](bool on) { instance().set_pooling_enabled(on); });
+  }
+
+  /// Single-writer increment: a plain add, not a locked RMW.
+  static void bump(std::atomic<uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  void release_pooled(T* e) {
+    PerThread& pt = *slots_[e->pool_tid];
+    poison(e);
+    T* head = pt.inbox.load(std::memory_order_relaxed);
+    do {
+      e->next.store(head, std::memory_order_relaxed);
+      // Release pairs with the acquire drain in acquire(); CAS-prepend is
+      // ABA-safe (no one pops individual nodes from the inbox).
+    } while (!pt.inbox.compare_exchange_weak(head, e,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+    pt.recycled.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Allocate and link one slab into tid's free list; returns the head.
+  T* new_slab(PerThread& pt, int tid) {
+    T* slab = static_cast<T*>(::operator new(
+        kSlabEntries * sizeof(T), std::align_val_t(alignof(T))));
+    for (size_t i = 0; i < kSlabEntries; ++i) {
+      T* e = ::new (static_cast<void*>(slab + i)) T(static_cast<int32_t>(tid));
+      e->next.store(i + 1 < kSlabEntries ? slab + i + 1 : nullptr,
+                    std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<Spinlock> g(slabs_lock_);
+      slab_list_.push_back(slab);
+    }
+    bump(pt.slabs);
+    pt.free_head = slab;
+    return slab;
+  }
+
+  static void poison(T* e) {
+#ifdef BREF_ENTRY_POOL_ASAN
+    __asan_poison_memory_region(e, T::kPoolPoisonBytes);
+#else
+    (void)e;
+#endif
+  }
+  static void unpoison(T* e) {
+#ifdef BREF_ENTRY_POOL_ASAN
+    __asan_unpoison_memory_region(e, T::kPoolPoisonBytes);
+#else
+    (void)e;
+#endif
+  }
+
+  std::atomic<bool> enabled_{true};
+  Spinlock slabs_lock_;
+  std::vector<T*> slab_list_;  // retained for reachability; never freed
+  CachePadded<PerThread> slots_[kMaxThreads];
+};
+
+}  // namespace bref

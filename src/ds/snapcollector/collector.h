@@ -65,7 +65,12 @@ class SnapCollectorCore {
   }
 
   /// Seal and withdraw the collector; returns the reports captured before
-  /// the seal. The exclusive gate waits out in-flight update windows.
+  /// the seal. The exclusive gate waits out in-flight update windows. The
+  /// withdrawal must happen *inside* the exclusive section: the collector
+  /// is a stack object of the query, and an update window opening between
+  /// the gate release and a later withdrawal could pick up the pointer
+  /// and chase it after the query's frame is gone (use-after-scope, found
+  /// by TSan once the blanket suppressions came off).
   std::vector<ReportEntry> seal(int tid, Collector& col) {
     std::vector<ReportEntry> reports;
     update_gate_.lock();
@@ -74,8 +79,8 @@ class SnapCollectorCore {
       col.sealed = true;
       reports.swap(col.reports);
     }
-    update_gate_.unlock();
     collectors_[tid]->store(nullptr, std::memory_order_release);
+    update_gate_.unlock();
     return reports;
   }
 

@@ -103,7 +103,39 @@ class Ebr {
     retire(tid, p, [](void* q) { delete static_cast<T*>(q); });
   }
 
+  /// Typed recycle hook — the pooled bundle-entry path. Identical safety
+  /// contract to retire(tid, p), but once the grace period elapses the
+  /// object is handed to `T::recycle(T*)` (for BundleEntry: back to its
+  /// owner's EntryPool slot) instead of the heap. The drain runs on the
+  /// retiring thread, so a cleaner pruning entries pushes them to each
+  /// owner's pool inbox without ever calling the allocator.
+  template <typename T>
+  void retire_recycle(int tid, T* p) {
+    retire(tid, p, [](void* q) { T::recycle(static_cast<T*>(q)); });
+  }
+
   uint64_t epoch() const { return global_epoch_.load(std::memory_order_acquire); }
+
+  /// Epoch-integration hook for threads whose pins span long scans (the
+  /// bundle cleaner's pattern: one pin around a whole-structure prune
+  /// pass). Such a thread blocks every advance while pinned, so the
+  /// normal every-64-pins cadence starves: retired objects pile up in
+  /// stamped bags and — on the pooled entry path — recycling stalls while
+  /// updaters allocate fresh slabs. Called between pins (NOT while
+  /// pinned), this pushes the global epoch as far as the other threads
+  /// allow and drains the caller's own ripe bags immediately. Draining
+  /// outside a pin is safe: ripeness depends only on the bag stamp being
+  /// two epochs stale, which already implies no reader can hold the
+  /// objects.
+  void quiesce(int tid) {
+    hwm_.note(tid);
+    for (int i = 0; i < 2; ++i) {
+      if (!try_advance(global_epoch_.load(std::memory_order_acquire))) break;
+    }
+    Slot& s = *slots_[tid];
+    const uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    if (e != s.local_epoch) on_new_epoch(s, e);
+  }
 
   /// Attempt to advance the global epoch from `e`; succeeds only when every
   /// pinned thread has announced `e`.

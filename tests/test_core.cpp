@@ -91,9 +91,9 @@ TEST(Bundle, DereferenceRespectsTimestamps) {
   Bundle<FakeNode> b;
   FakeNode n0{0}, n1{1}, n2{2};
   b.init(&n0, 0);
-  auto* e1 = b.prepare(&n1);
+  auto* e1 = b.prepare(0, &n1);
   Bundle<FakeNode>::finalize(e1, 5);
-  auto* e2 = b.prepare(&n2);
+  auto* e2 = b.prepare(0, &n2);
   Bundle<FakeNode>::finalize(e2, 9);
 
   EXPECT_EQ(b.dereference(0).ptr, &n0);
@@ -108,7 +108,7 @@ TEST(Bundle, DereferenceRespectsTimestamps) {
 TEST(Bundle, DereferenceNotFoundBeforeFirstEntry) {
   Bundle<FakeNode> b;
   FakeNode n{7};
-  auto* e = b.prepare(&n);
+  auto* e = b.prepare(0, &n);
   Bundle<FakeNode>::finalize(e, 3);
   auto d = b.dereference(2);
   EXPECT_FALSE(d.found);  // link did not exist at ts=2 -> RQ must restart
@@ -119,7 +119,7 @@ TEST(Bundle, EntriesSortedNewestFirst) {
   FakeNode n{0};
   b.init(&n, 0);
   for (timestamp_t t = 1; t <= 8; ++t)
-    Bundle<FakeNode>::finalize(b.prepare(&n), t);
+    Bundle<FakeNode>::finalize(b.prepare(0, &n), t);
   auto entries = b.snapshot_entries();
   ASSERT_EQ(entries.size(), 9u);
   for (size_t i = 1; i < entries.size(); ++i)
@@ -130,9 +130,9 @@ TEST(Bundle, FinalizeClampsToKeepOrderUnderRelaxation) {
   Bundle<FakeNode> b;
   FakeNode n{0};
   b.init(&n, 0);
-  Bundle<FakeNode>::finalize(b.prepare(&n), 7);
+  Bundle<FakeNode>::finalize(b.prepare(0, &n), 7);
   // A relaxed-mode thread with a stale clock tries to stamp 3 after 7.
-  Bundle<FakeNode>::finalize(b.prepare(&n), 3);
+  Bundle<FakeNode>::finalize(b.prepare(0, &n), 3);
   auto entries = b.snapshot_entries();
   ASSERT_EQ(entries.size(), 3u);
   EXPECT_EQ(entries[0].first, 7u);  // clamped up
@@ -143,7 +143,7 @@ TEST(Bundle, DereferenceBlocksOnPendingHead) {
   Bundle<FakeNode> b;
   FakeNode n0{0}, n1{1};
   b.init(&n0, 0);
-  auto* pending = b.prepare(&n1);
+  auto* pending = b.prepare(0, &n1);
   std::atomic<bool> started{false}, done{false};
   FakeNode* seen = nullptr;
   std::thread reader([&] {
@@ -164,10 +164,10 @@ TEST(Bundle, PrepareBlocksBehindPendingHead) {
   Bundle<FakeNode> b;
   FakeNode n0{0}, n1{1}, n2{2};
   b.init(&n0, 0);
-  auto* first = b.prepare(&n1);
+  auto* first = b.prepare(0, &n1);
   std::atomic<bool> done{false};
   std::thread competitor([&] {
-    auto* e = b.prepare(&n2);  // must wait until `first` finalizes
+    auto* e = b.prepare(1, &n2);  // must wait until `first` finalizes
     Bundle<FakeNode>::finalize(e, 9);
     done = true;
   });
@@ -187,7 +187,7 @@ TEST(Bundle, ReclaimOlderKeepsCoveringEntry) {
   FakeNode n{0};
   b.init(&n, 0);
   for (timestamp_t t = 1; t <= 10; ++t)
-    Bundle<FakeNode>::finalize(b.prepare(&n), t);
+    Bundle<FakeNode>::finalize(b.prepare(0, &n), t);
   // Oldest active RQ is at ts=6: keep entries 7..10 plus the covering
   // entry 6; retire 0..5 (6 entries).
   ebr.pin(0);
@@ -218,8 +218,8 @@ TEST(Bundle, ReclaimSkipsPendingHead) {
   Bundle<FakeNode> b;
   FakeNode n{0};
   b.init(&n, 0);
-  Bundle<FakeNode>::finalize(b.prepare(&n), 2);
-  auto* pending = b.prepare(&n);
+  Bundle<FakeNode>::finalize(b.prepare(0, &n), 2);
+  auto* pending = b.prepare(0, &n);
   ebr.pin(0);
   EXPECT_EQ(b.reclaim_older(10, ebr, 0), 0u);
   ebr.unpin(0);
