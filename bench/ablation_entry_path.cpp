@@ -20,6 +20,11 @@
 // threads grow (the allocator serializes), and pooled allocs/op collapses
 // toward zero once the pool is warm while malloc pays one heap round-trip
 // per entry.
+//
+// A third axis runs the same pooled-vs-malloc comparison on the EBR-RQ
+// competitor's *nodes* (its updates paid one `new Node` each at the seed;
+// now they pool through the limbo -> EBR -> owner-inbox pipeline), keeping
+// the headline comparison allocator-for-allocator fair.
 
 #include <atomic>
 #include <barrier>
@@ -151,6 +156,51 @@ void run_alloc_family(const char* tag, const char* impl, const Config& base) {
   }
 }
 
+/// One cell of the EBR-RQ node-allocation axis: same mixed trial, but the
+/// competitor has no cleaner — its reclamation is the limbo prune cadence
+/// plus EBR, which is exactly the path the node pools feed.
+template <typename DS>
+Measured measure_node_alloc_mode(int threads, const Config& cfg,
+                                 bool pooled) {
+  EntryPoolRegistry::instance().set_pooling_enabled(pooled);
+  Measured m = measure_detailed([] { return std::make_unique<DS>(); },
+                                threads, cfg);
+  EntryPoolRegistry::instance().set_pooling_enabled(true);
+  return m;
+}
+
+/// The competitor-side twin of run_alloc_family: EBR-RQ structures with
+/// pooled nodes vs the seed's new/delete per update. Also reports the
+/// limbo-scan overhead per query, which the --json record carries.
+template <typename DS>
+void run_ebrrq_alloc_family(const char* tag, const char* impl,
+                            const Config& base) {
+  Config cfg = base;
+  cfg.u_pct = 90;
+  cfg.c_pct = 0;
+  cfg.rq_pct = 10;
+  std::printf("\n-- %s: pooled vs malloc node allocation (90-0-10) --\n",
+              tag);
+  std::printf("%8s %12s %12s %9s %16s %16s %14s\n", "threads", "pooled",
+              "malloc", "speedup", "pooled allocs/op", "malloc allocs/op",
+              "limbo/query");
+  for (int threads : cfg.thread_counts) {
+    const Measured pooled = measure_node_alloc_mode<DS>(threads, cfg, true);
+    const Measured malloc_ = measure_node_alloc_mode<DS>(threads, cfg, false);
+    JsonSink::instance().record(std::string(impl) + "-pooled", "90-0-10",
+                                threads, pooled);
+    JsonSink::instance().record(std::string(impl) + "-malloc", "90-0-10",
+                                threads, malloc_);
+    const double queries =
+        static_cast<double>(pooled.ops) * cfg.rq_pct / 100.0;
+    std::printf("%8d %12.3f %12.3f %8.2fx %16.6f %16.6f %14.1f\n", threads,
+                pooled.mops, malloc_.mops,
+                malloc_.mops > 0 ? pooled.mops / malloc_.mops : 0.0,
+                pooled.allocs_per_op, malloc_.allocs_per_op,
+                queries > 0 ? pooled.limbo_checked / queries : 0.0);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,6 +234,18 @@ int main(int argc, char** argv) {
   std::printf("\nshape-check: pooled should win by more as threads grow, "
               "with pooled allocs/op near zero once warm and malloc "
               "allocs/op near the entries-per-update rate.\n");
+
+  // ---- competitor node-allocation axis (EBR-RQ family) ----
+  run_ebrrq_alloc_family<EbrRqListSet>("EBR-RQ lazy list", "EBR-RQ-list",
+                                       alloc_cfg);
+  run_ebrrq_alloc_family<EbrRqSkipListSet>("EBR-RQ skip list",
+                                           "EBR-RQ-skiplist", alloc_cfg);
+  std::printf("\nshape-check: same shape as the bundle axis — the EBR-RQ "
+              "update path paid one node malloc per insert at the seed; "
+              "pooled allocs/op should collapse toward zero once the limbo "
+              "prune -> EBR -> owner-inbox pipeline is warm. limbo/query "
+              "is the paper's limbo-scan overhead and should be unaffected "
+              "by the allocation mode.\n");
   JsonSink::instance().flush();
   return 0;
 }

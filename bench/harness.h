@@ -123,15 +123,19 @@ Result run_mixed_trial(DS& ds, int threads, const Config& cfg) {
 
 /// measure() result with the entry-allocation profile of the timed trials:
 /// `pool` is the delta of every EntryPool's counters across the trials
-/// (prefill excluded), `allocs_per_op` the heap allocations the bundle
-/// entry path performed per operation — zero in pooled steady state, about
-/// entries-per-update on the malloc baseline, and identically zero for
-/// impls that have no bundle entries (their allocations are
-/// uninstrumented).
+/// (prefill excluded), `allocs_per_op` the heap allocations the pooled
+/// entry paths (bundle entries, EBR-RQ nodes) performed per operation —
+/// zero in pooled steady state, about entries-per-update on the malloc
+/// baseline, and identically zero for impls with no pooled path (their
+/// allocations are uninstrumented). `limbo_checked` counts the limbo nodes
+/// the run's range queries scanned (EBR-RQ family; 0 elsewhere) — the
+/// "hundreds of limbo nodes per query" overhead the paper reports, now a
+/// per-run counter in the --json record.
 struct Measured {
   double mops = 0;
   uint64_t ops = 0;
   double allocs_per_op = 0;
+  uint64_t limbo_checked = 0;
   EntryPoolStats pool;
 };
 
@@ -153,6 +157,11 @@ Measured measure_detailed(MakeFn&& make, int threads, const Config& cfg,
     m.pool += delta;
     m.ops += r.ops;
     total += r.mops;
+    // Structure-specific counters, duck-typed so the harness stays generic:
+    // the EBR-RQ family reports how many limbo nodes its queries scanned
+    // (the structure is fresh per run, so the raw counter is the delta).
+    if constexpr (requires { ds->limbo_nodes_checked(); })
+      m.limbo_checked += ds->limbo_nodes_checked();
   }
   m.mops = total / cfg.runs;
   m.allocs_per_op =
@@ -256,7 +265,8 @@ inline void print_header(const char* title, const Config& cfg) {
 // cell is also recorded here and flushed as one JSON document (default
 // path BENCH_<bench>.json) so CI can archive the perf trajectory instead
 // of scraping stdout. Schema v1 record: impl, mix (U-C-RQ), threads,
-// mops, ops, allocs_per_op (entry-path heap allocations), pool counters.
+// mops, ops, allocs_per_op (entry-path heap allocations), pool counters,
+// limbo_checked (limbo nodes scanned by the run's range queries).
 
 class JsonSink {
  public:
@@ -311,12 +321,13 @@ class JsonSink {
           "    {\"impl\": \"%s\", \"mix\": \"%s\", \"threads\": %d, "
           "\"mops\": %.6f, \"ops\": %llu, \"allocs_per_op\": %.8f, "
           "\"pool_hits\": %llu, \"pool_misses\": %llu, "
-          "\"pool_recycled\": %llu}%s\n",
+          "\"pool_recycled\": %llu, \"limbo_checked\": %llu}%s\n",
           r.impl.c_str(), r.mix.c_str(), r.threads, r.m.mops,
           static_cast<unsigned long long>(r.m.ops), r.m.allocs_per_op,
           static_cast<unsigned long long>(r.m.pool.hits),
           static_cast<unsigned long long>(r.m.pool.misses),
           static_cast<unsigned long long>(r.m.pool.recycled),
+          static_cast<unsigned long long>(r.m.limbo_checked),
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

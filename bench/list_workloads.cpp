@@ -2,19 +2,37 @@
 // throughput vs Unsafe for the lazy-list family at key range 10k with 10%
 // range queries — RLU degrading from 0.97x (0-90-10) to 0.40x (90-0-10)
 // while Bundle and the EBR variants track Unsafe closely. This bench
-// regenerates that table.
+// regenerates that table; with --json each cell also lands in the
+// BENCH_*.json record with its entry-allocation and limbo-scan counters
+// (the EBR-RQ columns now run on pooled nodes, so their allocs/op should
+// sit at ~0 like Bundle's instead of one malloc per update).
 
 #include <memory>
 
 #include "harness.h"
 
+namespace {
+
+using namespace bref;
+using namespace bref::bench;
+
+template <typename DS>
+double cell(const char* impl, int threads, const Config& cfg,
+            const char* mix) {
+  Measured m =
+      measure_detailed([] { return std::make_unique<DS>(); }, threads, cfg);
+  JsonSink::instance().record(impl, mix, threads, m);
+  return m.mops;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace bref;
-  using namespace bref::bench;
   Args args(argc, argv);
   Config base = config_from_args(args);
   if (!args.has("--keyrange")) base.key_range = 10000;  // paper value
   if (!args.has("--duration")) base.duration_ms = 150;
+  json_init(args, "list_workloads", base);
   std::printf("=== Linked list workloads (rel. throughput vs Unsafe) ===\n");
   print_header("lazy list family", base);
   const int mixes[5][3] = {
@@ -27,19 +45,19 @@ int main(int argc, char** argv) {
     cfg.u_pct = mix[0];
     cfg.c_pct = mix[1];
     cfg.rq_pct = mix[2];
+    char mix_tag[32];
+    std::snprintf(mix_tag, sizeof(mix_tag), "%d-%d-%d", mix[0], mix[1],
+                  mix[2]);
     const int threads = cfg.thread_counts.back();
-    double unsafe =
-        measure([] { return std::make_unique<UnsafeListSet>(); }, threads, cfg);
-    double ebr =
-        measure([] { return std::make_unique<EbrRqListSet>(); }, threads, cfg);
-    double ebrlf = measure([] { return std::make_unique<EbrRqLfListSet>(); },
-                           threads, cfg);
-    double rlu =
-        measure([] { return std::make_unique<RluListSet>(); }, threads, cfg);
-    double bundle =
-        measure([] { return std::make_unique<BundleListSet>(); }, threads, cfg);
-    double snapc = measure([] { return std::make_unique<SnapCollectorListSet>(); },
-                           threads, cfg);
+    double unsafe = cell<UnsafeListSet>("Unsafe-list", threads, cfg, mix_tag);
+    double ebr = cell<EbrRqListSet>("EBR-RQ-list", threads, cfg, mix_tag);
+    double ebrlf =
+        cell<EbrRqLfListSet>("EBR-RQ-LF-list", threads, cfg, mix_tag);
+    double rlu = cell<RluListSet>("RLU-list", threads, cfg, mix_tag);
+    double bundle = cell<BundleListSet>("Bundle-list", threads, cfg, mix_tag);
+    double snapc =
+        cell<SnapCollectorListSet>("Snapcollector-list", threads, cfg,
+                                   mix_tag);
     std::printf("%4d-%3d-%3d %8d %10.3f | %8.2f %8.2f %8.2f %8.2f %8.2f\n",
                 mix[0], mix[1], mix[2], threads, unsafe, ebr / unsafe,
                 ebrlf / unsafe, rlu / unsafe, bundle / unsafe,
@@ -49,5 +67,6 @@ int main(int argc, char** argv) {
               "(read-only) to ~0.40x (update-heavy) while Bundle/EBR stay "
               "near 1x; Snapcollector (excluded from the paper's plots) "
               "should trail everyone.\n");
+  JsonSink::instance().flush();
   return 0;
 }

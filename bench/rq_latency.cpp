@@ -45,6 +45,10 @@ LatencyStats percentile_stats(std::vector<uint64_t>& ns) {
 LatencyStats run_one(const std::string& impl, int churn_threads,
                      const Config& cfg) {
   Set ds = Set::create(impl);
+  // Dense ids come from the per-OS-thread SessionPool cache (the
+  // application id discipline) rather than hand-pinned slots — the last
+  // holdout of the tl_thread_id-era explicit-id convention in this bench.
+  SessionPool pool(ds);
   {
     // Registry prefill (mirrors harness prefill, via the erased facade).
     std::atomic<KeyT> inserted{0};
@@ -52,7 +56,7 @@ LatencyStats run_one(const std::string& impl, int churn_threads,
     std::vector<std::thread> ts;
     for (int t = 0; t < 2; ++t) {
       ts.emplace_back([&, t] {
-        ThreadSession s = ds.session(t);
+        ThreadSession s = pool.session();
         Xoshiro256 rng(99 + t);
         while (inserted.load(std::memory_order_relaxed) < target) {
           const KeyT k = 1 + static_cast<KeyT>(rng.next_range(cfg.key_range));
@@ -68,7 +72,7 @@ LatencyStats run_one(const std::string& impl, int churn_threads,
   std::vector<std::thread> churn;
   for (int t = 0; t < churn_threads; ++t) {
     churn.emplace_back([&, t] {
-      ThreadSession s = ds.session(t);
+      ThreadSession s = pool.session();
       Xoshiro256 rng(7 * t + 3);
       start.arrive_and_wait();
       while (!stop.load(std::memory_order_relaxed)) {
@@ -83,7 +87,7 @@ LatencyStats run_one(const std::string& impl, int churn_threads,
   std::vector<uint64_t> lat_ns;
   lat_ns.reserve(1 << 16);
   std::thread prober([&] {
-    ThreadSession s = ds.session(churn_threads);
+    ThreadSession s = pool.session();
     Xoshiro256 rng(1);
     RangeSnapshot out;
     out.buffer().reserve(cfg.rq_size + 16);

@@ -38,10 +38,16 @@
 //
 // Duck-typing requirements on T:
 //   * constructor T(int32_t owner_tid);
-//   * member `std::atomic<T*> next` (chain link, reused as free-list link);
+//   * a free-list link: either a member `std::atomic<T*> next` (the
+//     BundleEntry pattern — the chain link doubles as the pool link), or,
+//     for types whose `next` is an array or must stay live while pooled
+//     (the EBR-RQ nodes), a member function `std::atomic<T*>& pool_link()`
+//     returning the atomic to thread the free list / inbox through;
 //   * member `const int32_t pool_tid`;
 //   * `static constexpr size_t kPoolPoisonBytes` — leading bytes safe to
-//     poison while pooled (must not cover `next` or `pool_tid`).
+//     poison while pooled (must not cover the link or `pool_tid`);
+//   * optional `static constexpr size_t kPoolSlabEntries` — overrides the
+//     default slab granularity (512) for bulky types like skip-list nodes.
 
 #include <atomic>
 #include <cassert>
@@ -155,10 +161,17 @@ class EntryPoolRegistry {
 template <typename T>
 class EntryPool {
  public:
-  /// Entries per slab: one miss buys this many subsequent local hits. 512
-  /// 32-byte entries = 16 KiB per slab, small enough that a thread that
-  /// only ever needs a handful of entries wastes little.
-  static constexpr size_t kSlabEntries = 512;
+  /// Entries per slab: one miss buys this many subsequent local hits. The
+  /// default — 512 32-byte bundle entries = 16 KiB per slab — is small
+  /// enough that a thread that only ever needs a handful of entries wastes
+  /// little; bulkier types (skip-list nodes carry a kMaxHeight link array)
+  /// dial it down via T::kPoolSlabEntries.
+  static constexpr size_t kSlabEntries = [] {
+    if constexpr (requires { T::kPoolSlabEntries; })
+      return size_t{T::kPoolSlabEntries};
+    else
+      return size_t{512};
+  }();
 
   /// Leaky singleton: never destroyed, so a structure destroyed during
   /// static teardown can still recycle its chains. Slabs stay reachable
@@ -193,7 +206,7 @@ class EntryPool {
     } else {
       bump(pt.hits);
     }
-    pt.free_head = e->next.load(std::memory_order_relaxed);
+    pt.free_head = link_of(e).load(std::memory_order_relaxed);
     unpoison(e);
     return e;
   }
@@ -260,12 +273,22 @@ class EntryPool {
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
   }
 
+  /// The free-list/inbox link of an entry: `T::pool_link()` when the type
+  /// provides one (nodes whose `next` is an array or carries structure
+  /// state the pool must not clobber), else the `next` atomic itself.
+  static std::atomic<T*>& link_of(T* e) {
+    if constexpr (requires { e->pool_link(); })
+      return e->pool_link();
+    else
+      return e->next;
+  }
+
   void release_pooled(T* e) {
     PerThread& pt = *slots_[e->pool_tid];
     poison(e);
     T* head = pt.inbox.load(std::memory_order_relaxed);
     do {
-      e->next.store(head, std::memory_order_relaxed);
+      link_of(e).store(head, std::memory_order_relaxed);
       // Release pairs with the acquire drain in acquire(); CAS-prepend is
       // ABA-safe (no one pops individual nodes from the inbox).
     } while (!pt.inbox.compare_exchange_weak(head, e,
@@ -280,8 +303,8 @@ class EntryPool {
         kSlabEntries * sizeof(T), std::align_val_t(alignof(T))));
     for (size_t i = 0; i < kSlabEntries; ++i) {
       T* e = ::new (static_cast<void*>(slab + i)) T(static_cast<int32_t>(tid));
-      e->next.store(i + 1 < kSlabEntries ? slab + i + 1 : nullptr,
-                    std::memory_order_relaxed);
+      link_of(e).store(i + 1 < kSlabEntries ? slab + i + 1 : nullptr,
+                       std::memory_order_relaxed);
     }
     {
       std::lock_guard<Spinlock> g(slabs_lock_);

@@ -5,14 +5,22 @@
 // insert carrying the first victim's timestamp, both victims are stamped,
 // parked in limbo, and the deferred successor unlink runs after the RCU
 // grace period inside the provider's announce window.
+//
+// Nodes come from per-thread EntryPools (core/entry_pool.h); see
+// ebrrq_list.h for the ownership story. Tags reset to 0 on reuse: a tag
+// only guards revalidation within one EBR pin, and no pin can straddle a
+// node's recycle (the grace period separates the lives).
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/spinlock.h"
+#include "core/entry_pool.h"
+#include "core/global_timestamp.h"
 #include "ds/ebrrq/rq_provider.h"
 #include "ds/support.h"
 #include "epoch/ebr.h"
@@ -24,7 +32,7 @@ template <typename K, typename V>
 class EbrRqCitrus {
  public:
   struct Node {
-    const K key;
+    K key;
     V val;
     Spinlock lock;
     std::atomic<bool> marked{false};
@@ -32,19 +40,28 @@ class EbrRqCitrus {
     std::atomic<uint64_t> tag[2];
     std::atomic<uint64_t> itime{EbrRqProvider<Node, K, V>::kInfTs};
     std::atomic<uint64_t> dtime{EbrRqProvider<Node, K, V>::kInfTs};
-    Node(K k, V v) : key(k), val(v) {
+    // Limbo chain while parked, pool free-list link while recycled (the
+    // child pointers must stay walkable for pinned readers).
+    std::atomic<Node*> limbo_next{nullptr};
+    const int32_t pool_tid;
+
+    explicit Node(int32_t owner) : key{}, val{}, pool_tid(owner) {
       child[0].store(nullptr, std::memory_order_relaxed);
       child[1].store(nullptr, std::memory_order_relaxed);
       tag[0].store(0, std::memory_order_relaxed);
       tag[1].store(0, std::memory_order_relaxed);
     }
+
+    std::atomic<Node*>& pool_link() { return limbo_next; }
+    static constexpr size_t kPoolPoisonBytes = sizeof(K) + sizeof(V);
+    static constexpr size_t kPoolSlabEntries = 256;
+    static void recycle(Node* n) { EntryPool<Node>::release(n); }
   };
   using Provider = EbrRqProvider<Node, K, V>;
 
   explicit EbrRqCitrus(EbrRqMode mode = EbrRqMode::kLock)
       : prov_(mode, ebr_) {
-    root_ = new Node(key_max_sentinel<K>(), V{});
-    root_->itime.store(0, std::memory_order_relaxed);
+    root_ = make_sentinel(key_max_sentinel<K>());
   }
 
   ~EbrRqCitrus() {
@@ -56,7 +73,7 @@ class EbrRqCitrus {
         stack.push_back(l);
       if (Node* r = n->child[1].load(std::memory_order_relaxed))
         stack.push_back(r);
-      delete n;
+      Node::recycle(n);
     }
   }
 
@@ -82,7 +99,7 @@ class EbrRqCitrus {
           r.pred->child[r.dir].load(std::memory_order_acquire) != nullptr ||
           r.pred->tag[r.dir].load(std::memory_order_acquire) != r.tag)
         continue;
-      Node* fresh = new Node(key, val);
+      Node* fresh = alloc_node(tid, key, val);
       prov_.insert_op(tid, fresh, [&] {
         r.pred->child[r.dir].store(fresh, std::memory_order_release);
         r.pred->tag[r.dir].fetch_add(1, std::memory_order_relaxed);
@@ -122,7 +139,10 @@ class EbrRqCitrus {
 
   size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
     out.clear();
-    if (lo > hi) return 0;
+    if (lo > hi) {
+      prov_.note_trivial_rq(tid);
+      return 0;
+    }
     Ebr::Guard g(ebr_, tid);
     const uint64_t ts = prov_.rq_begin(tid, lo, hi);
     {
@@ -148,6 +168,27 @@ class EbrRqCitrus {
     return out.size();
   }
 
+  /// Snapshot timestamp the calling thread's last completed range query
+  /// linearized at (surfaced as RangeSnapshot::timestamp()).
+  timestamp_t last_rq_timestamp(int tid) const {
+    return prov_.last_rq_timestamp(tid);
+  }
+
+  /// Drain every thread's limbo slot; see Provider::flush_limbo.
+  size_t flush_limbo(int tid) {
+    Ebr::Guard g(ebr_, tid);
+    return prov_.flush_limbo(tid);
+  }
+
+  uint64_t limbo_nodes_checked() const { return prov_.limbo_nodes_checked(); }
+
+  static void set_node_pooling(bool on) {
+    EntryPool<Node>::instance().set_pooling_enabled(on);
+  }
+  static EntryPoolStats node_pool_stats() {
+    return EntryPool<Node>::instance().stats();
+  }
+
   Ebr& ebr() { return ebr_; }
   Provider& provider() { return prov_; }
 
@@ -169,6 +210,30 @@ class EbrRqCitrus {
     int dir;
     uint64_t tag;
   };
+
+  /// Pool pop + full field reset (see ebrrq_list.h).
+  static Node* alloc_node(int tid, K key, V val) {
+    Node* n = EntryPool<Node>::instance().acquire(tid);
+    n->key = key;
+    n->val = val;
+    n->marked.store(false, std::memory_order_relaxed);
+    n->child[0].store(nullptr, std::memory_order_relaxed);
+    n->child[1].store(nullptr, std::memory_order_relaxed);
+    n->tag[0].store(0, std::memory_order_relaxed);
+    n->tag[1].store(0, std::memory_order_relaxed);
+    n->itime.store(Provider::kInfTs, std::memory_order_relaxed);
+    n->dtime.store(Provider::kInfTs, std::memory_order_relaxed);
+    n->limbo_next.store(nullptr, std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Heap path for the root sentinel (constructing thread's id unknown).
+  static Node* make_sentinel(K key) {
+    Node* n = new Node(kPoolMalloced);
+    n->key = key;
+    n->itime.store(0, std::memory_order_relaxed);
+    return n;
+  }
 
   SearchResult search(int tid, K key) const {
     Urcu::ReadGuard rg(rcu_, tid);
@@ -209,7 +274,7 @@ class EbrRqCitrus {
     if (!valid) return false;
 
     Node* succ_right = succ->child[1].load(std::memory_order_acquire);
-    Node* copy = new Node(succ->key, succ->val);
+    Node* copy = alloc_node(tid, succ->key, succ->val);
     const bool direct = (succ_parent == curr);
     copy->child[0].store(left, std::memory_order_relaxed);
     copy->child[1].store(direct ? succ_right : right,

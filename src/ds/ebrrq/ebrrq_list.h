@@ -3,13 +3,23 @@
 // (Arbel-Raviv & Brown; see rq_provider.h). The list algorithm is the same
 // lazy list as ds/base; nodes additionally carry insert/delete timestamps
 // and removals pass through the provider's limbo protocol.
+//
+// Nodes come from per-thread EntryPools (core/entry_pool.h): inserts pop
+// the calling thread's slot, pruned limbo nodes flow back through
+// Ebr::retire_recycle to their owner's inbox, so the steady-state update
+// path performs zero heap allocations — the same discipline PR 3 gave the
+// bundle entries, now applied to the competitor so the fig2/fig3/rq_latency
+// comparison is allocator-for-allocator fair.
 
 #include <cassert>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/spinlock.h"
+#include "core/entry_pool.h"
+#include "core/global_timestamp.h"
 #include "ds/ebrrq/rq_provider.h"
 #include "ds/support.h"
 #include "epoch/ebr.h"
@@ -20,31 +30,46 @@ template <typename K, typename V>
 class EbrRqList {
  public:
   struct Node {
-    const K key;
+    K key;
     V val;
     Spinlock lock;
     std::atomic<bool> marked{false};
     std::atomic<Node*> next{nullptr};
     std::atomic<uint64_t> itime{EbrRqProvider<Node, K, V>::kInfTs};
     std::atomic<uint64_t> dtime{EbrRqProvider<Node, K, V>::kInfTs};
-    Node(K k, V v) : key(k), val(v) {}
+    // The provider's limbo chain while parked; the pool's free-list link
+    // while recycled. The two uses never overlap (limbo -> EBR grace ->
+    // pool), and `next` stays untouched so readers crossing a marked node
+    // keep a valid successor.
+    std::atomic<Node*> limbo_next{nullptr};
+    const int32_t pool_tid;
+
+    explicit Node(int32_t owner) : key{}, val{}, pool_tid(owner) {}
+
+    // EntryPool duck-typing (see core/entry_pool.h): link + ASan poison
+    // extent (key/val only — every atomic stays a live object while
+    // pooled) + slab granularity + the EBR recycle hook.
+    std::atomic<Node*>& pool_link() { return limbo_next; }
+    static constexpr size_t kPoolPoisonBytes = sizeof(K) + sizeof(V);
+    static constexpr size_t kPoolSlabEntries = 256;
+    static void recycle(Node* n) { EntryPool<Node>::release(n); }
   };
   using Provider = EbrRqProvider<Node, K, V>;
 
   explicit EbrRqList(EbrRqMode mode = EbrRqMode::kLock)
       : prov_(mode, ebr_) {
-    head_ = new Node(key_min_sentinel<K>(), V{});
-    tail_ = new Node(key_max_sentinel<K>(), V{});
+    head_ = make_sentinel(key_min_sentinel<K>());
+    tail_ = make_sentinel(key_max_sentinel<K>());
     head_->next.store(tail_, std::memory_order_relaxed);
-    head_->itime.store(0, std::memory_order_relaxed);
-    tail_->itime.store(0, std::memory_order_relaxed);
   }
 
   ~EbrRqList() {
+    // Quiescent teardown: reachable nodes go straight back to their pools
+    // (limbo nodes via ~Provider, EBR-bagged ones via ~Ebr's drain).
     Node* n = head_;
     while (n != nullptr) {
       Node* nx = n->next.load(std::memory_order_relaxed);
-      delete n;
+      Node::recycle(n);
       n = nx;
     }
   }
@@ -70,7 +95,7 @@ class EbrRqList {
       std::lock_guard<Spinlock> lk(pred->lock);
       if (!validate(pred, curr)) continue;
       if (curr->key == key) return false;
-      Node* fresh = new Node(key, val);
+      Node* fresh = alloc_node(tid, key, val);
       fresh->next.store(curr, std::memory_order_relaxed);
       prov_.insert_op(tid, fresh, [&] {
         pred->next.store(fresh, std::memory_order_release);
@@ -99,7 +124,10 @@ class EbrRqList {
 
   size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
     out.clear();
-    if (lo > hi) return 0;
+    if (lo > hi) {
+      prov_.note_trivial_rq(tid);
+      return 0;
+    }
     Ebr::Guard g(ebr_, tid);
     const uint64_t ts = prov_.rq_begin(tid, lo, hi);
     Node* curr = head_->next.load(std::memory_order_acquire);
@@ -111,6 +139,28 @@ class EbrRqList {
     prov_.rq_reconcile(tid, ts, lo, hi, out);
     prov_.rq_end(tid);
     return out.size();
+  }
+
+  /// Snapshot timestamp the calling thread's last completed range query
+  /// linearized at (surfaced as RangeSnapshot::timestamp()).
+  timestamp_t last_rq_timestamp(int tid) const {
+    return prov_.last_rq_timestamp(tid);
+  }
+
+  /// Drain every thread's limbo slot (nodes stranded below the prune
+  /// cadence included); see Provider::flush_limbo. Returns #nodes retired.
+  size_t flush_limbo(int tid) {
+    Ebr::Guard g(ebr_, tid);
+    return prov_.flush_limbo(tid);
+  }
+
+  uint64_t limbo_nodes_checked() const { return prov_.limbo_nodes_checked(); }
+
+  static void set_node_pooling(bool on) {
+    EntryPool<Node>::instance().set_pooling_enabled(on);
+  }
+  static EntryPoolStats node_pool_stats() {
+    return EntryPool<Node>::instance().stats();
   }
 
   Ebr& ebr() { return ebr_; }
@@ -135,6 +185,32 @@ class EbrRqList {
   }
 
  private:
+  /// Pool pop + full field reset: a recycled node carries its previous
+  /// life's stamps/mark, and publication (the release store in insert_op's
+  /// lin) is what orders these plain stores for readers.
+  static Node* alloc_node(int tid, K key, V val) {
+    Node* n = EntryPool<Node>::instance().acquire(tid);
+    n->key = key;
+    n->val = val;
+    n->marked.store(false, std::memory_order_relaxed);
+    n->next.store(nullptr, std::memory_order_relaxed);
+    n->itime.store(Provider::kInfTs, std::memory_order_relaxed);
+    n->dtime.store(Provider::kInfTs, std::memory_order_relaxed);
+    n->limbo_next.store(nullptr, std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Sentinels are built on the constructing thread, whose dense id is
+  /// unknown — pool free lists are single-consumer, so they must not touch
+  /// a slot (cf. Bundle::init). They take the heap path and are tagged so
+  /// recycle() routes them back to delete.
+  static Node* make_sentinel(K key) {
+    Node* n = new Node(kPoolMalloced);
+    n->key = key;
+    n->itime.store(0, std::memory_order_relaxed);
+    return n;
+  }
+
   std::pair<Node*, Node*> traverse(K key) const {
     Node* pred = head_;
     Node* curr = pred->next.load(std::memory_order_acquire);

@@ -1,14 +1,23 @@
 #pragma once
 // Optimistic skip list with EBR-RQ / EBR-RQ-LF linearizable range queries
 // (Arbel-Raviv & Brown; see rq_provider.h).
+//
+// Nodes come from per-thread EntryPools (core/entry_pool.h) exactly like
+// the list's: see ebrrq_list.h. A pooled node keeps its full kMaxHeight
+// link array across lives; alloc_node re-stamps top_level and relinks only
+// the lanes the new life uses (readers can reach a node only through lanes
+// it is linked into, so stale upper lanes are unreachable).
 
 #include <bit>
 #include <cassert>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "common/spinlock.h"
+#include "core/entry_pool.h"
+#include "core/global_timestamp.h"
 #include "ds/ebrrq/rq_provider.h"
 #include "ds/support.h"
 #include "epoch/ebr.h"
@@ -21,31 +30,40 @@ class EbrRqSkipList {
   static constexpr int kMaxHeight = 20;
 
   struct Node {
-    const K key;
+    K key;
     V val;
-    const int top_level;
+    int top_level;
     Spinlock lock;
     std::atomic<bool> marked{false};
     std::atomic<bool> fully_linked{false};
     std::atomic<Node*> next[kMaxHeight];
     std::atomic<uint64_t> itime{EbrRqProvider<Node, K, V>::kInfTs};
     std::atomic<uint64_t> dtime{EbrRqProvider<Node, K, V>::kInfTs};
-    Node(K k, V v, int top) : key(k), val(v), top_level(top) {
+    // Limbo chain while parked, pool free-list link while recycled (the
+    // `next` lanes must stay walkable for readers crossing a marked node,
+    // so the pool cannot borrow them).
+    std::atomic<Node*> limbo_next{nullptr};
+    const int32_t pool_tid;
+
+    explicit Node(int32_t owner) : key{}, val{}, top_level(0), pool_tid(owner) {
       for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
     }
+
+    std::atomic<Node*>& pool_link() { return limbo_next; }
+    static constexpr size_t kPoolPoisonBytes = sizeof(K) + sizeof(V);
+    // ~240-byte nodes: keep slabs around 32 KiB instead of the default
+    // 512-entry granularity sized for 32-byte bundle entries.
+    static constexpr size_t kPoolSlabEntries = 128;
+    static void recycle(Node* n) { EntryPool<Node>::release(n); }
   };
   using Provider = EbrRqProvider<Node, K, V>;
 
   explicit EbrRqSkipList(EbrRqMode mode = EbrRqMode::kLock)
       : prov_(mode, ebr_) {
-    head_ = new Node(key_min_sentinel<K>(), V{}, kMaxHeight - 1);
-    tail_ = new Node(key_max_sentinel<K>(), V{}, kMaxHeight - 1);
+    head_ = make_sentinel(key_min_sentinel<K>());
+    tail_ = make_sentinel(key_max_sentinel<K>());
     for (int l = 0; l < kMaxHeight; ++l)
       head_->next[l].store(tail_, std::memory_order_relaxed);
-    head_->fully_linked.store(true, std::memory_order_relaxed);
-    tail_->fully_linked.store(true, std::memory_order_relaxed);
-    head_->itime.store(0, std::memory_order_relaxed);
-    tail_->itime.store(0, std::memory_order_relaxed);
     for (int i = 0; i < kMaxThreads; ++i) rngs_[i]->reseed(0xbeef + i);
   }
 
@@ -53,7 +71,7 @@ class EbrRqSkipList {
     Node* n = head_;
     while (n != nullptr) {
       Node* nx = n->next[0].load(std::memory_order_relaxed);
-      delete n;
+      Node::recycle(n);
       n = nx;
     }
   }
@@ -110,7 +128,7 @@ class EbrRqSkipList {
                 preds[l]->next[l].load(std::memory_order_acquire) == succs[l];
       }
       if (!valid) continue;
-      Node* fresh = new Node(key, val, top);
+      Node* fresh = alloc_node(tid, key, val, top);
       for (int l = 0; l <= top; ++l)
         fresh->next[l].store(succs[l], std::memory_order_relaxed);
       prov_.insert_op(tid, fresh, [&] {
@@ -158,7 +176,10 @@ class EbrRqSkipList {
 
   size_t range_query(int tid, K lo, K hi, std::vector<std::pair<K, V>>& out) {
     out.clear();
-    if (lo > hi) return 0;
+    if (lo > hi) {
+      prov_.note_trivial_rq(tid);
+      return 0;
+    }
     Ebr::Guard g(ebr_, tid);
     const uint64_t ts = prov_.rq_begin(tid, lo, hi);
     Node* preds[kMaxHeight];
@@ -172,6 +193,27 @@ class EbrRqSkipList {
     prov_.rq_reconcile(tid, ts, lo, hi, out);
     prov_.rq_end(tid);
     return out.size();
+  }
+
+  /// Snapshot timestamp the calling thread's last completed range query
+  /// linearized at (surfaced as RangeSnapshot::timestamp()).
+  timestamp_t last_rq_timestamp(int tid) const {
+    return prov_.last_rq_timestamp(tid);
+  }
+
+  /// Drain every thread's limbo slot; see Provider::flush_limbo.
+  size_t flush_limbo(int tid) {
+    Ebr::Guard g(ebr_, tid);
+    return prov_.flush_limbo(tid);
+  }
+
+  uint64_t limbo_nodes_checked() const { return prov_.limbo_nodes_checked(); }
+
+  static void set_node_pooling(bool on) {
+    EntryPool<Node>::instance().set_pooling_enabled(on);
+  }
+  static EntryPoolStats node_pool_stats() {
+    return EntryPool<Node>::instance().stats();
   }
 
   Ebr& ebr() { return ebr_; }
@@ -212,6 +254,32 @@ class EbrRqSkipList {
     Node* nodes_[kMaxHeight + 1];
     int count_ = 0;
   };
+
+  /// Pool pop + field reset (see ebrrq_list.h); lanes 0..top are stored by
+  /// insert before publication, lanes above stay stale-but-unreachable.
+  static Node* alloc_node(int tid, K key, V val, int top) {
+    Node* n = EntryPool<Node>::instance().acquire(tid);
+    n->key = key;
+    n->val = val;
+    n->top_level = top;
+    n->marked.store(false, std::memory_order_relaxed);
+    n->fully_linked.store(false, std::memory_order_relaxed);
+    n->itime.store(Provider::kInfTs, std::memory_order_relaxed);
+    n->dtime.store(Provider::kInfTs, std::memory_order_relaxed);
+    n->limbo_next.store(nullptr, std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Heap path for sentinels (constructing thread's id unknown; see
+  /// ebrrq_list.h).
+  static Node* make_sentinel(K key) {
+    Node* n = new Node(kPoolMalloced);
+    n->key = key;
+    n->top_level = kMaxHeight - 1;
+    n->fully_linked.store(true, std::memory_order_relaxed);
+    n->itime.store(0, std::memory_order_relaxed);
+    return n;
+  }
 
   int find(K key, Node** preds, Node** succs) const {
     int lf = -1;

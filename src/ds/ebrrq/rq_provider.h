@@ -27,13 +27,36 @@
 // limbo list that range queries scan for in-snapshot nodes they missed —
 // the extra "hundreds of limbo nodes checked per query" overhead the
 // bundling paper reports. Limbo entries are handed to EBR once no active or
-// future range query can include them.
+// future range query can include them; with pooled nodes the EBR drain then
+// recycles them to their owner's EntryPool inbox instead of the heap.
 //
-// NodeT duck-typing requirements: fields `key`, `val`, and
-// `std::atomic<uint64_t> itime, dtime` initialised to kInfTs.
+// Report/limbo lifecycle invariants (DESIGN.md §5 has the full writeup,
+// including the two races fixed here):
+//  * A report may sit in a slot only while that slot's query is live:
+//    report_insert re-checks `ts` under `report_lock`, and rq_end stores
+//    kNoRq and drains the slot under the same lock, so a straggler push
+//    racing the query's completion is impossible (the old code cleared
+//    stragglers only at the tid's *next* rq_begin — a thread that stopped
+//    querying kept dangling NodeT* to nodes later freed through EBR).
+//  * The limbo spinlocks are leaf locks: oldest_active_rq() — which spins
+//    on another thread's kRqPending window — is snapshotted *before* the
+//    limbo lock is taken, so a preempted query thread can no longer convoy
+//    every rq_reconcile/limbo_size caller behind one prune.
+//  * Pruning is cadence-driven (every kPruneEvery parks by that thread)
+//    plus on-demand: flush_limbo(tid) drains every slot, so nodes stranded
+//    by a thread that stopped updating (< kPruneEvery of them) still reach
+//    EBR and, from there, their owner's pool.
+//
+// NodeT duck-typing requirements: fields `key`, `val`,
+// `std::atomic<uint64_t> itime, dtime` initialised to kInfTs, an intrusive
+// `std::atomic<NodeT*> limbo_next` link (owned by the provider while the
+// node is parked; doubles as the EntryPool free-list link afterwards — the
+// two uses never overlap), and `static void recycle(NodeT*)` routing the
+// node back to its pool slot or the heap.
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <mutex>
 #include <utility>
@@ -62,8 +85,21 @@ class EbrRqProvider {
 
   ~EbrRqProvider() {
     for (auto& lb : limbo_) {
-      for (NodeT* n : lb->nodes) delete n;
-      lb->nodes.clear();
+      NodeT* n = lb->head;
+      while (n != nullptr) {
+        NodeT* nx = n->limbo_next.load(std::memory_order_relaxed);
+        NodeT::recycle(n);
+        n = nx;
+      }
+      lb->head = nullptr;
+      lb->count = 0;
+    }
+    // rq_end drains reports under the lock that gates pushes, so at
+    // quiescent destruction no slot may still hold one (a parked report
+    // would be a dangling NodeT* the moment EBR frees the node).
+    for (auto& rs : rq_slots_) {
+      assert(rs->reports.empty() && "report leaked past rq_end");
+      (void)rs;
     }
   }
 
@@ -127,10 +163,13 @@ class EbrRqProvider {
   uint64_t rq_begin(int tid, K lo, K hi) {
     hwm_.note(tid);
     auto& rs = *rq_slots_[tid];
+#ifndef NDEBUG
     {
+      // rq_end drained under the lock gating pushes, so the slot is empty.
       std::lock_guard<Spinlock> g(rs.report_lock);
-      rs.reports.clear();  // stale stragglers from a previous query
+      assert(rs.reports.empty() && "stale report survived rq_end");
     }
+#endif
     rs.lo.store(lo, std::memory_order_relaxed);
     rs.hi.store(hi, std::memory_order_relaxed);
     rs.ts.store(kRqPending, std::memory_order_seq_cst);
@@ -143,12 +182,41 @@ class EbrRqProvider {
       ts = ts_.fetch_add(1, std::memory_order_seq_cst);
     }
     rs.ts.store(ts, std::memory_order_seq_cst);
+    // The snapshot timestamp this query linearizes at, surfaced through the
+    // structures' last_rq_timestamp(tid) -> RangeSnapshot::timestamp().
+    *last_rq_ts_[tid] = ts;
     return ts;
   }
 
   void rq_end(int tid) {
-    rq_slots_[tid]->ts.store(kNoRq, std::memory_order_release);
+    auto& rs = *rq_slots_[tid];
+    if (mode_ == EbrRqMode::kLock) {
+      // Lock mode never reports (insert_op gates report_insert on
+      // kLockFree), so the slot is provably empty: keep the seed's single
+      // release store on this hot path.
+      rs.ts.store(kNoRq, std::memory_order_release);
+      return;
+    }
+    // The kNoRq store and the report drain form one atomic step w.r.t.
+    // report_insert (which re-checks ts under this lock). Without that, an
+    // insert that read a live ts just before the store could push *after*
+    // the drain, and the report — a raw NodeT* — would dangle until this
+    // tid's next rq_begin, which may never come.
+    std::lock_guard<Spinlock> g(rs.report_lock);
+    rs.ts.store(kNoRq, std::memory_order_release);
+    rs.reports.clear();
   }
+
+  /// A trivially-empty query (lo > hi) linearizes anywhere; stamp "now" so
+  /// RangeSnapshot::timestamp() stays meaningful without paying rq_begin.
+  void note_trivial_rq(int tid) {
+    hwm_.note(tid);
+    *last_rq_ts_[tid] = ts_.load(std::memory_order_seq_cst);
+  }
+
+  /// Snapshot timestamp the calling thread's last range query fixed in
+  /// rq_begin (kLock and kLockFree alike: the fetch-add result).
+  uint64_t last_rq_timestamp(int tid) const { return *last_rq_ts_[tid]; }
 
   /// Snapshot membership test: itime <= ts < dtime. DCSS-helping reads in
   /// lock-free mode so a raw descriptor word is never misinterpreted.
@@ -188,7 +256,8 @@ class EbrRqProvider {
     for (int i = 0; i < n_threads; ++i) {
       auto& lb = *limbo_[i];
       std::lock_guard<Spinlock> g(lb.lock);
-      for (NodeT* n : lb.nodes) {
+      for (NodeT* n = lb.head; n != nullptr;
+           n = n->limbo_next.load(std::memory_order_relaxed)) {
         limbo_checked_.fetch_add(1, std::memory_order_relaxed);
         if (n->key >= lo && n->key <= hi && visible(n, ts))
           out.emplace_back(n->key, n->val);
@@ -202,6 +271,24 @@ class EbrRqProvider {
               out.end());
   }
 
+  // ---- limbo maintenance -------------------------------------------------
+
+  /// On-demand drain of *every* thread's limbo slot: nodes no active or
+  /// future range query can include are retired into `tid`'s EBR bag (and
+  /// recycled to their owners' pools once the grace period elapses). The
+  /// cadence-driven prune only fires every kPruneEvery parks *by the
+  /// parking thread*, so a thread that stops updating strands its tail
+  /// forever without this. Call while pinned. Returns #nodes retired.
+  size_t flush_limbo(int tid) {
+    hwm_.note(tid);
+    const uint64_t oldest = oldest_active_rq();
+    size_t n = 0;
+    const int n_threads = hwm_.get();
+    for (int i = 0; i < n_threads; ++i)
+      n += prune_slot(*limbo_[i], oldest, tid);
+    return n;
+  }
+
   // ---- statistics --------------------------------------------------------
   uint64_t limbo_nodes_checked() const {
     return limbo_checked_.load(std::memory_order_relaxed);
@@ -211,7 +298,18 @@ class EbrRqProvider {
     for (int i = 0; i < hwm_.get(); ++i) {
       auto& lb = *limbo_[i];
       std::lock_guard<Spinlock> g(lb.lock);
-      n += lb.nodes.size();
+      n += lb.count;
+    }
+    return n;
+  }
+  /// Reports currently parked across all slots (tests: must be zero once
+  /// quiescent — every push is gated on a live query whose rq_end drains).
+  size_t pending_reports() {
+    size_t n = 0;
+    for (int i = 0; i < hwm_.get(); ++i) {
+      auto& rs = *rq_slots_[i];
+      std::lock_guard<Spinlock> g(rs.report_lock);
+      n += rs.reports.size();
     }
     return n;
   }
@@ -226,9 +324,13 @@ class EbrRqProvider {
     std::atomic<NodeT*> del1{nullptr};
   };
 
+  /// Intrusive LIFO of unlinked-but-maybe-still-in-snapshot nodes, linked
+  /// through NodeT::limbo_next — no per-park vector churn, and pruning
+  /// relinks in place instead of erase/partition copies.
   struct Limbo {
     Spinlock lock;
-    std::vector<NodeT*> nodes;
+    NodeT* head = nullptr;
+    size_t count = 0;
     uint64_t appended = 0;
   };
 
@@ -274,6 +376,10 @@ class EbrRqProvider {
           n->key > rs.hi.load(std::memory_order_relaxed))
         continue;
       std::lock_guard<Spinlock> g(rs.report_lock);
+      // Re-check under the lock: rq_end's kNoRq store + drain happen under
+      // it too, so a push here is guaranteed to be seen (and drained) by
+      // the still-live query rather than parked forever.
+      if (rs.ts.load(std::memory_order_relaxed) == kNoRq) continue;
       rs.reports.push_back(n);
     }
   }
@@ -293,20 +399,48 @@ class EbrRqProvider {
 
   void park_in_limbo(int tid, NodeT* n) {
     auto& lb = *limbo_[tid];
-    std::lock_guard<Spinlock> g(lb.lock);
-    lb.nodes.push_back(n);
-    if (++lb.appended % kPruneEvery == 0) prune_limbo(tid, lb);
+    bool prune_due;
+    {
+      std::lock_guard<Spinlock> g(lb.lock);
+      n->limbo_next.store(lb.head, std::memory_order_relaxed);
+      lb.head = n;
+      ++lb.count;
+      prune_due = (++lb.appended % kPruneEvery == 0);
+    }
+    // Prune outside the append's critical section: oldest_active_rq spins
+    // on kRqPending windows, and holding lb.lock across that spin convoyed
+    // every rq_reconcile/limbo_size caller behind one preempted query.
+    if (prune_due) {
+      const uint64_t oldest = oldest_active_rq();
+      prune_slot(lb, oldest, tid);
+    }
   }
 
   /// Move limbo nodes no active or future range query can include into EBR
-  /// (which delays the actual free past any concurrent traversal).
-  void prune_limbo(int tid, Limbo& lb) {
-    const uint64_t oldest = oldest_active_rq();
-    auto it = std::partition(lb.nodes.begin(), lb.nodes.end(), [&](NodeT* n) {
-      return n->dtime.load(std::memory_order_acquire) > oldest;
-    });
-    for (auto p = it; p != lb.nodes.end(); ++p) ebr_->retire(tid, *p);
-    lb.nodes.erase(it, lb.nodes.end());
+  /// (which delays the recycle past any concurrent traversal). The caller
+  /// must have snapshotted `oldest` with no limbo lock held. Returns the
+  /// number of nodes retired into `retire_tid`'s bag.
+  size_t prune_slot(Limbo& lb, uint64_t oldest, int retire_tid) {
+    std::lock_guard<Spinlock> g(lb.lock);
+    NodeT* keep = nullptr;
+    size_t kept = 0;
+    size_t pruned = 0;
+    NodeT* n = lb.head;
+    while (n != nullptr) {
+      NodeT* nx = n->limbo_next.load(std::memory_order_relaxed);
+      if (n->dtime.load(std::memory_order_acquire) > oldest) {
+        n->limbo_next.store(keep, std::memory_order_relaxed);
+        keep = n;
+        ++kept;
+      } else {
+        ebr_->retire_recycle(retire_tid, n);
+        ++pruned;
+      }
+      n = nx;
+    }
+    lb.head = keep;
+    lb.count = kept;
+    return pruned;
   }
 
   uint64_t oldest_active_rq() const {
@@ -335,6 +469,7 @@ class EbrRqProvider {
   CachePadded<AnnounceSlots> slots_[kMaxThreads];
   mutable CachePadded<Limbo> limbo_[kMaxThreads];
   CachePadded<RqSlot> rq_slots_[kMaxThreads];
+  CachePadded<uint64_t> last_rq_ts_[kMaxThreads] = {};
 };
 
 }  // namespace bref

@@ -48,14 +48,34 @@ namespace detail {
 /// General searcher over arbitrary interval structures, linearized-set
 /// tracked as a 64-bit mask; capacity 64 ops. Used only when the history's
 /// per-thread sequencing assumption does not hold.
+///
+/// With `respect_rq_ts`, range queries carrying a reported snapshot
+/// timestamp (Op::rq_ts) must additionally linearize in timestamp order:
+/// the stamps come from one logical clock, so the execution's own
+/// linearization already satisfies that order — constraining the search to
+/// it never rejects a history the structure actually produced, but catches
+/// stamps inconsistent with any legal replay (the @ts audits).
 struct MaskSearcher {
   const History& h;
   SetModel model;
   std::vector<int> order;
   std::unordered_set<uint64_t> visited;
   uint64_t mask = 0;  // bit i set => h[i] linearized
+  bool respect_rq_ts = false;
 
-  explicit MaskSearcher(const History& hist) : h(hist) {}
+  explicit MaskSearcher(const History& hist, bool use_ts = false)
+      : h(hist), respect_rq_ts(use_ts) {}
+
+  /// h[i] may be linearized now only if no remaining stamped RQ carries a
+  /// strictly smaller snapshot timestamp (ties may go in either order).
+  bool ts_minimal(size_t i) const {
+    if (!respect_rq_ts || h[i].rq_ts == kNoRqTs) return true;
+    for (size_t j = 0; j < h.size(); ++j) {
+      if (i == j || (mask & (1ull << j))) continue;
+      if (h[j].rq_ts != kNoRqTs && h[j].rq_ts < h[i].rq_ts) return false;
+    }
+    return true;
+  }
 
   uint64_t state_key() const {
     // Combine the linearized-set mask with the model fingerprint. The pair
@@ -80,7 +100,7 @@ struct MaskSearcher {
           break;
         }
       }
-      if (!minimal) continue;
+      if (!minimal || !ts_minimal(i)) continue;
       SetModel::Undo undo = model.prepare_undo(h[i]);
       if (!model.step(h[i])) continue;
       mask |= (1ull << i);
@@ -108,10 +128,40 @@ struct ThreadedSearcher {
   std::vector<int> order;
   std::unordered_set<uint64_t> visited;
   size_t done = 0;
+  bool respect_rq_ts = false;
+  // Per lane: min rq_ts over the lane's ops at index >= pos (kNoRqTs when
+  // none) — makes the @ts admissibility check O(width) per candidate.
+  std::vector<std::vector<uint64_t>> ts_suffix_min;
 
   explicit ThreadedSearcher(const History& hist,
-                            std::vector<std::vector<int>> l)
-      : h(hist), lanes(std::move(l)), progress(lanes.size(), 0) {}
+                            std::vector<std::vector<int>> l,
+                            bool use_ts = false)
+      : h(hist),
+        lanes(std::move(l)),
+        progress(lanes.size(), 0),
+        respect_rq_ts(use_ts) {
+    if (respect_rq_ts) {
+      ts_suffix_min.resize(lanes.size());
+      for (size_t t = 0; t < lanes.size(); ++t) {
+        ts_suffix_min[t].assign(lanes[t].size() + 1, kNoRqTs);
+        for (size_t p = lanes[t].size(); p-- > 0;) {
+          const uint64_t own = h[lanes[t][p]].rq_ts;
+          ts_suffix_min[t][p] = std::min(own, ts_suffix_min[t][p + 1]);
+        }
+      }
+    }
+  }
+
+  /// h[i] admissible under @ts iff no remaining stamped RQ (in any lane)
+  /// carries a strictly smaller snapshot timestamp.
+  bool ts_minimal(int i) const {
+    if (!respect_rq_ts || h[i].rq_ts == kNoRqTs) return true;
+    for (size_t u = 0; u < lanes.size(); ++u) {
+      if (progress[u] >= lanes[u].size()) continue;
+      if (ts_suffix_min[u][progress[u]] < h[i].rq_ts) return false;
+    }
+    return true;
+  }
 
   uint64_t state_key() const {
     uint64_t x = 1469598103934665603ull;
@@ -140,7 +190,7 @@ struct ThreadedSearcher {
           break;
         }
       }
-      if (!minimal) continue;
+      if (!minimal || !ts_minimal(i)) continue;
       SetModel::Undo undo = model.prepare_undo(h[i]);
       if (!model.step(h[i])) continue;
       ++progress[t];
@@ -180,12 +230,15 @@ inline std::vector<std::vector<int>> build_lanes(const History& h) {
 /// Check a history for linearizability against the Set model. Histories
 /// whose per-thread operations are sequential (the normal case for
 /// recorded runs) use the width-bounded search with no length cap; other
-/// histories fall back to the general mask search (≤ 64 ops).
-inline CheckResult check_linearizable(const History& h) {
+/// histories fall back to the general mask search (≤ 64 ops). With
+/// `respect_rq_ts`, range queries carrying a snapshot timestamp must also
+/// linearize in @ts order (see check_linearizable_with_ts).
+inline CheckResult check_linearizable(const History& h,
+                                      bool respect_rq_ts = false) {
   CheckResult r;
   auto lanes = detail::build_lanes(h);
   if (!lanes.empty() || h.empty()) {
-    detail::ThreadedSearcher s(h, std::move(lanes));
+    detail::ThreadedSearcher s(h, std::move(lanes), respect_rq_ts);
     if (s.dfs()) {
       r.linearizable = true;
       r.witness = std::move(s.order);
@@ -198,16 +251,56 @@ inline CheckResult check_linearizable(const History& h) {
           "64-op capacity of the general search";
       return r;
     }
-    detail::MaskSearcher s(h);
+    detail::MaskSearcher s(h, respect_rq_ts);
     if (s.dfs()) {
       r.linearizable = true;
       r.witness = std::move(s.order);
       return r;
     }
   }
-  r.message = "no legal linearization order exists; history:";
+  r.message = "no legal linearization order exists";
+  if (respect_rq_ts) r.message += " (with @ts-ordered range queries)";
+  r.message += "; history:";
   for (const auto& op : h) r.message += "\n  " + describe(op);
   return r;
+}
+
+/// Real-time consistency of the reported snapshot timestamps alone: if
+/// query A fixed a strictly smaller @ts than query B, then B cannot have
+/// completed before A was invoked — the stamps come from one monotone
+/// logical clock, so @ts order must embed into Herlihy-Wing real-time
+/// order. A cheap necessary condition (no search), useful on histories too
+/// wide for the full checker.
+inline CheckResult check_rq_timestamps(const History& h) {
+  CheckResult r;
+  for (size_t i = 0; i < h.size(); ++i) {
+    if (h[i].kind != OpKind::kRangeQuery || h[i].rq_ts == kNoRqTs) continue;
+    for (size_t j = 0; j < h.size(); ++j) {
+      if (i == j || h[j].kind != OpKind::kRangeQuery ||
+          h[j].rq_ts == kNoRqTs)
+        continue;
+      if (h[i].rq_ts < h[j].rq_ts && h[j].happens_before(h[i])) {
+        r.message = "snapshot timestamps contradict real time: " +
+                    describe(h[j]) + " completed before " + describe(h[i]) +
+                    " was invoked, yet carries the larger @ts";
+        return r;
+      }
+    }
+  }
+  r.linearizable = true;
+  return r;
+}
+
+/// The @ts audit: timestamps must be real-time consistent AND a witness
+/// linearization must exist in which stamped range queries take effect in
+/// @ts order. Sound for histories recorded against one structure (all
+/// stamps drawn from its single logical clock): the execution's actual
+/// linearization order is such a witness, so a correct implementation can
+/// never fail this where plain check_linearizable would pass.
+inline CheckResult check_linearizable_with_ts(const History& h) {
+  CheckResult pre = check_rq_timestamps(h);
+  if (!pre) return pre;
+  return check_linearizable(h, /*respect_rq_ts=*/true);
 }
 
 /// Project a history onto per-key sub-histories. Point operations project

@@ -244,7 +244,10 @@ TEST_P(LinRqProperty, ConcurrentBurstsPassWingGongAudit) {
     });
     validation::History h = validation::merge(logs);
     h.insert(h.end(), pre.begin(), pre.end());
-    auto verdict = validation::check_linearizable(h);
+    // @ts-aware form: where the implementation reports snapshot timestamps
+    // (Bundle and the EBR-RQ family), the witness must also order range
+    // queries by their stamps; elsewhere it degrades to the plain check.
+    auto verdict = validation::check_linearizable_with_ts(h);
     ASSERT_TRUE(verdict.linearizable)
         << GetParam() << " burst " << burst << ": " << verdict.message;
   }

@@ -120,16 +120,28 @@ TYPED_TEST(SetSemantics, RangeQueryAfterRemovals) {
 }
 
 TYPED_TEST(SetSemantics, SnapshotTimestampMatchesCapability) {
-  // Bundled structures stamp the logical time their snapshot fixed;
-  // everything else reports no timestamp. The flag is part of the
-  // registry's derived capabilities, so the two must agree.
+  // Techniques that fix a snapshot timestamp (Bundle, the EBR-RQ family)
+  // stamp the logical time their snapshot fixed; everything else reports
+  // no timestamp. The flag is part of the registry's derived capabilities,
+  // so the two must agree.
   for (KeyT k : {10, 20, 30}) this->s.insert(k, k);
   this->s.range_query(1, 100, this->out);
   EXPECT_EQ(this->out.has_timestamp(), caps_of<TypeParam>().rq_timestamp);
   if (this->out.has_timestamp()) {
-    // Three updates under T=1 advanced the clock to >= 3; the snapshot was
-    // taken after them.
-    EXPECT_GE(this->out.timestamp(), 3u);
+    if constexpr (detail::accepts_relaxation_v<TypeParam>) {
+      // Bundle's clock advances per update: three updates under T=1
+      // advanced it to >= 3 before the snapshot was taken.
+      EXPECT_GE(this->out.timestamp(), 3u);
+    } else {
+      // The EBR-RQ counter advances per *query* (updates only read it), so
+      // the first query fixes the initial stamp; require a live one.
+      EXPECT_GT(this->out.timestamp(), 0u);
+    }
+    // A second query must never run the snapshot clock backwards.
+    const timestamp_t first = this->out.timestamp();
+    this->s.range_query(1, 100, this->out);
+    ASSERT_TRUE(this->out.has_timestamp());
+    EXPECT_GE(this->out.timestamp(), first);
   }
 }
 

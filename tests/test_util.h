@@ -36,6 +36,21 @@ void run_sessions(DS& ds, int n,
   });
 }
 
+/// Run `fn(session)` on `n` threads whose dense ids come from the
+/// per-OS-thread SessionPool cache — the application-facing id discipline
+/// (the tl_thread_id() successor), as opposed to run_sessions' hand-pinned
+/// ids. Use when a test should exercise the same path real callers take;
+/// note pooled ids are recycled through the global ThreadRegistry, so do
+/// not mix with hand-pinned ids that could collide.
+inline void run_pooled(AnyOrderedSet& set, int n,
+                       const std::function<void(ThreadSession&)>& fn) {
+  SessionPool pool(set);
+  run_threads(n, [&](int) {
+    ThreadSession s = pool.session();
+    fn(s);
+  });
+}
+
 /// Compare a quiescent structure against a reference map.
 template <typename DS>
 ::testing::AssertionResult matches_model(DS& ds,
