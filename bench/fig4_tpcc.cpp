@@ -36,10 +36,14 @@ double run_tpcc(int threads, const db::TpccScale& scale, int duration_ms,
       Xoshiro256 rng(seed + t * 7919);
       start.arrive_and_wait();
       while (!stop.load(std::memory_order_relaxed)) {
+        // One RAII session bundle per transaction; the pinned-id form
+        // borrows the driver's dense id, so begin/commit is free.
+        db::Txn txn = dbp->begin_txn(t);
         if (g_full_mix)
-          dbp->run_full_mix_txn(t, rng, *stats[t]);
+          dbp->run_full_mix_txn(txn, rng, *stats[t]);
         else
-          dbp->run_mixed_txn(t, rng, *stats[t]);
+          dbp->run_mixed_txn(txn, rng, *stats[t]);
+        txn.commit();
       }
     });
   }

@@ -275,6 +275,10 @@ class JsonSink {
     std::string mix;
     int threads = 0;
     Measured m;
+    /// Optional raw-JSON tail spliced into the record ("key": value pairs,
+    /// leading comma added by the writer) — e.g. fig6's per-shard
+    /// maintenance stats. Caller is responsible for valid JSON.
+    std::string extra;
   };
 
   static JsonSink& instance() {
@@ -291,9 +295,10 @@ class JsonSink {
   bool enabled() const { return !path_.empty(); }
 
   void record(std::string impl, std::string mix, int threads,
-              const Measured& m) {
+              const Measured& m, std::string extra = "") {
     if (!enabled()) return;
-    records_.push_back({std::move(impl), std::move(mix), threads, m});
+    records_.push_back(
+        {std::move(impl), std::move(mix), threads, m, std::move(extra)});
   }
 
   /// Write the collected document; call once at the end of main().
@@ -321,13 +326,14 @@ class JsonSink {
           "    {\"impl\": \"%s\", \"mix\": \"%s\", \"threads\": %d, "
           "\"mops\": %.6f, \"ops\": %llu, \"allocs_per_op\": %.8f, "
           "\"pool_hits\": %llu, \"pool_misses\": %llu, "
-          "\"pool_recycled\": %llu, \"limbo_checked\": %llu}%s\n",
+          "\"pool_recycled\": %llu, \"limbo_checked\": %llu%s%s}%s\n",
           r.impl.c_str(), r.mix.c_str(), r.threads, r.m.mops,
           static_cast<unsigned long long>(r.m.ops), r.m.allocs_per_op,
           static_cast<unsigned long long>(r.m.pool.hits),
           static_cast<unsigned long long>(r.m.pool.misses),
           static_cast<unsigned long long>(r.m.pool.recycled),
           static_cast<unsigned long long>(r.m.limbo_checked),
+          r.extra.empty() ? "" : ", ", r.extra.c_str(),
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -4,11 +4,11 @@
 //
 //   build/examples/tpcc_demo [seconds]
 //
-// MiniDB is an embedded consumer of the implementation-facing interface:
-// it owns many indexes per warehouse and threads one dense worker id
-// through all of them per transaction, so it deliberately stays on the
-// explicit-id convention (the benchmark drivers' pattern) rather than
-// holding one RAII session per index per thread.
+// MiniDB owns many indexes per warehouse; each transaction opens one RAII
+// session bundle (db::Txn) whose single dense id covers every index it
+// touches and is released on commit — the auto-acquiring form here takes
+// the application path (ids from the global ThreadRegistry), while the
+// benchmark drivers use the pinned begin_txn(tid) form.
 
 #include <atomic>
 #include <cstdio>
@@ -42,8 +42,11 @@ int main(int argc, char** argv) {
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
       Xoshiro256 rng(2026 + t);
-      while (!stop.load(std::memory_order_relaxed))
-        database.run_mixed_txn(t, rng, stats[t]);
+      while (!stop.load(std::memory_order_relaxed)) {
+        db::Txn txn = database.begin_txn();
+        database.run_mixed_txn(txn, rng, stats[t]);
+        txn.commit();
+      }
     });
   }
   std::this_thread::sleep_for(
@@ -74,7 +77,8 @@ int main(int argc, char** argv) {
               100.0 * total.txn_delivery / txns,
               (unsigned long long)total.delivered_orders);
   std::printf("  index ops: %.2f Mops/s\n", total.index_ops / elapsed / 1e6);
+  db::Txn audit = database.begin_txn();
   std::printf("  undelivered new-orders remaining: %zu\n",
-              database.undelivered_count(0));
+              database.undelivered_count(audit));
   return 0;
 }

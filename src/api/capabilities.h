@@ -21,6 +21,13 @@ struct Capabilities {
   /// Range queries report the snapshot timestamp they linearized at
   /// (RangeSnapshot::timestamp()); a bundled-reference feature.
   bool rq_timestamp = false;
+  /// The implementation can take part in a coordinated multi-instance
+  /// range query linearized at ONE shared timestamp: it reports snapshot
+  /// timestamps, exposes its global clock for share_with() redirection and
+  /// its RQ announce array, and can collect a range at an externally fixed
+  /// timestamp (range_query_at). Derived in impl_traits.h; consumed by
+  /// bref::ShardedSet (src/shard/sharded_set.h).
+  bool coordinated_rq = false;
 
   std::string to_string() const {
     std::string s;
@@ -33,6 +40,7 @@ struct Capabilities {
     add(relaxation, "relaxation");
     add(reclamation, "reclamation");
     add(rq_timestamp, "rq-timestamp");
+    add(coordinated_rq, "coordinated-rq");
     return s.empty() ? "none" : s;
   }
 };

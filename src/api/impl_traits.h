@@ -12,6 +12,7 @@
 // opt.reclaim, silently building the wrong object. The hook requirement
 // pins the parameter's meaning.
 
+#include <concepts>
 #include <cstdint>
 #include <type_traits>
 #include <utility>
@@ -43,6 +44,33 @@ struct HasReclaimEnabled<
     DS, std::void_t<decltype(std::declval<const DS&>().reclaim_enabled())>>
     : std::true_type {};
 
+template <typename DS, typename = void>
+struct HasRqTracker : std::false_type {};
+template <typename DS>
+struct HasRqTracker<DS,
+                    std::void_t<decltype(std::declval<DS&>().rq_tracker())>>
+    : std::true_type {};
+
+template <typename DS, typename = void>
+struct HasRangeQueryAt : std::false_type {};
+template <typename DS>
+struct HasRangeQueryAt<
+    DS, std::void_t<decltype(std::declval<DS&>().range_query_at(
+            0, timestamp_t{}, KeyT{}, KeyT{},
+            std::declval<std::vector<std::pair<KeyT, ValT>>&>()))>>
+    : std::true_type {};
+
+/// DS can serve one coordinated multi-instance range query at a shared
+/// timestamp (Capabilities::coordinated_rq): it must report snapshot
+/// timestamps, own a redirectable global clock AND the RQ announce array,
+/// and collect at an externally fixed timestamp. All four are required —
+/// the shard layer's protocol (announce everywhere, read the shared clock
+/// once, collect at that value) touches each hook.
+template <typename DS>
+inline constexpr bool coordinated_rq_v =
+    HasRangeQueryAt<DS>::value && HasRqTracker<DS>::value &&
+    HasGlobalTimestamp<DS>::value && HasLastRqTimestamp<DS>::value;
+
 /// DS honors SetOptions::relax_threshold: takes the (relax_threshold,
 /// reclaim) constructor AND owns a global timestamp to relax.
 template <typename DS>
@@ -61,15 +89,25 @@ inline constexpr bool accepts_reclamation_v =
 /// Shared range-query-into-snapshot protocol: re-arm the snapshot, run the
 /// query into its buffer, stamp the timestamp when the type reports one.
 /// Both the type-erased adapter and TypedSession go through here so the
-/// two paths cannot diverge.
+/// two paths cannot diverge. A type that implements the snapshot form
+/// itself (AnyOrderedSet, and through it ShardedSet, whose coordinated
+/// stamp exists only on this path) owns the whole protocol — call through
+/// so TypedSession<AnyOrderedSet> callers see its stamping, not a rebuilt
+/// vector-form result.
 template <typename DS>
 size_t fill_range_query(DS& ds, int tid, KeyT lo, KeyT hi,
                         RangeSnapshot& out) {
-  out.reset(lo, hi);
-  ds.range_query(tid, lo, hi, out.buffer());
-  if constexpr (HasLastRqTimestamp<DS>::value)
-    out.set_timestamp(ds.last_rq_timestamp(tid));
-  return out.size();
+  if constexpr (requires {
+                  { ds.range_query(tid, lo, hi, out) } -> std::same_as<size_t>;
+                }) {
+    return ds.range_query(tid, lo, hi, out);
+  } else {
+    out.reset(lo, hi);
+    ds.range_query(tid, lo, hi, out.buffer());
+    if constexpr (HasLastRqTimestamp<DS>::value)
+      out.set_timestamp(ds.last_rq_timestamp(tid));
+    return out.size();
+  }
 }
 
 }  // namespace bref::detail

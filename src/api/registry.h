@@ -49,7 +49,8 @@ template <typename DS>
 constexpr Capabilities caps_of() {
   return Capabilities{DS::kLinearizableRq, detail::accepts_relaxation_v<DS>,
                       detail::accepts_reclamation_v<DS>,
-                      detail::HasLastRqTimestamp<DS>::value};
+                      detail::HasLastRqTimestamp<DS>::value,
+                      detail::coordinated_rq_v<DS>};
 }
 
 namespace detail {
@@ -84,9 +85,85 @@ class AnySetAdapter final : public AnyOrderedSet {
   const char* structure() const override { return DS::kStructure; }
   Capabilities capabilities() const override { return caps_of<DS>(); }
 
+  // -- shard-layer hooks, derived from the concrete type ------------------
+  bool adopt_clock(GlobalTimestamp& leader) override {
+    if constexpr (HasGlobalTimestamp<DS>::value) {
+      ds_.global_timestamp().share_with(leader);
+      return true;
+    } else {
+      (void)leader;
+      return false;
+    }
+  }
+  RqTracker* rq_tracker_hook() override {
+    if constexpr (HasRqTracker<DS>::value) {
+      return &ds_.rq_tracker();
+    } else {
+      return nullptr;
+    }
+  }
+  // OptEbrGuard semantics, split so the shard coordinator can pin BEFORE
+  // reading the shared clock (see set_interface.h): leaky instances skip
+  // epoch traffic — nothing is freed before destruction there. One gate
+  // shared by both halves so they can never disagree (an unbalanced pin
+  // silently halts epoch advancement).
+  void rq_pin(int tid) override {
+    if constexpr (requires(DS& d) { d.ebr(); })
+      if (epoch_guarded()) ds_.ebr().pin(tid);
+  }
+  void rq_unpin(int tid) override {
+    if constexpr (requires(DS& d) { d.ebr(); })
+      if (epoch_guarded()) ds_.ebr().unpin(tid);
+  }
+  size_t range_query_at(int tid, timestamp_t ts, KeyT lo, KeyT hi,
+                        std::vector<std::pair<KeyT, ValT>>& out) override {
+    if constexpr (HasRangeQueryAt<DS>::value) {
+      return ds_.range_query_at(tid, ts, lo, hi, out);
+    } else {
+      (void)tid, (void)ts, (void)lo, (void)hi, (void)out;
+      return 0;
+    }
+  }
+
+  MaintenanceWork maintain(int tid) override {
+    MaintenanceWork w;
+    if constexpr (requires(DS& d) { d.prune_bundles(tid); }) {
+      // Pruning retires entries through EBR, but in leaky mode readers
+      // never pin — the grace period would be meaningless, so prune only
+      // when the instance actually reclaims (the BundleCleaner contract).
+      bool prune = true;
+      if constexpr (HasReclaimEnabled<DS>::value) prune = ds_.reclaim_enabled();
+      if (prune) w.bundle_entries_pruned = ds_.prune_bundles(tid);
+    }
+    if constexpr (requires(DS& d) { d.flush_limbo(tid); })
+      w.limbo_flushed = ds_.flush_limbo(tid);
+    if constexpr (requires(DS& d) { d.ebr(); }) {
+      ds_.ebr().quiesce(tid);
+      w.epochs_quiesced = true;
+    }
+    return w;
+  }
+  size_t maintenance_backlog() const override {
+    if constexpr (requires(const DS& d) { d.limbo_size(); }) {
+      return ds_.limbo_size();
+    } else {
+      return 0;
+    }
+  }
+
   DS& underlying() { return ds_; }
 
  private:
+  /// Whether readers need epoch pins (OptEbrGuard's condition): instances
+  /// with a reclaim toggle pin only when it is on; an EBR-owning type
+  /// without the toggle always reclaims.
+  bool epoch_guarded() const {
+    if constexpr (HasReclaimEnabled<DS>::value)
+      return ds_.reclaim_enabled();
+    else
+      return true;
+  }
+
   DS ds_;
 };
 

@@ -29,6 +29,7 @@
 #include "api/builtin_impls.h"
 #include "api/registry.h"
 #include "api/session.h"
+#include "shard/builtin_shards.h"
 
 namespace bref {
 

@@ -38,8 +38,20 @@ class GlobalTimestamp {
   /// Current value; used by range queries to fix their snapshot (Alg. 3
   /// line 4) and by relaxed-mode updates.
   timestamp_t read() const noexcept {
-    return ts_.load(std::memory_order_seq_cst);
+    return ts_->load(std::memory_order_seq_cst);
   }
+
+  /// Redirect this clock onto `leader`'s counter, so several structures
+  /// order their updates on ONE seq_cst timeline — the property the shard
+  /// layer's single-timestamp cross-shard range queries rest on
+  /// (src/shard/sharded_set.h). Quiescent-only: call before the owning
+  /// structure is shared with other threads (the pointer itself is not
+  /// atomic), and the leader must outlive every follower. Per-thread relax
+  /// counters stay local, so Fig. 5 relaxation composes per structure.
+  void share_with(GlobalTimestamp& leader) noexcept { ts_ = leader.ts_; }
+
+  /// True when share_with redirected this instance onto another clock.
+  bool is_shared() const noexcept { return ts_ != &own_; }
 
   /// Timestamp for an update operation reaching its linearization point.
   /// Linearizable mode: atomic fetch-and-add, returning the new value
@@ -58,13 +70,14 @@ class GlobalTimestamp {
 
   /// Unconditional increment; returns the new value.
   timestamp_t advance() noexcept {
-    return ts_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    return ts_->fetch_add(1, std::memory_order_seq_cst) + 1;
   }
 
   uint64_t relax_threshold() const noexcept { return relax_threshold_; }
 
  private:
-  std::atomic<timestamp_t> ts_{0};
+  std::atomic<timestamp_t> own_{0};
+  std::atomic<timestamp_t>* ts_ = &own_;  // redirected by share_with()
   const uint64_t relax_threshold_;
   CachePadded<uint64_t> counters_[kMaxThreads];
 };

@@ -26,12 +26,27 @@ class RqTracker {
 
   /// Begin a range query: fix and publish its snapshot timestamp.
   timestamp_t begin(int tid, const GlobalTimestamp& gts) noexcept {
-    hwm_.note(tid);
-    auto& slot = *slots_[tid];
-    slot.store(kAnnouncePending, std::memory_order_seq_cst);
+    announce_pending(tid);
     const timestamp_t ts = gts.read();
     SyncHooks::run(SyncHooks::rq_mid_announce);
-    slot.store(ts, std::memory_order_seq_cst);
+    return publish(tid, ts);
+  }
+
+  /// First half of the announce protocol, split out for coordinated
+  /// cross-shard range queries (src/shard/sharded_set.h): the coordinator
+  /// marks every overlapping shard's tracker PENDING, reads the shared
+  /// clock ONCE, then publish()es that value everywhere. The safety
+  /// argument is begin()'s, per shard: a cleaner that scans this slot
+  /// before the PENDING store read its clock bound before our clock read,
+  /// so it pruned only below our timestamp.
+  void announce_pending(int tid) noexcept {
+    hwm_.note(tid);
+    slots_[tid]->store(kAnnouncePending, std::memory_order_seq_cst);
+  }
+
+  /// Second half: publish the fixed snapshot timestamp. Returns `ts`.
+  timestamp_t publish(int tid, timestamp_t ts) noexcept {
+    slots_[tid]->store(ts, std::memory_order_seq_cst);
     return ts;
   }
 

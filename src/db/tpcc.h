@@ -29,11 +29,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "api/session.h"
 #include "common/cacheline.h"
 #include "common/random.h"
 #include "common/spinlock.h"
@@ -41,6 +44,42 @@
 #include "db/tpcc_gen.h"
 
 namespace bref::db {
+
+/// Per-transaction RAII session bundle — the sessions-era replacement for
+/// MiniDB's raw-tid calling convention (the last big raw-tid consumer in
+/// the repo). ONE dense thread id covers every index the transaction
+/// touches (the per-thread substrates — EBR epochs, RQ announcements —
+/// are per *structure*, so one id is exactly right across all five), and
+/// the bundle releases it at commit()/abort() or scope exit:
+///
+///   { auto txn = db.begin_txn(); db.run_mixed_txn(txn, rng, st); }
+///
+/// MiniDB applies index effects eagerly (no undo log), so commit and
+/// abort are equivalent: both end the bundle and free the id for reuse.
+/// Benchmark drivers pinning dense ids 0..n-1 use begin_txn(tid), which
+/// borrows the id without touching the global ThreadRegistry.
+class Txn {
+ public:
+  /// Auto-acquire a dense id from the global ThreadRegistry (released by
+  /// commit/abort/destruction).
+  Txn() : id_(std::in_place) {}
+  /// Pin an explicitly managed id (benchmark drivers; never released).
+  explicit Txn(int tid) : id_(std::in_place, tid) {}
+
+  Txn(Txn&&) noexcept = default;
+  Txn& operator=(Txn&&) noexcept = default;
+
+  int tid() const noexcept {
+    assert(id_.has_value() && "transaction already finished");
+    return id_->tid();
+  }
+  bool open() const noexcept { return id_.has_value(); }
+  void commit() noexcept { id_.reset(); }
+  void abort() noexcept { id_.reset(); }
+
+ private:
+  std::optional<bref::detail::SessionId> id_;
+};
 
 struct TpccScale {
   int warehouses = 2;
@@ -116,7 +155,14 @@ class TpccDb {
 
   // ---- transactions -----------------------------------------------------
 
-  void run_new_order(int tid, Xoshiro256& rng, TpccStats& st) {
+  /// Open a per-transaction session bundle (see Txn above). The no-arg
+  /// form acquires a dense id from the global ThreadRegistry; the pinned
+  /// form borrows an explicitly managed `tid` (benchmark drivers).
+  Txn begin_txn() { return Txn(); }
+  Txn begin_txn(int tid) { return Txn(tid); }
+
+  void run_new_order(Txn& txn, Xoshiro256& rng, TpccStats& st) {
+    const int tid = txn.tid();
     const int w = static_cast<int>(rng.next_range(scale_.warehouses));
     const int d = static_cast<int>(rng.next_range(kDistrictsPerWarehouse));
     const int c =
@@ -149,7 +195,8 @@ class TpccDb {
     st.txn_new_order++;
   }
 
-  void run_payment(int tid, Xoshiro256& rng, TpccStats& st) {
+  void run_payment(Txn& txn, Xoshiro256& rng, TpccStats& st) {
+    const int tid = txn.tid();
     const int w = static_cast<int>(rng.next_range(scale_.warehouses));
     const int d = static_cast<int>(rng.next_range(kDistrictsPerWarehouse));
     const int64_t amount = 100 + static_cast<int64_t>(rng.next_range(49900));
@@ -186,7 +233,8 @@ class TpccDb {
     st.txn_payment++;
   }
 
-  void run_delivery(int tid, Xoshiro256& rng, TpccStats& st) {
+  void run_delivery(Txn& txn, Xoshiro256& rng, TpccStats& st) {
+    const int tid = txn.tid();
     const int w = static_cast<int>(rng.next_range(scale_.warehouses));
     for (int d = 0; d < kDistrictsPerWarehouse; ++d) {
       const int64_t next =
@@ -227,7 +275,8 @@ class TpccDb {
 
   /// ORDER_STATUS (TPC-C 2.6, read-only): locate the customer, find their
   /// most recent order among the district's last 100, read its lines.
-  void run_order_status(int tid, Xoshiro256& rng, TpccStats& st) {
+  void run_order_status(Txn& txn, Xoshiro256& rng, TpccStats& st) {
+    const int tid = txn.tid();
     const int w = static_cast<int>(rng.next_range(scale_.warehouses));
     const int d = static_cast<int>(rng.next_range(kDistrictsPerWarehouse));
     CustomerRow* cust = nullptr;
@@ -287,7 +336,8 @@ class TpccDb {
   /// STOCK_LEVEL (TPC-C 2.8, read-only): one range query spanning the
   /// order lines of the district's last 20 orders, then stock probes for
   /// the distinct items, counting those under the threshold.
-  void run_stock_level(int tid, Xoshiro256& rng, TpccStats& st) {
+  void run_stock_level(Txn& txn, Xoshiro256& rng, TpccStats& st) {
+    const int tid = txn.tid();
     const int w = static_cast<int>(rng.next_range(scale_.warehouses));
     const int d = static_cast<int>(rng.next_range(kDistrictsPerWarehouse));
     const int64_t threshold = 10 + static_cast<int64_t>(rng.next_range(11));
@@ -321,31 +371,31 @@ class TpccDb {
   }
 
   /// One transaction drawn from the paper's mix.
-  void run_mixed_txn(int tid, Xoshiro256& rng, TpccStats& st) {
+  void run_mixed_txn(Txn& txn, Xoshiro256& rng, TpccStats& st) {
     const uint64_t dice = rng.next_range(100);
     if (dice < 50)
-      run_new_order(tid, rng, st);
+      run_new_order(txn, rng, st);
     else if (dice < 95)
-      run_payment(tid, rng, st);
+      run_payment(txn, rng, st);
     else
-      run_delivery(tid, rng, st);
+      run_delivery(txn, rng, st);
   }
 
   /// One transaction drawn from the full TPC-C spec mix (5.2.3):
   /// NEW_ORDER 45%, PAYMENT 43%, ORDER_STATUS 4%, DELIVERY 4%,
   /// STOCK_LEVEL 4%.
-  void run_full_mix_txn(int tid, Xoshiro256& rng, TpccStats& st) {
+  void run_full_mix_txn(Txn& txn, Xoshiro256& rng, TpccStats& st) {
     const uint64_t dice = rng.next_range(100);
     if (dice < 45)
-      run_new_order(tid, rng, st);
+      run_new_order(txn, rng, st);
     else if (dice < 88)
-      run_payment(tid, rng, st);
+      run_payment(txn, rng, st);
     else if (dice < 92)
-      run_order_status(tid, rng, st);
+      run_order_status(txn, rng, st);
     else if (dice < 96)
-      run_delivery(tid, rng, st);
+      run_delivery(txn, rng, st);
     else
-      run_stock_level(tid, rng, st);
+      run_stock_level(txn, rng, st);
   }
 
   // ---- introspection (tests) ---------------------------------------------
@@ -355,7 +405,8 @@ class TpccDb {
   StockRow& stock(int w, int i) {
     return stock_[static_cast<size_t>(w) * kMaxItems + i];
   }
-  size_t undelivered_count(int tid) {
+  size_t undelivered_count(Txn& txn) {
+    const int tid = txn.tid();
     std::vector<std::pair<int64_t, int64_t>> out;
     size_t n = 0;
     for (int w = 0; w < scale_.warehouses; ++w)

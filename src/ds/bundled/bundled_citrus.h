@@ -214,6 +214,70 @@ class BundledCitrus {
   /// linearized at (surfaced as RangeSnapshot::timestamp()).
   timestamp_t last_rq_timestamp(int tid) const { return *last_rq_ts_[tid]; }
 
+  /// Collect [lo, hi] at the externally fixed snapshot timestamp `ts`,
+  /// APPENDING to `out` — the coordinated cross-shard protocol (see
+  /// bundled_list.h for the full caller contract: tracker announce AND,
+  /// when reclaiming, an EBR pin, both established before `ts` was read).
+  /// The descent is bundle-only from the root sentinel, exactly like
+  /// range_query — the root's timestamp-0 entries always satisfy an
+  /// announced ts, so the walk cannot fail to enter.
+  size_t range_query_at(int tid, timestamp_t ts, K lo, K hi,
+                        std::vector<std::pair<K, V>>& out) {
+    (void)tid;
+    if (lo > hi) return 0;
+    std::vector<Node*> stack;
+    const size_t base = out.size();
+    for (uint64_t attempts = 0;; ++attempts) {
+      // Repeated failure = ts was never announced and the cleaner pruned
+      // past it (contract violation); see bundled_list.h.
+      assert(attempts < (1u << 20) &&
+             "range_query_at: ts not announced in rq_tracker()?");
+      out.resize(base);
+      bool ok = true;
+      auto d = root_->bundles[0].dereference(ts);
+      if (!d.found) continue;  // defensive; ts-0 root entry satisfies ts
+      Node* m = d.ptr;
+      while (m != nullptr && (m->key < lo || m->key > hi)) {
+        const int dir = (m->key < lo) ? 1 : 0;
+        auto dn = m->bundles[dir].dereference(ts);
+        if (!dn.found) {
+          ok = false;
+          break;
+        }
+        m = dn.ptr;
+      }
+      if (!ok) continue;
+      if (m != nullptr) {
+        stack.clear();
+        stack.push_back(m);
+        while (!stack.empty()) {
+          Node* n = stack.back();
+          stack.pop_back();
+          if (n->key >= lo && n->key <= hi) out.emplace_back(n->key, n->val);
+          if (n->key > lo) {
+            auto dl = n->bundles[0].dereference(ts);
+            if (!dl.found) {
+              ok = false;
+              break;
+            }
+            if (dl.ptr != nullptr) stack.push_back(dl.ptr);
+          }
+          if (n->key < hi) {
+            auto dr = n->bundles[1].dereference(ts);
+            if (!dr.found) {
+              ok = false;
+              break;
+            }
+            if (dr.ptr != nullptr) stack.push_back(dr.ptr);
+          }
+        }
+      }
+      if (!ok) continue;
+      std::sort(out.begin() + static_cast<ptrdiff_t>(base), out.end());
+      return out.size() - base;
+    }
+  }
+
   // -- cleaner hook -------------------------------------------------------
   size_t prune_bundles(int tid) {
     const timestamp_t oldest = rq_.oldest_active(gts_);

@@ -233,6 +233,71 @@ class BundledList {
     }
   }
 
+  /// Collect [lo, hi] at the externally fixed snapshot timestamp `ts`,
+  /// APPENDING to `out` — the shard layer's coordinated cross-shard range
+  /// query (src/shard/sharded_set.h; capability: coordinated_rq). Caller
+  /// preconditions, both established BEFORE `ts` was read off the shared
+  /// clock: (1) an announce of `ts` in rq_tracker() — it fences the
+  /// cleaner (any prune concurrent with it used a bound <= ts, so every
+  /// node live at ts keeps an entry satisfying ts); (2) when reclaiming,
+  /// an EBR pin on ebr() — a node removed after ts was then retired while
+  /// the caller was pinned, so the walk cannot touch freed memory (the
+  /// single-structure range_query gets both orderings by pinning and
+  /// announcing before it reads the clock). Unlike range_query there is
+  /// no newer timestamp to restart to: if the optimistic pre-seek lands
+  /// on a pred inserted after ts, we re-enter through the head sentinel's
+  /// bundle (whose timestamp-0 entry always satisfies an announced ts)
+  /// instead.
+  size_t range_query_at(int tid, timestamp_t ts, K lo, K hi,
+                        std::vector<std::pair<K, V>>& out) {
+    (void)tid;
+    if (lo > hi) return 0;
+    const size_t base = out.size();
+    for (uint64_t attempts = 0;; ++attempts) {
+      // Under the announce contract a restart can only come from the
+      // bounded pre-seek race, never repeatedly: a walk that keeps
+      // failing means the caller's ts was never announced and the
+      // cleaner pruned past it — a contract violation, not a state to
+      // spin in silently.
+      assert(attempts < (1u << 20) &&
+             "range_query_at: ts not announced in rq_tracker()?");
+      out.resize(base);
+      // Optimistic entry (Alg. 3 phase 1) to the node preceding the range.
+      Node* pred = head_;
+      {
+        Node* c = pred->next.load(std::memory_order_acquire);
+        while (c->key < lo) {
+          pred = c;
+          c = c->next.load(std::memory_order_acquire);
+        }
+      }
+      // Phase 2 at the fixed ts; fall back to the sentinel when pred
+      // postdates the snapshot.
+      Node* curr = pred->bundle.dereference(ts).found ? pred : head_;
+      bool ok = true;
+      while (curr != tail_ && curr->key < lo) {
+        auto d = curr->bundle.dereference(ts);
+        if (!d.found) {
+          ok = false;
+          break;
+        }
+        curr = d.ptr;
+      }
+      while (ok && curr != tail_ && curr->key <= hi) {
+        out.emplace_back(curr->key, curr->val);
+        auto d = curr->bundle.dereference(ts);
+        if (!d.found) {
+          ok = false;
+          break;
+        }
+        curr = d.ptr;
+      }
+      // ok is an invariant given the announce contract (see above); the
+      // retry is defensive, not a livelock risk under the protocol.
+      if (ok) return out.size() - base;
+    }
+  }
+
   // -- cleaner hook (supplementary B) ------------------------------------
   /// Prune bundle entries no active range query can need. Returns the
   /// number of entries retired. `tid` must be a dedicated cleaner slot.

@@ -281,6 +281,52 @@ class BundledSkipList {
     }
   }
 
+  /// Collect [lo, hi] at the externally fixed snapshot timestamp `ts`,
+  /// APPENDING to `out` — the coordinated cross-shard protocol (see
+  /// bundled_list.h for the full caller contract: tracker announce AND,
+  /// when reclaiming, an EBR pin, both established before `ts` was read).
+  /// Index layers route to the data-layer node preceding the range as
+  /// usual; if that node postdates ts, re-enter through the head
+  /// sentinel's bundle rather than restarting at a newer timestamp (there
+  /// is none to take).
+  size_t range_query_at(int tid, timestamp_t ts, K lo, K hi,
+                        std::vector<std::pair<K, V>>& out) {
+    (void)tid;
+    if (lo > hi) return 0;
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    const size_t base = out.size();
+    for (uint64_t attempts = 0;; ++attempts) {
+      // Repeated failure = ts was never announced and the cleaner pruned
+      // past it (contract violation); see bundled_list.h.
+      assert(attempts < (1u << 20) &&
+             "range_query_at: ts not announced in rq_tracker()?");
+      out.resize(base);
+      find(lo, preds, succs);
+      Node* pred = preds[0];  // data-layer node with key < lo
+      Node* curr = pred->bundle.dereference(ts).found ? pred : head_;
+      bool ok = true;
+      while (curr != tail_ && curr->key < lo) {
+        auto d = curr->bundle.dereference(ts);
+        if (!d.found) {
+          ok = false;
+          break;
+        }
+        curr = d.ptr;
+      }
+      while (ok && curr != tail_ && curr->key <= hi) {
+        out.emplace_back(curr->key, curr->val);
+        auto d = curr->bundle.dereference(ts);
+        if (!d.found) {
+          ok = false;
+          break;
+        }
+        curr = d.ptr;
+      }
+      if (ok) return out.size() - base;
+    }
+  }
+
   // -- cleaner hook -------------------------------------------------------
   size_t prune_bundles(int tid) {
     const timestamp_t oldest = rq_.oldest_active(gts_);

@@ -182,6 +182,10 @@ class EbrRqCitrus {
 
   uint64_t limbo_nodes_checked() const { return prov_.limbo_nodes_checked(); }
 
+  /// Nodes currently parked in limbo across all slots (the shard layer's
+  /// maintenance_backlog; approximate under concurrency).
+  size_t limbo_size() const { return prov_.limbo_size(); }
+
   static void set_node_pooling(bool on) {
     EntryPool<Node>::instance().set_pooling_enabled(on);
   }

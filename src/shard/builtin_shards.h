@@ -1,0 +1,71 @@
+#pragma once
+// Registry hookup for the sharded configurations.
+//
+// Each coordinated-capable inner type contributes one "Sharded-<inner>"
+// descriptor whose factory builds a ShardedSet of kDefaultShards
+// registry-created inner sets (custom shard counts / key ranges construct
+// ShardedSet directly — see bench/fig6_sharded.cpp). Capabilities are
+// derived at compile time from the inner implementation type, mirroring
+// ShardedSet::capabilities(): every RQ-atomicity flag keys on the inner
+// type's coordinated_rq trait, while the relaxation/reclamation knobs pass
+// through (the factory forwards SetOptions into every shard).
+//
+// Only coordinated inner families are registered: a sharded set over a
+// non-coordinated technique serves multi-shard queries as a per-shard
+// merge, which is not linearizable — such configurations exist (construct
+// ShardedSet directly) but do not belong in a registry whose non-Unsafe
+// entries all promise linearizable range queries.
+//
+// Registration is deliberately lookup-free (ImplRegistry::add only), so it
+// cannot race the builtin registrations' static-initialization order; the
+// factory's registry lookup of the inner name happens at create() time.
+
+#include <memory>
+#include <string>
+
+#include "api/ordered_set.h"
+#include "api/registry.h"
+#include "shard/sharded_set.h"
+
+namespace bref::shard {
+
+inline constexpr size_t kDefaultShards = 4;
+
+template <typename InnerDS>
+std::unique_ptr<AnyOrderedSet> make_sharded(const SetOptions& opt) {
+  ShardOptions so;
+  so.shards = kDefaultShards;
+  so.inner = opt;
+  return std::make_unique<ShardedSet>(
+      std::string(InnerDS::kName) + "-" + InnerDS::kStructure, so);
+}
+
+/// Descriptor caps for Sharded-<Inner>, from the inner type (compile
+/// time, so registration never needs the inner descriptor to exist yet).
+template <typename InnerDS>
+constexpr Capabilities sharded_caps() {
+  constexpr Capabilities inner = caps_of<InnerDS>();
+  constexpr bool coord = detail::coordinated_rq_v<InnerDS>;
+  return Capabilities{inner.linearizable_rq && coord, inner.relaxation,
+                      inner.reclamation, coord, coord};
+}
+
+template <typename InnerDS>
+struct RegisterSharded {
+  static_assert(detail::coordinated_rq_v<InnerDS>,
+                "register only coordinated inner families (see header)");
+  RegisterSharded() {
+    const std::string inner =
+        std::string(InnerDS::kName) + "-" + InnerDS::kStructure;
+    ImplRegistry::instance().add(
+        ImplDescriptor{"Sharded-" + inner, "Sharded", inner,
+                       sharded_caps<InnerDS>(), /*builtin=*/false},
+        &make_sharded<InnerDS>);
+  }
+};
+
+inline const RegisterSharded<BundleListSet> kShardedBundleList{};
+inline const RegisterSharded<BundleSkipListSet> kShardedBundleSkipList{};
+inline const RegisterSharded<BundleCitrusSet> kShardedBundleCitrus{};
+
+}  // namespace bref::shard

@@ -1,0 +1,201 @@
+#pragma once
+// Background maintenance service — the generalization of BundleCleaner
+// (core/bundle_cleaner.h) to the type-erased, sharded world.
+//
+// BundleCleaner drives exactly one duty (bundle pruning) on exactly one
+// typed structure from one dedicated thread. This service owns one worker
+// thread PER SHARD of a ShardedSet (or a single worker for a plain set)
+// and drives every background duty the implementation exposes through
+// AnyOrderedSet::maintain(): bundle reconciliation (prune_bundles, only
+// when the instance reclaims), the EBR-RQ limbo drain (flush_limbo — the
+// ROADMAP's "nothing calls it unprompted" item), and Ebr::quiesce so long
+// prune pins never starve epoch advancement.
+//
+// Rate control: each worker sleeps `interval` between passes; with
+// `adaptive` set, a pass that found no work doubles the sleep up to
+// `max_interval` and any productive pass snaps it back — idle shards cost
+// ~zero CPU while hot shards are serviced at the base rate.
+//
+// Worker thread ids: by default each worker takes a dedicated slot from
+// the TOP of the id space (kMaxThreads-1 downward — BundleCleaner's
+// convention, safe next to benchmark drivers that pin dense ids from 0).
+// `pooled_tids` switches to SessionPool-backed per-OS-thread ids from the
+// global ThreadRegistry, the right mode when every other participant also
+// acquires ids (applications, run_pooled tests); do not mix pooled workers
+// with hand-pinned workload ids that could collide.
+//
+// Lifecycle: construct -> start() -> stop() (idempotent, restartable);
+// the destructor stops. stats(i) exposes per-shard counters.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "api/set_interface.h"
+#include "common/cacheline.h"
+#include "common/thread_registry.h"
+#include "shard/sharded_set.h"
+
+namespace bref {
+
+struct MaintenanceOptions {
+  /// Base pause between passes (0 = back-to-back, Table 1's d=0).
+  std::chrono::milliseconds interval{2};
+  /// Ceiling for the adaptive back-off.
+  std::chrono::milliseconds max_interval{64};
+  /// Back off while passes find no work; snap back when one does.
+  bool adaptive = true;
+  /// Take worker ids from SessionPool (see header) instead of dedicated
+  /// top-of-range slots.
+  bool pooled_tids = false;
+};
+
+struct ShardMaintenanceStats {
+  uint64_t passes = 0;
+  uint64_t bundle_entries_pruned = 0;
+  uint64_t limbo_flushed = 0;
+  uint64_t idle_backoffs = 0;
+};
+
+class MaintenanceService {
+ public:
+  /// One worker per shard when `set` is a ShardedSet; one worker total
+  /// otherwise.
+  explicit MaintenanceService(AnyOrderedSet& set,
+                              MaintenanceOptions opt = {})
+      : opt_(opt) {
+    if (auto* sharded = dynamic_cast<ShardedSet*>(&set)) {
+      for (AnyOrderedSet* s : sharded->maintenance_targets())
+        workers_.push_back(std::make_unique<Worker>(s));
+    } else {
+      workers_.push_back(std::make_unique<Worker>(&set));
+    }
+  }
+  /// Explicit target list (advanced: several plain sets under one service).
+  explicit MaintenanceService(std::vector<AnyOrderedSet*> targets,
+                              MaintenanceOptions opt = {})
+      : opt_(opt) {
+    for (AnyOrderedSet* s : targets)
+      workers_.push_back(std::make_unique<Worker>(s));
+  }
+
+  ~MaintenanceService() { stop(); }
+  MaintenanceService(const MaintenanceService&) = delete;
+  MaintenanceService& operator=(const MaintenanceService&) = delete;
+
+  void start() {
+    std::lock_guard<std::mutex> g(lifecycle_mu_);
+    if (running_) return;
+    stop_.store(false, std::memory_order_relaxed);
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = *workers_[i];
+      w.thread = std::thread([this, &w, i] { run(w, i); });
+    }
+    running_ = true;
+  }
+
+  void stop() {
+    std::lock_guard<std::mutex> g(lifecycle_mu_);
+    if (!running_) return;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+    for (auto& w : workers_)
+      if (w->thread.joinable()) w->thread.join();
+    running_ = false;
+  }
+
+  bool running() const {
+    std::lock_guard<std::mutex> g(lifecycle_mu_);
+    return running_;
+  }
+
+  size_t workers() const { return workers_.size(); }
+
+  ShardMaintenanceStats stats(size_t worker) const {
+    const Worker& w = *workers_[worker];
+    ShardMaintenanceStats s;
+    s.passes = w.passes->load(std::memory_order_relaxed);
+    s.bundle_entries_pruned = w.pruned->load(std::memory_order_relaxed);
+    s.limbo_flushed = w.flushed->load(std::memory_order_relaxed);
+    s.idle_backoffs = w.idle_backoffs->load(std::memory_order_relaxed);
+    return s;
+  }
+  ShardMaintenanceStats total() const {
+    ShardMaintenanceStats t;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      const ShardMaintenanceStats s = stats(i);
+      t.passes += s.passes;
+      t.bundle_entries_pruned += s.bundle_entries_pruned;
+      t.limbo_flushed += s.limbo_flushed;
+      t.idle_backoffs += s.idle_backoffs;
+    }
+    return t;
+  }
+
+  /// Worker `i`'s dedicated slot in default (non-pooled) mode. Workload
+  /// threads on the serviced structure must use smaller ids.
+  static constexpr int dedicated_tid(size_t worker) {
+    return kMaxThreads - 1 - static_cast<int>(worker);
+  }
+
+ private:
+  struct Worker {
+    explicit Worker(AnyOrderedSet* t) : target(t) {}
+    AnyOrderedSet* target;
+    std::thread thread;
+    CachePadded<std::atomic<uint64_t>> passes{};
+    CachePadded<std::atomic<uint64_t>> pruned{};
+    CachePadded<std::atomic<uint64_t>> flushed{};
+    CachePadded<std::atomic<uint64_t>> idle_backoffs{};
+  };
+
+  void run(Worker& w, size_t index) {
+    const int tid =
+        opt_.pooled_tids ? SessionPool::thread_tid() : dedicated_tid(index);
+    auto interval = opt_.interval;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      if (interval.count() > 0)
+        cv_.wait_for(lk, interval,
+                     [this] { return stop_.load(std::memory_order_relaxed); });
+      if (stop_.load(std::memory_order_relaxed)) return;
+      lk.unlock();
+      const MaintenanceWork work = w.target->maintain(tid);
+      w.passes->fetch_add(1, std::memory_order_relaxed);
+      w.pruned->fetch_add(work.bundle_entries_pruned,
+                          std::memory_order_relaxed);
+      w.flushed->fetch_add(work.limbo_flushed, std::memory_order_relaxed);
+      if (opt_.adaptive) {
+        if (work.reclaimed() == 0) {
+          interval = std::min(
+              interval.count() > 0 ? interval * 2 : opt_.max_interval,
+              opt_.max_interval);
+          w.idle_backoffs->fetch_add(1, std::memory_order_relaxed);
+        } else {
+          interval = opt_.interval;
+        }
+      }
+      lk.lock();
+    }
+  }
+
+  MaintenanceOptions opt_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  mutable std::mutex lifecycle_mu_;
+  bool running_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace bref

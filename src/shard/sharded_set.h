@@ -1,0 +1,371 @@
+#pragma once
+// bref::ShardedSet — range-partitioned shards with single-timestamp
+// cross-shard linearizable range queries.
+//
+// The bundled-references insight — fix ONE global timestamp, then traverse
+// every bundle at it — is not tied to a single structure. Any number of
+// instances whose updates are ordered by the SAME seq_cst clock can serve
+// one coordinated range query that is linearizable at a single instant:
+//
+//   1. announce PENDING in every overlapping shard's RqTracker;
+//   2. read the shared clock ONCE — this value T is the linearization
+//      instant, and the read is the query's linearization point;
+//   3. publish T in every tracker, then collect each shard's range at T
+//      via its bundle walk (range_query_at).
+//
+// Why one fetch-free clock read linearizes K shards: every update in every
+// shard increments the one shared counter at its linearization point
+// (GlobalTimestamp::share_with redirects each shard's clock onto the
+// coordinator's), so "state at clock value T" is a well-defined global
+// instant. Each shard's bundle traversal at T returns exactly that shard's
+// state at T (the paper's single-structure guarantee, whose seq_cst
+// clock-ordering argument only needs the counter to be shared); the
+// concatenation is therefore the whole set's state at T. Per-shard cleaner
+// safety is begin()'s argument, run per tracker: a cleaner pass that
+// missed our PENDING announce read its prune bound from the clock before
+// we read T, so it pruned only entries no query at >= T can need.
+//
+// When the inner technique cannot coordinate (no shareable clock / no
+// fixed-timestamp collection — anything without the coordinated_rq
+// capability), multi-shard queries degrade gracefully to a per-shard merge:
+// each shard's own linearizable snapshot, concatenated. That result is NOT
+// a single-instant snapshot, so it carries no timestamp and the sharded
+// set does not advertise linearizable_rq / rq_timestamp / coordinated_rq.
+//
+// Point operations route to the owning shard (single-shard fast path), as
+// do range queries whose bounds fall inside one shard — those delegate the
+// whole query, snapshot stamp included (coordinated family only; fallback
+// families' per-shard clocks are not mutually comparable, so their stamps
+// are stripped to match the advertised capability).
+//
+// ShardedSet implements AnyOrderedSet, so it sits behind the bref::Set
+// facade, RAII sessions and SessionPool unchanged; builtin_shards.h
+// registers the coordinated Sharded-Bundle-* configurations in the
+// ImplRegistry. Background work (bundle pruning, limbo drain, epoch
+// pushes) is owned by the per-shard MaintenanceService in maintenance.h.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/session.h"
+#include "api/set_interface.h"
+#include "common/cacheline.h"
+#include "common/thread_registry.h"
+#include "core/global_timestamp.h"
+#include "core/rq_tracker.h"
+
+namespace bref {
+
+/// Construction options for a ShardedSet. The keyspace [key_lo, key_hi] is
+/// split into `shards` uniform ranges; the first and last shard absorb
+/// anything outside the bounds, so routing is total over KeyT.
+struct ShardOptions {
+  size_t shards = 4;
+  KeyT key_lo = std::numeric_limits<KeyT>::min();
+  KeyT key_hi = std::numeric_limits<KeyT>::max();
+  /// Forwarded to every inner set (validated against the inner
+  /// implementation's capabilities by the registry).
+  SetOptions inner;
+};
+
+/// Range-query routing counters, as returned by ShardedSet::stats().
+/// Safe to read concurrently with operations (the per-thread slots are
+/// relaxed atomics); the aggregate is approximate under concurrency.
+struct ShardedSetStats {
+  uint64_t single_shard_rqs = 0;   // delegated whole to one shard
+  uint64_t coordinated_rqs = 0;    // multi-shard, one shared timestamp
+  uint64_t fallback_rqs = 0;       // multi-shard, per-shard merge
+  uint64_t timestamps_acquired = 0;  // shared-clock reads by coordinated RQs
+
+  ShardedSetStats& operator+=(const ShardedSetStats& o) {
+    single_shard_rqs += o.single_shard_rqs;
+    coordinated_rqs += o.coordinated_rqs;
+    fallback_rqs += o.fallback_rqs;
+    timestamps_acquired += o.timestamps_acquired;
+    return *this;
+  }
+};
+
+class ShardedSet final : public AnyOrderedSet {
+ public:
+  /// Build `opt.shards` inner sets of the registry implementation
+  /// `inner_name` (e.g. "Bundle-skiplist"). Throws what the registry
+  /// throws for unknown names / unsupported inner options. When every
+  /// shard is coordinated_rq-capable, their clocks are redirected onto
+  /// this set's coordination clock and cross-shard queries run the
+  /// single-timestamp protocol.
+  explicit ShardedSet(const std::string& inner_name,
+                      const ShardOptions& opt = {})
+      : inner_name_(inner_name),
+        nshards_(opt.shards == 0 ? 1 : opt.shards),
+        lo_b_(biased(opt.key_lo)),
+        width_(std::max<uint64_t>(
+            (biased(opt.key_hi) - biased(opt.key_lo)) / nshards_, 1)) {
+    ImplDescriptor desc;
+    if (!ImplRegistry::instance().find(inner_name, &desc))
+      throw std::invalid_argument("unknown ordered-set implementation: " +
+                                  inner_name);
+    inner_caps_ = desc.caps;
+    shards_.reserve(nshards_);
+    for (size_t i = 0; i < nshards_; ++i)
+      shards_.push_back(ImplRegistry::instance().create(inner_name, opt.inner));
+    coordinated_ = inner_caps_.coordinated_rq;
+    trackers_.resize(nshards_, nullptr);
+    if (coordinated_) {
+      for (size_t i = 0; i < nshards_; ++i) {
+        const bool adopted = shards_[i]->adopt_clock(gts_);
+        trackers_[i] = shards_[i]->rq_tracker_hook();
+        coordinated_ = coordinated_ && adopted && trackers_[i] != nullptr;
+      }
+    }
+    pools_.reserve(nshards_);
+    for (size_t i = 0; i < nshards_; ++i)
+      pools_.emplace_back(std::make_unique<SessionPool>(*shards_[i]));
+  }
+
+  // -- point operations: single-shard fast path ---------------------------
+  bool insert(int tid, KeyT key, ValT val) override {
+    return shards_[shard_index(key)]->insert(tid, key, val);
+  }
+  bool remove(int tid, KeyT key) override {
+    return shards_[shard_index(key)]->remove(tid, key);
+  }
+  bool contains(int tid, KeyT key, ValT* out) override {
+    return shards_[shard_index(key)]->contains(tid, key, out);
+  }
+
+  // -- range queries ------------------------------------------------------
+  size_t range_query(int tid, KeyT lo, KeyT hi,
+                     std::vector<std::pair<KeyT, ValT>>& out) override {
+    out.clear();
+    if (lo > hi) return 0;
+    const size_t a = shard_index(lo);
+    const size_t b = shard_index(hi);
+    if (a == b) {
+      bump(stats_[tid]->single_shard_rqs);
+      return shards_[a]->range_query(tid, lo, hi, out);
+    }
+    if (coordinated_) {
+      coordinated_collect(tid, a, b, lo, hi, out);
+    } else {
+      fallback_collect(tid, a, b, lo, hi, out);
+    }
+    return out.size();
+  }
+
+  /// Snapshot form: a coordinated multi-shard result is stamped with the
+  /// single shared timestamp it linearized at; a single-shard query
+  /// delegates (stamp included only when this set advertises
+  /// rq_timestamp); a fallback merge is never stamped.
+  size_t range_query(int tid, KeyT lo, KeyT hi, RangeSnapshot& out) override {
+    out.reset(lo, hi);
+    if (lo > hi) {
+      // Trivially empty: linearizes anywhere, so stamp "now" off the
+      // shared clock when we have one.
+      if (coordinated_) out.set_timestamp(gts_.read());
+      return 0;
+    }
+    const size_t a = shard_index(lo);
+    const size_t b = shard_index(hi);
+    if (a == b) {
+      bump(stats_[tid]->single_shard_rqs);
+      const size_t n = shards_[a]->range_query(tid, lo, hi, out);
+      // A non-coordinated family stamps from its per-shard clock; those
+      // values are not comparable across shards, so honor the advertised
+      // capability and strip them.
+      if (!coordinated_) out.set_timestamp(RangeSnapshot::kNoTimestamp);
+      return n;
+    }
+    if (coordinated_) {
+      out.set_timestamp(coordinated_collect(tid, a, b, lo, hi, out.buffer()));
+    } else {
+      fallback_collect(tid, a, b, lo, hi, out.buffer());
+    }
+    return out.size();
+  }
+
+  // -- quiescent introspection --------------------------------------------
+  std::vector<std::pair<KeyT, ValT>> to_vector() const override {
+    std::vector<std::pair<KeyT, ValT>> v;
+    for (const auto& s : shards_) {
+      auto part = s->to_vector();
+      v.insert(v.end(), part.begin(), part.end());
+    }
+    return v;
+  }
+  size_t size_slow() const override {
+    size_t n = 0;
+    for (const auto& s : shards_) n += s->size_slow();
+    return n;
+  }
+  bool check_invariants() const override {
+    for (size_t i = 0; i < nshards_; ++i) {
+      if (!shards_[i]->check_invariants()) return false;
+      // Partition discipline: every key a shard holds routes back to it.
+      for (const auto& [k, v] : shards_[i]->to_vector())
+        if (shard_index(k) != i) return false;
+    }
+    return true;
+  }
+
+  // -- identity / capabilities --------------------------------------------
+  const char* technique() const override { return "Sharded"; }
+  const char* structure() const override { return inner_name_.c_str(); }
+  Capabilities capabilities() const override {
+    Capabilities c;
+    // A multi-shard merge without coordination is not a single-instant
+    // snapshot, so every RQ-atomicity claim keys on coordinated_.
+    c.linearizable_rq = inner_caps_.linearizable_rq && coordinated_;
+    c.relaxation = inner_caps_.relaxation;
+    c.reclamation = inner_caps_.reclamation;
+    c.rq_timestamp = coordinated_;
+    c.coordinated_rq = coordinated_;
+    return c;
+  }
+
+  // -- maintenance (see maintenance.h for the background service) ---------
+  MaintenanceWork maintain(int tid) override {
+    MaintenanceWork w;
+    for (auto& s : shards_) w += s->maintain(tid);
+    return w;
+  }
+  size_t maintenance_backlog() const override {
+    size_t n = 0;
+    for (const auto& s : shards_) n += s->maintenance_backlog();
+    return n;
+  }
+  /// Per-shard maintenance targets (MaintenanceService spawns one worker
+  /// per entry).
+  std::vector<AnyOrderedSet*> maintenance_targets() {
+    std::vector<AnyOrderedSet*> t;
+    t.reserve(nshards_);
+    for (auto& s : shards_) t.push_back(s.get());
+    return t;
+  }
+
+  // -- shard access -------------------------------------------------------
+  size_t num_shards() const noexcept { return nshards_; }
+  AnyOrderedSet& shard(size_t i) { return *shards_[i]; }
+  const AnyOrderedSet& shard(size_t i) const { return *shards_[i]; }
+  /// A SessionPool bound to shard `i`, for callers that drive one shard
+  /// directly with pooled per-OS-thread ids — the partition-aware
+  /// bulk-load pattern (one loader thread per shard, each inserting only
+  /// keys with shard_index(k) == i; examples/sharded_store.cpp). Writing
+  /// a key to the wrong shard breaks the routing invariant
+  /// check_invariants() pins, so direct shard access must respect the
+  /// partition.
+  SessionPool& shard_pool(size_t i) { return *pools_[i]; }
+
+  /// The shard owning `key` (total over KeyT: out-of-bounds keys clamp to
+  /// the first/last shard).
+  size_t shard_index(KeyT key) const noexcept {
+    const uint64_t b = biased(key);
+    if (b <= lo_b_) return 0;
+    const uint64_t idx = (b - lo_b_) / width_;
+    return idx >= nshards_ ? nshards_ - 1 : static_cast<size_t>(idx);
+  }
+
+  /// True when cross-shard queries run the single-timestamp protocol.
+  bool coordinated() const noexcept { return coordinated_; }
+  /// The shared clock every shard's updates advance (coordinated mode).
+  GlobalTimestamp& coordination_clock() noexcept { return gts_; }
+
+  ShardedSetStats stats() const {
+    ShardedSetStats t;
+    for (int i = 0; i < kMaxThreads; ++i) {
+      const StatSlot& s = *stats_[i];
+      t.single_shard_rqs += s.single_shard_rqs.load(std::memory_order_relaxed);
+      t.coordinated_rqs += s.coordinated_rqs.load(std::memory_order_relaxed);
+      t.fallback_rqs += s.fallback_rqs.load(std::memory_order_relaxed);
+      t.timestamps_acquired +=
+          s.timestamps_acquired.load(std::memory_order_relaxed);
+    }
+    return t;
+  }
+
+ private:
+  /// Order-preserving map from KeyT to uint64_t (so partition arithmetic
+  /// never overflows signed math).
+  static uint64_t biased(KeyT k) noexcept {
+    return static_cast<uint64_t>(k) ^ (uint64_t{1} << 63);
+  }
+
+  /// Per-thread slot: each thread bumps only its own, so relaxed
+  /// increments suffice and stats() may read concurrently.
+  struct StatSlot {
+    std::atomic<uint64_t> single_shard_rqs{0};
+    std::atomic<uint64_t> coordinated_rqs{0};
+    std::atomic<uint64_t> fallback_rqs{0};
+    std::atomic<uint64_t> timestamps_acquired{0};
+  };
+
+  static void bump(std::atomic<uint64_t>& c) noexcept {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The single-timestamp protocol (header comment). Returns T, the one
+  /// shared-clock value every overlapping shard was snapshot at. Ordering
+  /// within: every shard's epoch pin AND tracker announce precede the
+  /// clock read — the pin so a node removed after T must have been
+  /// retired under our pin (never freed mid-walk), the announce so a
+  /// cleaner that missed it read its prune bound before we read T (both
+  /// are the single-structure range query's own orderings, taken per
+  /// shard).
+  timestamp_t coordinated_collect(int tid, size_t a, size_t b, KeyT lo,
+                                  KeyT hi,
+                                  std::vector<std::pair<KeyT, ValT>>& out) {
+    for (size_t i = a; i <= b; ++i) {
+      shards_[i]->rq_pin(tid);
+      trackers_[i]->announce_pending(tid);
+    }
+    const timestamp_t ts = gts_.read();  // the ONE timestamp acquisition
+    for (size_t i = a; i <= b; ++i) trackers_[i]->publish(tid, ts);
+    for (size_t i = a; i <= b; ++i) {
+      shards_[i]->range_query_at(tid, ts, lo, hi, out);
+      trackers_[i]->end(tid);
+      shards_[i]->rq_unpin(tid);
+    }
+    auto& st = *stats_[tid];
+    bump(st.coordinated_rqs);
+    bump(st.timestamps_acquired);
+    return ts;
+  }
+
+  /// Graceful degradation: each overlapping shard's own linearizable
+  /// snapshot, concatenated in shard (= key) order. Atomic per shard, not
+  /// across shards.
+  void fallback_collect(int tid, size_t a, size_t b, KeyT lo, KeyT hi,
+                        std::vector<std::pair<KeyT, ValT>>& out) {
+    auto& scratch = *scratch_[tid];
+    for (size_t i = a; i <= b; ++i) {
+      shards_[i]->range_query(tid, lo, hi, scratch);
+      out.insert(out.end(), scratch.begin(), scratch.end());
+    }
+    bump(stats_[tid]->fallback_rqs);
+  }
+
+  // Declared before shards_ so it outlives them (shards' redirected clocks
+  // point here until destruction).
+  GlobalTimestamp gts_;
+  const std::string inner_name_;
+  Capabilities inner_caps_;
+  const size_t nshards_;
+  const uint64_t lo_b_;
+  const uint64_t width_;
+  bool coordinated_ = false;
+  std::vector<std::unique_ptr<AnyOrderedSet>> shards_;
+  std::vector<RqTracker*> trackers_;
+  std::vector<std::unique_ptr<SessionPool>> pools_;
+  mutable CachePadded<std::vector<std::pair<KeyT, ValT>>>
+      scratch_[kMaxThreads];
+  mutable CachePadded<StatSlot> stats_[kMaxThreads] = {};
+};
+
+}  // namespace bref

@@ -67,7 +67,8 @@ TEST(TpccDb, LoadPopulatesIndexes) {
             size_t(db::kDistrictsPerWarehouse) * 20);
   EXPECT_EQ(dbi.neworder_index.size_slow(),
             size_t(db::kDistrictsPerWarehouse) * 20);
-  EXPECT_EQ(dbi.undelivered_count(0),
+  db::Txn audit = dbi.begin_txn(0);
+  EXPECT_EQ(dbi.undelivered_count(audit),
             size_t(db::kDistrictsPerWarehouse) * 20);
 }
 
@@ -76,7 +77,10 @@ TEST(TpccDb, NewOrderCreatesConsistentRows) {
   TpccDb<BundleListSet> dbi(scale);
   Xoshiro256 rng(3);
   TpccStats st;
-  for (int i = 0; i < 20; ++i) dbi.run_new_order(0, rng, st);
+  for (int i = 0; i < 20; ++i) {
+    db::Txn txn = dbi.begin_txn(0);
+    dbi.run_new_order(txn, rng, st);
+  }
   EXPECT_EQ(st.txn_new_order, 20u);
   EXPECT_EQ(dbi.order_index.size_slow(), 20u);
   EXPECT_EQ(dbi.neworder_index.size_slow(), 20u);
@@ -98,7 +102,10 @@ TEST(TpccDb, PaymentByNameFindsLoadedCustomers) {
   TpccDb<BundleSkipListSet> dbi(scale);
   Xoshiro256 rng(4);
   TpccStats st;
-  for (int i = 0; i < 200; ++i) dbi.run_payment(0, rng, st);
+  for (int i = 0; i < 200; ++i) {
+    db::Txn txn = dbi.begin_txn(0);
+    dbi.run_payment(txn, rng, st);
+  }
   EXPECT_EQ(st.txn_payment, 200u);
   EXPECT_EQ(st.payment_name_misses, 0u)
       << "name index lookup failed although every name is present";
@@ -109,10 +116,11 @@ TEST(TpccDb, DeliveryDeliversOldestFirst) {
   TpccDb<BundleCitrusSet> dbi(scale);
   Xoshiro256 rng(5);
   TpccStats st;
-  const size_t before = dbi.undelivered_count(0);
-  dbi.run_delivery(0, rng, st);
+  db::Txn txn = dbi.begin_txn(0);
+  const size_t before = dbi.undelivered_count(txn);
+  dbi.run_delivery(txn, rng, st);
   EXPECT_EQ(st.txn_delivery, 1u);
-  EXPECT_EQ(dbi.undelivered_count(0),
+  EXPECT_EQ(dbi.undelivered_count(txn),
             before - st.delivered_orders);
   EXPECT_GT(st.delivered_orders, 0u);
 }
@@ -126,13 +134,17 @@ TEST(TpccDb, ConcurrentDeliveriesNeverDeliverTwice) {
   std::vector<TpccStats> stats(kThreads);
   testutil::run_threads(kThreads, [&](int tid) {
     Xoshiro256 rng(100 + tid);
-    for (int i = 0; i < 40; ++i) dbi.run_delivery(tid, rng, stats[tid]);
+    for (int i = 0; i < 40; ++i) {
+      db::Txn txn = dbi.begin_txn(tid);
+      dbi.run_delivery(txn, rng, stats[tid]);
+    }
   });
   uint64_t delivered = 0;
   for (auto& s : stats) delivered += s.delivered_orders;
   const size_t initial =
       size_t(scale.warehouses) * db::kDistrictsPerWarehouse * 200;
-  EXPECT_EQ(dbi.undelivered_count(0), initial - delivered);
+  db::Txn audit = dbi.begin_txn(0);
+  EXPECT_EQ(dbi.undelivered_count(audit), initial - delivered);
   EXPECT_LE(delivered, initial);
 }
 
@@ -143,7 +155,10 @@ TEST(TpccDb, MixedWorkloadConservesOrders) {
   std::vector<TpccStats> stats(kThreads);
   testutil::run_threads(kThreads, [&](int tid) {
     Xoshiro256 rng(7 + tid);
-    for (int i = 0; i < 300; ++i) dbi.run_mixed_txn(tid, rng, stats[tid]);
+    for (int i = 0; i < 300; ++i) {
+      db::Txn txn = dbi.begin_txn(tid);
+      dbi.run_mixed_txn(txn, rng, stats[tid]);
+    }
   });
   uint64_t created = 0, delivered = 0;
   for (auto& s : stats) {
@@ -151,7 +166,8 @@ TEST(TpccDb, MixedWorkloadConservesOrders) {
     delivered += s.delivered_orders;
   }
   const size_t initial = size_t(db::kDistrictsPerWarehouse) * 50;
-  EXPECT_EQ(dbi.undelivered_count(0), initial + created - delivered);
+  db::Txn audit = dbi.begin_txn(0);
+  EXPECT_EQ(dbi.undelivered_count(audit), initial + created - delivered);
   EXPECT_TRUE(dbi.neworder_index.check_invariants());
   EXPECT_TRUE(dbi.orderline_index.check_invariants());
 }
@@ -162,9 +178,15 @@ TEST(TpccDb, OrderStatusFindsCustomersLatestOrder) {
   Xoshiro256 rng(6);
   TpccStats st;
   // Create some orders first so ORDER_STATUS has something to find.
-  for (int i = 0; i < 60; ++i) dbi.run_new_order(0, rng, st);
+  for (int i = 0; i < 60; ++i) {
+    db::Txn txn = dbi.begin_txn(0);
+    dbi.run_new_order(txn, rng, st);
+  }
   const uint64_t ops_before = st.index_ops;
-  for (int i = 0; i < 50; ++i) dbi.run_order_status(0, rng, st);
+  for (int i = 0; i < 50; ++i) {
+    db::Txn txn = dbi.begin_txn(0);
+    dbi.run_order_status(txn, rng, st);
+  }
   EXPECT_EQ(st.txn_order_status, 50u);
   // Read-only: no index mutations.
   EXPECT_EQ(dbi.order_index.size_slow(), 60u);
@@ -177,7 +199,10 @@ TEST(TpccDb, StockLevelCountsDistinctLowStockItems) {
   TpccDb<BundleCitrusSet> dbi(scale);
   Xoshiro256 rng(8);
   TpccStats st;
-  for (int i = 0; i < 40; ++i) dbi.run_new_order(0, rng, st);
+  for (int i = 0; i < 40; ++i) {
+    db::Txn txn = dbi.begin_txn(0);
+    dbi.run_new_order(txn, rng, st);
+  }
   // Drain some stock below any threshold so low_stock_seen can fire.
   auto lines = dbi.orderline_index.to_vector();
   ASSERT_FALSE(lines.empty());
@@ -186,7 +211,10 @@ TEST(TpccDb, StockLevelCountsDistinctLowStockItems) {
     dbi.stock(0, line->i_id).quantity.store(0, std::memory_order_relaxed);
   }
   const size_t ol_before = dbi.orderline_index.size_slow();
-  for (int i = 0; i < 30; ++i) dbi.run_stock_level(0, rng, st);
+  for (int i = 0; i < 30; ++i) {
+    db::Txn txn = dbi.begin_txn(0);
+    dbi.run_stock_level(txn, rng, st);
+  }
   EXPECT_EQ(st.txn_stock_level, 30u);
   EXPECT_GT(st.low_stock_seen, 0u);
   EXPECT_EQ(dbi.orderline_index.size_slow(), ol_before);  // read-only
@@ -199,7 +227,10 @@ TEST(TpccDb, FullMixRunsAllFiveProfiles) {
   std::vector<TpccStats> stats(kThreads);
   testutil::run_threads(kThreads, [&](int tid) {
     Xoshiro256 rng(17 + tid);
-    for (int i = 0; i < 400; ++i) dbi.run_full_mix_txn(tid, rng, stats[tid]);
+    for (int i = 0; i < 400; ++i) {
+      db::Txn txn = dbi.begin_txn(tid);
+      dbi.run_full_mix_txn(txn, rng, stats[tid]);
+    }
   });
   TpccStats sum;
   uint64_t created = 0, delivered = 0;
@@ -220,7 +251,49 @@ TEST(TpccDb, FullMixRunsAllFiveProfiles) {
   EXPECT_GT(sum.txn_stock_level, 0u);
   // Order conservation still holds with the read-only profiles in the mix.
   const size_t initial = size_t(db::kDistrictsPerWarehouse) * 30;
-  EXPECT_EQ(dbi.undelivered_count(0), initial + created - delivered);
+  db::Txn audit = dbi.begin_txn(0);
+  EXPECT_EQ(dbi.undelivered_count(audit), initial + created - delivered);
+}
+
+TEST(TpccTxn, SessionBundleReleasesIdOnCommitAbortAndScopeExit) {
+  // One dense id covers all five indexes for the transaction's lifetime
+  // and goes back to the global registry at commit/abort/scope exit — the
+  // sessions-era contract that replaced the raw-tid convention.
+  TpccScale scale{1, 30, 5};
+  TpccDb<BundleListSet> dbi(scale);
+  auto& reg = ThreadRegistry::instance();
+  const int baseline = reg.in_use();
+  Xoshiro256 rng(12);
+  TpccStats st;
+  {
+    db::Txn txn = dbi.begin_txn();  // auto-acquired
+    EXPECT_TRUE(txn.open());
+    EXPECT_EQ(reg.in_use(), baseline + 1);
+    dbi.run_new_order(txn, rng, st);
+    dbi.run_payment(txn, rng, st);
+    txn.commit();
+    EXPECT_FALSE(txn.open());
+    EXPECT_EQ(reg.in_use(), baseline);  // released at commit, not scope end
+  }
+  EXPECT_EQ(reg.in_use(), baseline);
+  {
+    db::Txn txn = dbi.begin_txn();
+    txn.abort();  // abort releases too (MiniDB applies eagerly; no undo)
+    EXPECT_EQ(reg.in_use(), baseline);
+  }
+  {
+    db::Txn txn = dbi.begin_txn();
+    dbi.run_new_order(txn, rng, st);
+    // No explicit commit: scope exit ends the bundle.
+  }
+  EXPECT_EQ(reg.in_use(), baseline);
+  // Pinned ids are borrowed, never released (the benchmark convention).
+  {
+    db::Txn txn = dbi.begin_txn(7);
+    EXPECT_EQ(txn.tid(), 7);
+    EXPECT_EQ(reg.in_use(), baseline);
+  }
+  EXPECT_EQ(reg.in_use(), baseline);
 }
 
 TEST(TpccDb, WorksWithEveryIndexFamily) {
@@ -229,7 +302,10 @@ TEST(TpccDb, WorksWithEveryIndexFamily) {
   auto burst = [&](auto* dbi) {
     Xoshiro256 rng(9);
     TpccStats st;
-    for (int i = 0; i < 50; ++i) dbi->run_mixed_txn(0, rng, st);
+    for (int i = 0; i < 50; ++i) {
+      db::Txn txn = dbi->begin_txn(0);
+      dbi->run_mixed_txn(txn, rng, st);
+    }
     EXPECT_GT(st.index_ops, 0u);
   };
   {

@@ -100,6 +100,10 @@ TEST(Registry, CapabilityMatrixMatchesTheTechniques) {
     // Bundled, Unsafe and LFCA structures run on EBR and can reclaim; the
     // EBR-RQ/RLU/Snapcollector ports keep the paper's leaky benchmark mode.
     EXPECT_EQ(d.caps.reclamation, bundle || unsafe_ || lfca);
+    // Only the bundled structures can take part in a coordinated
+    // multi-instance range query (shareable clock + fixed-timestamp
+    // collection); EBR-RQ reports timestamps but owns no shareable clock.
+    EXPECT_EQ(d.caps.coordinated_rq, bundle);
   }
 }
 

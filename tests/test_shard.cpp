@@ -1,0 +1,481 @@
+// ShardedSet + MaintenanceService tests (src/shard/).
+//
+// Pins down the shard layer's contracts:
+//   * range partitioning is total over KeyT (clamping), routing keeps every
+//     key in its shard, and quiescent results match a reference model;
+//   * a coordinated cross-shard range query over bundled shards acquires
+//     exactly ONE shared timestamp and returns a single-instant snapshot —
+//     audited under 8-thread churn with the timestamp-aware Wing–Gong
+//     checker (coordinated queries must linearize in @ts order);
+//   * non-coordinated inner families degrade gracefully to a per-shard
+//     merge that advertises (and stamps) nothing it cannot honor;
+//   * the registry carries the Sharded-Bundle-* configurations with derived
+//     capabilities, so they ride every capability-driven sweep;
+//   * the MaintenanceService drives per-shard bundle pruning and the
+//     EBR-RQ limbo drain without caller cooperation (the ROADMAP's
+//     "nothing calls flush_limbo unprompted" item), survives start/stop
+//     cycles under load, and backs off when idle.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/set.h"
+#include "shard/maintenance.h"
+#include "test_util.h"
+#include "validation/history.h"
+#include "validation/wing_gong.h"
+
+namespace bref {
+namespace {
+
+ShardOptions small_range(size_t shards, KeyT lo, KeyT hi,
+                         SetOptions inner = {}) {
+  ShardOptions so;
+  so.shards = shards;
+  so.key_lo = lo;
+  so.key_hi = hi;
+  so.inner = inner;
+  return so;
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning and routing.
+// ---------------------------------------------------------------------------
+
+TEST(ShardPartition, RoutingIsTotalAndOrderPreserving) {
+  ShardedSet s("Bundle-list", small_range(4, 0, 100));
+  // Uniform split of [0, 100] into 4: width 25.
+  EXPECT_EQ(s.num_shards(), 4u);
+  EXPECT_EQ(s.shard_index(0), 0u);
+  EXPECT_EQ(s.shard_index(24), 0u);
+  EXPECT_EQ(s.shard_index(25), 1u);
+  EXPECT_EQ(s.shard_index(74), 2u);
+  EXPECT_EQ(s.shard_index(75), 3u);
+  EXPECT_EQ(s.shard_index(100), 3u);
+  // Total over KeyT: out-of-range keys clamp to the edge shards.
+  EXPECT_EQ(s.shard_index(-5000), 0u);
+  EXPECT_EQ(s.shard_index(5000), 3u);
+  // Order-preserving: shard index is monotone in the key.
+  size_t prev = 0;
+  for (KeyT k = -10; k <= 110; ++k) {
+    const size_t idx = s.shard_index(k);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(ShardPartition, FullDomainDefaultSplitsAroundZero) {
+  // The registry-created configuration partitions all of KeyT; keys near
+  // zero land in a middle shard and the extremes clamp to the edges.
+  Set s = Set::create("Sharded-Bundle-skiplist");
+  auto& sharded = dynamic_cast<ShardedSet&>(s.impl());
+  EXPECT_EQ(sharded.num_shards(), 4u);
+  EXPECT_EQ(sharded.shard_index(std::numeric_limits<KeyT>::min() + 1), 0u);
+  EXPECT_EQ(sharded.shard_index(std::numeric_limits<KeyT>::max() - 1), 3u);
+  EXPECT_EQ(sharded.shard_index(0), 2u);
+}
+
+TEST(ShardPartition, OpsMatchModelAndKeysStayInTheirShards) {
+  ShardedSet s("Bundle-skiplist", small_range(4, 0, 400));
+  std::map<KeyT, ValT> model;
+  Xoshiro256 rng(71);
+  ThreadSession sess(s, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const KeyT k = 1 + static_cast<KeyT>(rng.next_range(399));
+    switch (rng.next_range(3)) {
+      case 0:
+        EXPECT_EQ(sess.remove(k), model.erase(k) > 0);
+        break;
+      case 1: {
+        const bool ok = sess.insert(k, k * 7);
+        EXPECT_EQ(ok, model.emplace(k, k * 7).second);
+        break;
+      }
+      default: {
+        ValT v = 0;
+        const auto it = model.find(k);
+        EXPECT_EQ(sess.contains(k, &v), it != model.end());
+        if (it != model.end()) EXPECT_EQ(v, it->second);
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(testutil::matches_model(s, model));
+  EXPECT_TRUE(s.check_invariants());  // includes partition discipline
+  EXPECT_EQ(s.size_slow(), model.size());
+  // Every shard holds only its own range (spot-check via shard()).
+  for (size_t i = 0; i < s.num_shards(); ++i)
+    for (const auto& [k, v] : s.shard(i).to_vector())
+      EXPECT_EQ(s.shard_index(k), i);
+}
+
+TEST(ShardPartition, PerShardPoolsSupportPartitionAwareBulkLoad) {
+  // One loader thread per shard, each driving its own shard directly
+  // through that shard's SessionPool with only the keys it owns — the
+  // bulk-load pattern; the routing invariant must hold afterwards.
+  ShardedSet s("Bundle-list", small_range(4, 0, 400));
+  testutil::run_threads(4, [&](int i) {
+    ThreadSession sess = s.shard_pool(static_cast<size_t>(i)).session();
+    for (KeyT k = 1; k <= 400; ++k)
+      if (s.shard_index(k) == static_cast<size_t>(i)) sess.insert(k, k);
+  });
+  EXPECT_EQ(s.size_slow(), 400u);
+  EXPECT_TRUE(s.check_invariants());
+  ThreadSession q(s, 0);
+  RangeSnapshot snap;
+  EXPECT_EQ(q.range_query(1, 400, snap), 400u);
+  EXPECT_TRUE(snap.has_timestamp());
+}
+
+// ---------------------------------------------------------------------------
+// Registry surface.
+// ---------------------------------------------------------------------------
+
+TEST(ShardRegistry, ShardedBundleConfigurationsAreRegisteredWithDerivedCaps) {
+  for (const char* structure : {"list", "skiplist", "citrus"}) {
+    const std::string name = std::string("Sharded-Bundle-") + structure;
+    SCOPED_TRACE(name);
+    ImplDescriptor d;
+    ASSERT_TRUE(ImplRegistry::instance().find(name, &d));
+    EXPECT_FALSE(d.builtin);  // extension, not one of the paper's 18
+    EXPECT_TRUE(d.caps.coordinated_rq);
+    EXPECT_TRUE(d.caps.linearizable_rq);
+    EXPECT_TRUE(d.caps.rq_timestamp);
+    EXPECT_TRUE(d.caps.relaxation);   // forwarded to every shard
+    EXPECT_TRUE(d.caps.reclamation);  // forwarded to every shard
+    Set s = Set::create(name);
+    EXPECT_EQ(s.name(), name);
+    EXPECT_STREQ(s.technique(), "Sharded");
+    EXPECT_EQ(std::string("Bundle-") + structure, s.structure());
+    // The descriptor's compile-time caps (builtin_shards.h sharded_caps)
+    // and the instance's runtime derivation (ShardedSet::capabilities)
+    // are two implementations of one rule; pin them together so neither
+    // can drift when a capability field or the coordination gate changes.
+    const Capabilities inst = s.capabilities();
+    EXPECT_EQ(inst.linearizable_rq, d.caps.linearizable_rq);
+    EXPECT_EQ(inst.relaxation, d.caps.relaxation);
+    EXPECT_EQ(inst.reclamation, d.caps.reclamation);
+    EXPECT_EQ(inst.rq_timestamp, d.caps.rq_timestamp);
+    EXPECT_EQ(inst.coordinated_rq, d.caps.coordinated_rq);
+    auto sess = s.session(0);
+    EXPECT_TRUE(sess.insert(5, 50));
+    EXPECT_EQ(sess.range_query(0, 10).size(), 1u);
+  }
+  // Knob forwarding goes down the validated registry path per shard.
+  Set relaxed =
+      Set::create("Sharded-Bundle-list", SetOptions{.relax_threshold = 5});
+  EXPECT_TRUE(relaxed.capabilities().relaxation);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinated cross-shard range queries.
+// ---------------------------------------------------------------------------
+
+TEST(CoordinatedRq, CrossShardQueryAcquiresExactlyOneTimestamp) {
+  ShardedSet s("Bundle-list", small_range(4, 0, 100));
+  ASSERT_TRUE(s.coordinated());
+  ThreadSession sess(s, 0);
+  for (KeyT k = 1; k <= 99; ++k) sess.insert(k, k);
+  RangeSnapshot snap;
+  constexpr int kQueries = 25;
+  for (int i = 0; i < kQueries; ++i) {
+    // Spans all four shards -> the coordinated path.
+    ASSERT_EQ(sess.range_query(1, 99, snap), 99u);
+    ASSERT_TRUE(snap.has_timestamp());
+    // 99 inserts advanced the shared clock to 99; read-only queries must
+    // observe exactly that instant, never a per-shard composite.
+    EXPECT_EQ(snap.timestamp(), 99u);
+  }
+  const ShardedSetStats st = s.stats();
+  EXPECT_EQ(st.coordinated_rqs, static_cast<uint64_t>(kQueries));
+  // THE acceptance property: one clock acquisition per coordinated query,
+  // not one per overlapping shard.
+  EXPECT_EQ(st.timestamps_acquired, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(st.fallback_rqs, 0u);
+}
+
+TEST(CoordinatedRq, SingleShardFastPathDelegatesWholeQuery) {
+  ShardedSet s("Bundle-skiplist", small_range(4, 0, 100));
+  ThreadSession sess(s, 0);
+  for (KeyT k = 1; k <= 99; ++k) sess.insert(k, k);
+  RangeSnapshot snap;
+  EXPECT_EQ(sess.range_query(1, 20, snap), 20u);  // inside shard 0
+  EXPECT_TRUE(snap.has_timestamp());              // shared-clock stamp
+  const ShardedSetStats st = s.stats();
+  EXPECT_EQ(st.single_shard_rqs, 1u);
+  EXPECT_EQ(st.coordinated_rqs, 0u);
+}
+
+TEST(CoordinatedRq, TimestampsOrderSnapshotsAgainstUpdatesAcrossShards) {
+  Set s = Set::create("Sharded-Bundle-citrus");
+  auto sess = s.session(0);
+  RangeSnapshot a, b;
+  sess.insert(-1000, 1);  // distinct shards under the full-domain split
+  sess.insert(1000, 2);
+  sess.range_query(-5000, 5000, a);
+  sess.insert(2000, 3);  // advances the one shared clock
+  sess.range_query(-5000, 5000, b);
+  ASSERT_TRUE(a.has_timestamp());
+  ASSERT_TRUE(b.has_timestamp());
+  EXPECT_LT(a.timestamp(), b.timestamp());
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+}
+
+// The acceptance audit: a coordinated cross-shard range query over 4
+// bundled shards, its RangeSnapshot::timestamp()-stamped histories checked
+// with the timestamp-aware Wing–Gong search under 8-thread churn.
+TEST(CoordinatedRq, ChurnHistoriesPassTimestampedWingGongAudit) {
+  constexpr int kThreads = 8;
+  ShardedSet ds("Bundle-list", small_range(4, 0, 8));
+  ASSERT_TRUE(ds.coordinated());
+  for (int burst = 0; burst < 12; ++burst) {
+    validation::History pre;
+    for (auto& [k, v] : ds.to_vector()) {
+      validation::Op op;
+      op.kind = validation::OpKind::kInsert;
+      op.key = k;
+      op.val = v;
+      op.result = true;
+      op.invoke_ns = 2 * pre.size();
+      op.response_ns = 2 * pre.size() + 1;
+      pre.push_back(op);
+    }
+    std::vector<validation::ThreadLog> logs;
+    for (int t = 0; t < kThreads; ++t) logs.emplace_back(t);
+    testutil::run_threads(kThreads, [&](int t) {
+      ThreadSession s(ds, t);
+      Xoshiro256 rng(burst * 131 + t + 1);
+      RangeSnapshot out;
+      for (int i = 0; i < 3; ++i) {
+        // Keys 1..7 spread over all four shards (width 2).
+        const KeyT k = 1 + static_cast<KeyT>(rng.next_range(7));
+        const uint64_t t0 = validation::now_ns();
+        switch (rng.next_range(4)) {
+          case 0: {
+            const bool r = s.insert(k, burst * 100 + t * 10 + i);
+            logs[t].record_point(validation::OpKind::kInsert, k,
+                                 burst * 100 + t * 10 + i, r, t0,
+                                 validation::now_ns());
+            break;
+          }
+          case 1: {
+            const bool r = s.remove(k);
+            logs[t].record_point(validation::OpKind::kRemove, k, 0, r, t0,
+                                 validation::now_ns());
+            break;
+          }
+          case 2: {
+            ValT v = 0;
+            const bool r = s.contains(k, &v);
+            logs[t].record_point(validation::OpKind::kContains, k, r ? v : 0,
+                                 r, t0, validation::now_ns());
+            break;
+          }
+          default: {
+            // Spans every shard -> coordinated single-timestamp snapshot.
+            s.range_query(1, 8, out);
+            logs[t].record_rq(out, t0, validation::now_ns());
+            break;
+          }
+        }
+      }
+    });
+    validation::History h = validation::merge(logs);
+    h.insert(h.end(), pre.begin(), pre.end());
+    // The stamped queries must linearize in @ts order on top of plain
+    // linearizability — one shared clock makes the stamps comparable.
+    auto verdict = validation::check_linearizable_with_ts(h);
+    ASSERT_TRUE(verdict.linearizable)
+        << "burst " << burst << ": " << verdict.message;
+  }
+  // The audit must actually have exercised the coordinated path.
+  EXPECT_GT(ds.stats().coordinated_rqs, 0u);
+  EXPECT_EQ(ds.stats().fallback_rqs, 0u);
+  EXPECT_EQ(ds.stats().timestamps_acquired, ds.stats().coordinated_rqs);
+}
+
+// ---------------------------------------------------------------------------
+// Fallback (non-coordinated inner families).
+// ---------------------------------------------------------------------------
+
+TEST(FallbackRq, NonCoordinatedFamilyMergesPerShardWithoutClaims) {
+  // EBR-RQ reports timestamps but owns no shareable clock, so a sharded
+  // set over it cannot coordinate: multi-shard queries merge per shard and
+  // every cross-shard atomicity claim is dropped from the capabilities.
+  ShardedSet s("EBR-RQ-list", small_range(4, 0, 100));
+  EXPECT_FALSE(s.coordinated());
+  const Capabilities caps = s.capabilities();
+  EXPECT_FALSE(caps.coordinated_rq);
+  EXPECT_FALSE(caps.linearizable_rq);
+  EXPECT_FALSE(caps.rq_timestamp);
+  ThreadSession sess(s, 0);
+  for (KeyT k = 1; k <= 99; ++k) sess.insert(k, k * 2);
+  RangeSnapshot snap;
+  // Quiescent content is still exact, merged in key order.
+  EXPECT_EQ(sess.range_query(1, 99, snap), 99u);
+  EXPECT_FALSE(snap.has_timestamp());
+  for (size_t i = 1; i < snap.size(); ++i)
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  // Single-shard delegation strips the inner stamp: per-shard clocks are
+  // not comparable, so honoring rq_timestamp=false beats leaking one.
+  EXPECT_EQ(sess.range_query(1, 20, snap), 20u);
+  EXPECT_FALSE(snap.has_timestamp());
+  const ShardedSetStats st = s.stats();
+  EXPECT_EQ(st.fallback_rqs, 1u);
+  EXPECT_EQ(st.single_shard_rqs, 1u);
+  EXPECT_EQ(st.timestamps_acquired, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MaintenanceService.
+// ---------------------------------------------------------------------------
+
+TEST(Maintenance, PerShardWorkersPruneBundlesUnderChurn) {
+  ShardedSet s("Bundle-list",
+               small_range(4, 0, 400, SetOptions{.reclaim = true}));
+  MaintenanceService svc(s, MaintenanceOptions{
+                                .interval = std::chrono::milliseconds(1)});
+  EXPECT_EQ(svc.workers(), 4u);  // one per shard
+  EXPECT_FALSE(svc.running());
+  svc.start();
+  EXPECT_TRUE(svc.running());
+  // Churn on pinned ids 0..3 (the workers occupy dedicated top slots).
+  testutil::run_threads(4, [&](int tid) {
+    ThreadSession sess(s, tid);
+    Xoshiro256 rng(17 + tid);
+    RangeSnapshot out;
+    for (int i = 0; i < 4000; ++i) {
+      const KeyT k = 1 + static_cast<KeyT>(rng.next_range(399));
+      if (rng.next_range(4) == 0)
+        sess.range_query(k, k + 30, out);
+      else if (rng.next_range(2) == 0)
+        sess.insert(k, k);
+      else
+        sess.remove(k);
+    }
+  });
+  // Give the service one more cadence to reconcile the tail, then stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  svc.stop();
+  EXPECT_FALSE(svc.running());
+  uint64_t total_pruned = 0;
+  for (size_t i = 0; i < svc.workers(); ++i) {
+    const ShardMaintenanceStats st = svc.stats(i);
+    EXPECT_GT(st.passes, 0u) << "worker " << i << " never ran";
+    total_pruned += st.bundle_entries_pruned;
+  }
+  EXPECT_GT(total_pruned, 0u) << "churn must leave prunable bundle entries";
+  EXPECT_TRUE(s.check_invariants());
+  // Restartable: a second cycle under load works.
+  svc.start();
+  testutil::run_threads(2, [&](int tid) {
+    ThreadSession sess(s, tid);
+    for (KeyT k = 1; k <= 200; ++k) {
+      sess.insert(k, k);
+      sess.remove(k);
+    }
+  });
+  svc.stop();
+  EXPECT_GT(svc.total().passes, 4u);
+}
+
+TEST(Maintenance, LimboStaysBoundedWithoutCallerCooperation) {
+  // The ROADMAP item this service exists for: EBR-RQ strands up to
+  // kPruneEvery-1 limbo nodes per quiet thread forever unless someone
+  // calls flush_limbo — and before this service, nothing did unprompted.
+  ShardedSet s("EBR-RQ-list", small_range(4, 0, 400));
+  MaintenanceService svc(s, MaintenanceOptions{
+                                .interval = std::chrono::milliseconds(1)});
+  svc.start();
+  testutil::run_threads(4, [&](int tid) {
+    ThreadSession sess(s, tid);
+    Xoshiro256 rng(41 + tid);
+    for (int i = 0; i < 3000; ++i) {
+      const KeyT k = 1 + static_cast<KeyT>(rng.next_range(399));
+      if (rng.next_range(2) == 0)
+        sess.insert(k, k);
+      else
+        sess.remove(k);  // removed nodes park in the provider's limbo
+    }
+  });
+  // Workers are quiescent and never flushed; the service alone must drain
+  // the stranded tails. Poll with a generous deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (s.maintenance_backlog() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  svc.stop();
+  EXPECT_EQ(s.maintenance_backlog(), 0u)
+      << "stranded limbo must be drained without caller flushes";
+  EXPECT_GT(svc.total().limbo_flushed, 0u);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Maintenance, PooledTidModeComposesWithPooledSessions) {
+  // Application deployment shape: workload threads AND maintenance workers
+  // all draw ids from the global registry (no pinned ids anywhere).
+  Set s = Set::create("Sharded-Bundle-skiplist", SetOptions{.reclaim = true});
+  auto& sharded = dynamic_cast<ShardedSet&>(s.impl());
+  MaintenanceService svc(sharded,
+                         MaintenanceOptions{
+                             .interval = std::chrono::milliseconds(1),
+                             .pooled_tids = true});
+  svc.start();
+  testutil::run_pooled(s.impl(), 4, [&](ThreadSession& sess) {
+    Xoshiro256 rng(7 + sess.tid());
+    for (int i = 0; i < 1500; ++i) {
+      const KeyT k = static_cast<KeyT>(rng.next_range(1000)) - 500;
+      if (rng.next_range(2) == 0)
+        sess.insert(k, k);
+      else
+        sess.remove(k);
+    }
+  });
+  // The churn can outrun the first 1ms cadence; let the service take at
+  // least one pass before stopping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  svc.stop();
+  EXPECT_GT(svc.total().passes, 0u);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Maintenance, AdaptiveRateBacksOffWhenIdle) {
+  ShardedSet s("Bundle-list",
+               small_range(2, 0, 100, SetOptions{.reclaim = true}));
+  MaintenanceService svc(
+      s, MaintenanceOptions{.interval = std::chrono::milliseconds(1),
+                            .max_interval = std::chrono::milliseconds(8),
+                            .adaptive = true});
+  svc.start();
+  // Nothing to do: passes must back off rather than spin at base rate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  svc.stop();
+  EXPECT_GT(svc.total().idle_backoffs, 0u);
+}
+
+TEST(Maintenance, TypeErasedMaintainHookSumsShardDuties) {
+  // ShardedSet::maintain forwards to every shard; for an EBR-RQ family it
+  // drains limbo, reported per duty in MaintenanceWork.
+  ShardedSet s("EBR-RQ-skiplist", small_range(4, 0, 200));
+  ThreadSession sess(s, 0);
+  for (KeyT k = 1; k <= 199; ++k) sess.insert(k, k);
+  for (KeyT k = 1; k <= 199; ++k) sess.remove(k);
+  ASSERT_GT(s.maintenance_backlog(), 0u);
+  const MaintenanceWork w = s.maintain(0);
+  EXPECT_GT(w.limbo_flushed, 0u);
+  EXPECT_EQ(s.maintenance_backlog(), 0u);
+  EXPECT_TRUE(w.epochs_quiesced);
+}
+
+}  // namespace
+}  // namespace bref
