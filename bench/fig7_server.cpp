@@ -1,0 +1,466 @@
+// Figure 7 (this repo's extension): bref-server tail latency — an
+// OPEN-LOOP traffic generator against the epoll-batched network front-end
+// (src/net/server.h), reporting p50/p99/p999 response latency and achieved
+// throughput per scenario.
+//
+// Open-loop means each connection sends on a fixed arrival schedule
+// (total --rate ops/s spread evenly over --conns connections) regardless
+// of whether earlier responses have come back, and latency is measured
+// from the *scheduled* send time to response receipt. A server that stalls
+// therefore accumulates queueing delay in the tail instead of silently
+// slowing the generator down (the coordinated-omission trap of closed-loop
+// drivers).
+//
+// Workload units are drawn per the scenario mix: point GET / INSERT /
+// REMOVE, RANGE of --rqsize keys, and wire transactions (TXN_BEGIN +
+// --txnops TXN_OPs + TXN_COMMIT pipelined as one unit, one latency sample
+// at the commit reply). Keys are Zipf(--zipf, default 0.99) over
+// [1, keyrange] — hot keys concentrate on a few shards, which is the point.
+//
+//   fig7_server [--conns 64] [--clients 4] [--rate 40000] [--workers 4]
+//               [--shards 4] [--impl Bundle-skiplist] [--scenario all]
+//               [--duration 1000] [--keyrange 65536] [--zipf 0.99]
+//               [--txnops 4] [--json [path]]
+//
+// --json records one entry per scenario; "threads" is the connection
+// count, extra carries the offered/achieved rates and the server's own
+// stats document (frames-per-batch shows how well pipelining coalesced).
+
+#include <fcntl.h>
+#include <poll.h>
+
+#include <barrier>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timing.h"
+#include "harness.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace {
+
+using namespace bref;
+using namespace bref::bench;
+
+struct Scenario {
+  const char* name;
+  int u_pct;    // point updates (insert/remove split evenly)
+  int c_pct;    // point lookups
+  int rq_pct;   // range queries
+  int txn_pct;  // wire transactions
+};
+
+constexpr Scenario kPoint{"point", 20, 80, 0, 0};
+constexpr Scenario kMixed{"mixed", 10, 78, 10, 2};
+
+struct DriverConfig {
+  uint16_t port = 0;
+  int conns = 64;
+  int clients = 4;       // driver threads; conns are split among them
+  uint64_t rate = 40000; // total offered ops/s across all connections
+  int duration_ms = 1000;
+  KeyT key_range = 1 << 16;
+  int rq_size = 50;
+  int txn_ops = 4;
+  double zipf_theta = 0.99;
+  uint64_t seed = 1;
+  Scenario mix = kMixed;
+};
+
+/// One scheduled-but-unanswered request frame. Responses arrive in frame
+/// order per connection (PROTOCOL.md), so a FIFO of these matches them.
+struct InFlight {
+  net::Op op;
+  uint64_t sched_ns;  // scheduled arrival of the unit this frame ends
+  bool sample;        // record a latency sample at this frame's reply
+};
+
+struct Conn {
+  Conn(uint16_t port, uint64_t interval_ns, uint64_t first_due_ns,
+       const DriverConfig& cfg, uint64_t seed)
+      : client(port),
+        rng(seed),
+        zipf(static_cast<uint64_t>(cfg.key_range), cfg.zipf_theta, seed ^ 77),
+        interval(interval_ns),
+        next_due(first_due_ns) {
+    // The sync Client did the connect; drive its fd nonblocking from here.
+    const int fd = client.fd();
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+
+  net::Client client;
+  Xoshiro256 rng;
+  ZipfGenerator zipf;
+  uint64_t interval;
+  uint64_t next_due;
+  std::vector<uint8_t> out;  // encoded-but-unsent request bytes
+  size_t out_off = 0;
+  std::vector<uint8_t> in;   // partial response bytes
+  std::deque<InFlight> inflight;
+  bool dead = false;
+};
+
+struct DriverResult {
+  std::vector<uint64_t> latencies_ns;
+  uint64_t frames = 0;      // request frames completed
+  uint64_t errors = 0;      // connection/protocol failures (expect 0)
+  uint64_t stragglers = 0;  // units unanswered at the drain deadline
+};
+
+uint64_t ns_since(Clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now() - t0)
+          .count());
+}
+
+/// Append one workload unit's frames to c.out per the scenario mix, with
+/// its latency clock starting at the *scheduled* time, not the send time.
+void schedule_unit(Conn& c, const DriverConfig& cfg, uint64_t sched_ns) {
+  const Scenario& mix = cfg.mix;
+  const uint64_t dice = c.rng.next_range(100);
+  const KeyT k = 1 + static_cast<KeyT>(c.zipf.next());
+  if (dice < static_cast<uint64_t>(mix.txn_pct)) {
+    net::encode_txn_begin(c.out);
+    c.inflight.push_back({net::Op::kTxnBegin, sched_ns, false});
+    for (int i = 0; i < cfg.txn_ops; ++i) {
+      const KeyT tk = 1 + static_cast<KeyT>(c.zipf.next());
+      switch (c.rng.next_range(3)) {
+        case 0:
+          net::encode_txn_op(c.out, net::Op::kInsert, tk, tk);
+          break;
+        case 1:
+          net::encode_txn_op(c.out, net::Op::kRemove, tk);
+          break;
+        default:
+          net::encode_txn_op(c.out, net::Op::kGet, tk);
+          break;
+      }
+      c.inflight.push_back({net::Op::kTxnOp, sched_ns, false});
+    }
+    net::encode_txn_commit(c.out);
+    c.inflight.push_back({net::Op::kTxnCommit, sched_ns, true});
+  } else if (dice < static_cast<uint64_t>(mix.txn_pct + mix.rq_pct)) {
+    net::encode_range(c.out, k, k + cfg.rq_size - 1);
+    c.inflight.push_back({net::Op::kRange, sched_ns, true});
+  } else if (dice <
+             static_cast<uint64_t>(mix.txn_pct + mix.rq_pct + mix.u_pct)) {
+    // One dice roll decides BOTH the encoded op and the in-flight record —
+    // the reply decoder is op-directed, so they must agree.
+    if (c.rng.next_range(2) == 0) {
+      net::encode_insert(c.out, k, k);
+      c.inflight.push_back({net::Op::kInsert, sched_ns, true});
+    } else {
+      net::encode_remove(c.out, k);
+      c.inflight.push_back({net::Op::kRemove, sched_ns, true});
+    }
+  } else {
+    net::encode_get(c.out, k);
+    c.inflight.push_back({net::Op::kGet, sched_ns, true});
+  }
+}
+
+/// Flush as much of c.out as the socket accepts (nonblocking).
+void try_write(Conn& c, DriverResult& res) {
+  while (c.out_off < c.out.size()) {
+    const ssize_t r = ::send(c.client.fd(), c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      c.dead = true;
+      ++res.errors;
+      return;
+    }
+    c.out_off += static_cast<size_t>(r);
+  }
+  c.out.clear();
+  c.out_off = 0;
+}
+
+/// Read everything available and resolve completed frames against the
+/// in-flight FIFO, recording latency samples at unit-ending replies.
+void try_read(Conn& c, Clock::time_point t0, DriverResult& res) {
+  uint8_t chunk[65536];
+  for (;;) {
+    const ssize_t r = ::recv(c.client.fd(), chunk, sizeof chunk, 0);
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      c.dead = true;
+      ++res.errors;
+      return;
+    }
+    if (r == 0) {  // server closed; only expected if we poisoned the stream
+      c.dead = true;
+      ++res.errors;
+      return;
+    }
+    c.in.insert(c.in.end(), chunk, chunk + r);
+    if (static_cast<size_t>(r) < sizeof chunk) break;
+  }
+  size_t off = 0;
+  net::FrameView f;
+  size_t advance = 0;
+  net::Reply reply;
+  // Responses are exempt from the request-side max_frame (a RANGE reply is
+  // bounded by the range asked for); 256 MiB is "anything sane".
+  while (net::split_frame(c.in.data(), c.in.size(), off, 256u << 20, &f,
+                          &advance) == net::SplitResult::kFrame) {
+    off += advance;
+    if (c.inflight.empty()) {  // reply with no matching request
+      c.dead = true;
+      ++res.errors;
+      return;
+    }
+    const InFlight inf = c.inflight.front();
+    c.inflight.pop_front();
+    if (!net::decode_reply(inf.op, f, &reply)) {
+      c.dead = true;
+      ++res.errors;
+      return;
+    }
+    ++res.frames;
+    if (inf.sample)
+      res.latencies_ns.push_back(ns_since(t0) - inf.sched_ns);
+  }
+  if (off > 0) c.in.erase(c.in.begin(), c.in.begin() + off);
+}
+
+/// One driver thread: owns `nconns` connections, runs their open-loop
+/// schedules, and collects latency samples until every in-flight unit is
+/// answered (or the drain deadline passes).
+///
+/// All threads finish their connect storm BEFORE the schedule clock
+/// starts (`ready` barrier; its completion step stamps t0) — on a small
+/// machine establishing 64 connections takes tens of milliseconds, and
+/// charging that setup to the first wave's scheduled arrivals would
+/// fabricate a startup tail.
+template <typename Barrier>
+DriverResult drive(const DriverConfig& cfg, int thread_idx, int nconns,
+                   Barrier& ready, const Clock::time_point& t0_out,
+                   uint64_t end_ns) {
+  DriverResult res;
+  res.latencies_ns.reserve(
+      static_cast<size_t>(cfg.rate) * cfg.duration_ms / 1000 / cfg.clients +
+      1024);
+  // Per-connection interval so the *total* offered rate is cfg.rate.
+  const uint64_t interval_ns =
+      1'000'000'000ull * static_cast<uint64_t>(cfg.conns) /
+      (cfg.rate > 0 ? cfg.rate : 1);
+  std::vector<std::unique_ptr<Conn>> conns;
+  for (int i = 0; i < nconns; ++i) {
+    const uint64_t seed =
+        cfg.seed * 1315423911u + static_cast<uint64_t>(thread_idx) * 131 + i;
+    // Stagger first arrivals across the interval so conns don't align.
+    const uint64_t first =
+        interval_ns * (static_cast<uint64_t>(i) + 1) / (nconns + 1);
+    conns.push_back(
+        std::make_unique<Conn>(cfg.port, interval_ns, first, cfg, seed));
+  }
+  ready.arrive_and_wait();  // completion step stamps t0_out
+  const Clock::time_point t0 = t0_out;
+  const uint64_t drain_deadline_ns = end_ns + 10'000'000'000ull;
+  std::vector<pollfd> pfds(conns.size());
+  bool scheduling = true;
+  for (;;) {
+    uint64_t t = ns_since(t0);
+    if (scheduling && t >= end_ns) scheduling = false;
+    uint64_t next_wake = ~0ull;
+    bool idle = true;
+    for (auto& cp : conns) {
+      Conn& c = *cp;
+      if (c.dead) continue;
+      if (scheduling) {
+        while (c.next_due <= t) {
+          schedule_unit(c, cfg, c.next_due);
+          c.next_due += c.interval;
+        }
+        next_wake = std::min(next_wake, c.next_due);
+      }
+      if (!c.out.empty()) try_write(c, res);
+      if (!c.out.empty() || !c.inflight.empty()) idle = false;
+    }
+    if (!scheduling && idle) break;
+    if (t > drain_deadline_ns) {
+      for (auto& cp : conns) res.stragglers += cp->inflight.size();
+      break;
+    }
+    int timeout_ms = 10;
+    if (scheduling && next_wake != ~0ull) {
+      t = ns_since(t0);
+      // Ceil to a whole ms: a sub-ms wait must NOT truncate to a zero
+      // timeout, or the generator busy-spins and starves the server on
+      // small machines. Waking up to 1 ms late is honest — lateness is
+      // charged to the schedule, not hidden.
+      timeout_ms =
+          next_wake > t
+              ? static_cast<int>((next_wake - t + 999'999ull) / 1'000'000ull)
+              : 0;
+      if (timeout_ms > 10) timeout_ms = 10;
+    }
+    size_t n = 0;
+    for (auto& cp : conns) {
+      if (cp->dead) continue;
+      pfds[n].fd = cp->client.fd();
+      pfds[n].events =
+          static_cast<short>(POLLIN | (cp->out.empty() ? 0 : POLLOUT));
+      pfds[n].revents = 0;
+      ++n;
+    }
+    if (n == 0) break;
+    if (::poll(pfds.data(), n, timeout_ms) <= 0) continue;
+    size_t i = 0;
+    for (auto& cp : conns) {
+      if (cp->dead) continue;
+      const short re = pfds[i++].revents;
+      if (re & POLLOUT) try_write(*cp, res);
+      if (re & (POLLIN | POLLHUP | POLLERR)) try_read(*cp, t0, res);
+    }
+  }
+  return res;
+}
+
+/// Prefill every other key over the wire (pipelined) so the structure sits
+/// at half occupancy, as in the paper's setup.
+void prefill_wire(uint16_t port, KeyT key_range) {
+  net::Client c(port);
+  net::Pipeline p(c);
+  for (KeyT k = 1; k <= key_range; k += 2) {
+    p.insert(k, k);
+    if (p.queued() >= 512) p.collect();
+  }
+  p.collect();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  Config base = config_from_args(args);
+  if (!args.has("--keyrange")) base.key_range = 1 << 16;
+  if (!args.has("--duration")) base.duration_ms = 1000;
+  if (!args.has("--zipf")) base.zipf_theta = 0.99;
+  json_init(args, "fig7_server", base);
+
+  DriverConfig cfg;
+  cfg.conns = static_cast<int>(args.get_long("--conns", 64));
+  cfg.clients = static_cast<int>(args.get_long("--clients", 4));
+  cfg.rate = static_cast<uint64_t>(args.get_long("--rate", 40000));
+  cfg.duration_ms = base.duration_ms;
+  cfg.key_range = base.key_range;
+  cfg.rq_size = base.rq_size;
+  cfg.txn_ops = static_cast<int>(args.get_long("--txnops", 4));
+  cfg.zipf_theta = base.zipf_theta;
+  cfg.seed = base.seed;
+  if (cfg.clients > cfg.conns) cfg.clients = cfg.conns;
+
+  net::ServerOptions sopt;
+  sopt.workers = static_cast<int>(args.get_long("--workers", 4));
+  sopt.shards = static_cast<size_t>(args.get_long("--shards", 4));
+  sopt.impl = args.get_str("--impl", "Bundle-skiplist");
+  sopt.key_lo = 0;
+  sopt.key_hi = cfg.key_range + 2;
+  sopt.maintenance = !args.has("--no-maintain");
+
+  const std::string which = args.get_str("--scenario", "all");
+  std::vector<Scenario> scenarios;
+  if (which == "point" || which == "all") scenarios.push_back(kPoint);
+  if (which == "mixed" || which == "all") scenarios.push_back(kMixed);
+  if (scenarios.empty()) {
+    std::fprintf(stderr, "unknown --scenario %s (point|mixed|all)\n",
+                 which.c_str());
+    return 1;
+  }
+
+  std::printf("=== Figure 7: bref-server open-loop tail latency ===\n");
+  std::printf("# impl=%s shards=%zu workers=%d conns=%d clients=%d "
+              "rate=%llu/s duration=%dms keyrange=%lld zipf=%.2f\n",
+              sopt.impl.c_str(), sopt.shards, sopt.workers, cfg.conns,
+              cfg.clients, static_cast<unsigned long long>(cfg.rate),
+              cfg.duration_ms, static_cast<long long>(cfg.key_range),
+              cfg.zipf_theta);
+  std::printf("%8s %10s %10s %9s %9s %9s %9s %6s\n", "mix", "offered/s",
+              "achieved/s", "p50us", "p99us", "p999us", "maxus", "err");
+
+  for (const Scenario& sc : scenarios) {
+    cfg.mix = sc;
+    net::Server server(sopt);  // fresh server per scenario: clean stats
+    server.start();
+    cfg.port = server.port();
+    prefill_wire(cfg.port, cfg.key_range);
+
+    const uint64_t end_ns =
+        static_cast<uint64_t>(cfg.duration_ms) * 1'000'000ull;
+    // t0 is stamped once every thread has connected (barrier completion),
+    // so connect-storm time is not billed to the first scheduled arrivals.
+    Clock::time_point t0{};
+    std::barrier ready(cfg.clients, [&]() noexcept { t0 = now(); });
+    std::vector<DriverResult> results(cfg.clients);
+    std::vector<std::thread> threads;
+    const int per = cfg.conns / cfg.clients;
+    const int extra = cfg.conns % cfg.clients;
+    for (int i = 0; i < cfg.clients; ++i) {
+      const int nconns = per + (i < extra ? 1 : 0);
+      threads.emplace_back([&, i, nconns] {
+        results[i] = drive(cfg, i, nconns, ready, t0, end_ns);
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double elapsed = elapsed_s(t0);
+
+    DriverResult total;
+    for (auto& r : results) {
+      total.latencies_ns.insert(total.latencies_ns.end(),
+                                r.latencies_ns.begin(), r.latencies_ns.end());
+      total.frames += r.frames;
+      total.errors += r.errors;
+      total.stragglers += r.stragglers;
+    }
+    Measured m;
+    m.ops = total.latencies_ns.size();
+    m.mops = static_cast<double>(m.ops) / elapsed / 1e6;
+    m.set_latencies(total.latencies_ns);
+
+    const std::string server_stats = server.stats_json();
+    server.stop();
+
+    char mix_str[48];
+    std::snprintf(mix_str, sizeof mix_str, "%s-%d-%d-%d-%d", sc.name,
+                  sc.u_pct, sc.c_pct, sc.rq_pct, sc.txn_pct);
+    std::printf("%8s %10llu %10.0f %9.1f %9.1f %9.1f %9.1f %6llu\n", sc.name,
+                static_cast<unsigned long long>(cfg.rate), m.mops * 1e6,
+                m.p50_us, m.p99_us, m.p999_us, m.max_us,
+                static_cast<unsigned long long>(total.errors +
+                                                total.stragglers));
+    char extra_buf[256];
+    std::snprintf(
+        extra_buf, sizeof extra_buf,
+        "\"conns\": %d, \"clients\": %d, \"offered_rate\": %llu, "
+        "\"achieved_rate\": %.0f, \"frames\": %llu, \"errors\": %llu, "
+        "\"stragglers\": %llu, \"server\": ",
+        cfg.conns, cfg.clients, static_cast<unsigned long long>(cfg.rate),
+        m.mops * 1e6, static_cast<unsigned long long>(total.frames),
+        static_cast<unsigned long long>(total.errors),
+        static_cast<unsigned long long>(total.stragglers));
+    JsonSink::instance().record(sopt.impl, mix_str, cfg.conns, m,
+                                extra_buf + server_stats);
+    if (total.errors > 0) {
+      std::fprintf(stderr, "fig7_server: %llu connection errors\n",
+                   static_cast<unsigned long long>(total.errors));
+      JsonSink::instance().flush();
+      return 1;
+    }
+  }
+  std::printf("shape-check: achieved should track offered while p99 stays "
+              "low; past saturation the open-loop tail grows without "
+              "dragging the offered rate down.\n");
+  JsonSink::instance().flush();
+  return 0;
+}

@@ -8,6 +8,7 @@
 // binary accepts flags (--threads, --keyrange, --duration, --runs, ...) to
 // reproduce the paper's full-scale configuration.
 
+#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <cstdint>
@@ -137,6 +138,29 @@ struct Measured {
   double allocs_per_op = 0;
   uint64_t limbo_checked = 0;
   EntryPoolStats pool;
+  // Latency percentiles (microseconds), filled by the benches that measure
+  // per-op latency (fig7_server's open-loop driver, rq_latency's probe).
+  // has_latency gates the fields' presence in the --json record so the
+  // closed-loop benches' records keep their historical shape.
+  bool has_latency = false;
+  double p50_us = 0, p99_us = 0, p999_us = 0, max_us = 0;
+
+  /// Fill the latency fields from a sorted-or-not sample of nanosecond
+  /// latencies (sorts in place).
+  void set_latencies(std::vector<uint64_t>& ns) {
+    if (ns.empty()) return;
+    std::sort(ns.begin(), ns.end());
+    auto at = [&](double q) {
+      return static_cast<double>(
+                 ns[static_cast<size_t>(q * (ns.size() - 1))]) /
+             1000.0;
+    };
+    has_latency = true;
+    p50_us = at(0.50);
+    p99_us = at(0.99);
+    p999_us = at(0.999);
+    max_us = static_cast<double>(ns.back()) / 1000.0;
+  }
 };
 
 /// Build + prefill + run `runs` trials. `trial` runs one timed trial on a
@@ -321,18 +345,27 @@ class JsonSink {
     std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
+      // Latency percentiles only for benches that measured them (open-loop
+      // server traffic, the rq_latency probe); closed-loop records keep
+      // their historical shape.
+      char lat[160] = "";
+      if (r.m.has_latency)
+        std::snprintf(lat, sizeof lat,
+                      ", \"p50_us\": %.1f, \"p99_us\": %.1f, "
+                      "\"p999_us\": %.1f, \"max_us\": %.1f",
+                      r.m.p50_us, r.m.p99_us, r.m.p999_us, r.m.max_us);
       std::fprintf(
           f,
           "    {\"impl\": \"%s\", \"mix\": \"%s\", \"threads\": %d, "
           "\"mops\": %.6f, \"ops\": %llu, \"allocs_per_op\": %.8f, "
           "\"pool_hits\": %llu, \"pool_misses\": %llu, "
-          "\"pool_recycled\": %llu, \"limbo_checked\": %llu%s%s}%s\n",
+          "\"pool_recycled\": %llu, \"limbo_checked\": %llu%s%s%s}%s\n",
           r.impl.c_str(), r.mix.c_str(), r.threads, r.m.mops,
           static_cast<unsigned long long>(r.m.ops), r.m.allocs_per_op,
           static_cast<unsigned long long>(r.m.pool.hits),
           static_cast<unsigned long long>(r.m.pool.misses),
           static_cast<unsigned long long>(r.m.pool.recycled),
-          static_cast<unsigned long long>(r.m.limbo_checked),
+          static_cast<unsigned long long>(r.m.limbo_checked), lat,
           r.extra.empty() ? "" : ", ", r.extra.c_str(),
           i + 1 < records_.size() ? "," : "");
     }

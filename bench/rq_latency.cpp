@@ -30,6 +30,11 @@ struct LatencyStats {
   size_t queries;
 };
 
+struct ProbeRun {
+  std::vector<uint64_t> lat_ns;  // per-query latencies, probe thread only
+  double elapsed_s = 0;
+};
+
 LatencyStats percentile_stats(std::vector<uint64_t>& ns) {
   std::sort(ns.begin(), ns.end());
   auto at = [&](double q) {
@@ -42,8 +47,8 @@ LatencyStats percentile_stats(std::vector<uint64_t>& ns) {
           ns.size()};
 }
 
-LatencyStats run_one(const std::string& impl, int churn_threads,
-                     const Config& cfg) {
+ProbeRun run_one(const std::string& impl, int churn_threads,
+                 const Config& cfg) {
   Set ds = Set::create(impl);
   // Dense ids come from the per-OS-thread SessionPool cache (the
   // application id discipline) rather than hand-pinned slots — the last
@@ -100,11 +105,13 @@ LatencyStats run_one(const std::string& impl, int churn_threads,
     }
   });
   start.arrive_and_wait();
+  const auto t0 = now();
   std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
   stop.store(true, std::memory_order_relaxed);
   prober.join();
+  const double elapsed = elapsed_s(t0);
   for (auto& t : churn) t.join();
-  return percentile_stats(lat_ns);
+  return {std::move(lat_ns), elapsed};
 }
 
 }  // namespace
@@ -116,16 +123,28 @@ int main(int argc, char** argv) {
   if (!args.has("--keyrange")) cfg.key_range = 20000;
   const int churn_threads =
       static_cast<int>(args.get_long("--churn-threads", 2));
+  json_init(args, "rq_latency", cfg);
   print_header("range-query latency under churn", cfg);
   std::printf("# 1 probe thread, %d churn threads (50/50 insert-remove), "
               "rqsize=%d\n\n", churn_threads, cfg.rq_size);
   std::printf("%-24s %10s %10s %10s %10s %10s\n", "impl", "p50(us)",
               "p90(us)", "p99(us)", "max(us)", "queries");
+  char mix_str[32];
+  std::snprintf(mix_str, sizeof mix_str, "rq-probe+%dchurn", churn_threads);
   for (const auto& impl : any_set_names()) {
-    const LatencyStats s = run_one(impl, churn_threads, cfg);
+    ProbeRun run = run_one(impl, churn_threads, cfg);
+    const LatencyStats s = percentile_stats(run.lat_ns);
     std::printf("%-24s %10.1f %10.1f %10.1f %10.1f %10zu\n", impl.c_str(),
                 s.p50_us, s.p90_us, s.p99_us, s.max_us, s.queries);
+    Measured m;
+    m.ops = run.lat_ns.size();
+    m.mops = run.elapsed_s > 0
+                 ? static_cast<double>(m.ops) / run.elapsed_s / 1e6
+                 : 0.0;
+    m.set_latencies(run.lat_ns);  // p50/p99/p999/max into the record
+    JsonSink::instance().record(impl, mix_str, churn_threads + 1, m);
   }
+  JsonSink::instance().flush();
   std::printf("\nshape-check: Bundle p99 should sit well below EBR-RQ(-LF), "
               "whose queries re-scan announce arrays and limbo lists. RLU "
               "reads are near-Unsafe *here* because RLU shifts its cost to "

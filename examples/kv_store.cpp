@@ -1,33 +1,37 @@
 // kv_store: a miniature RocksDB-style key-value store with PUT / GET /
-// DELETE / SCAN built on the bref::Set facade (default: the bundled skip
-// list) — the motivating use case in the paper's introduction (key-value
-// stores enriching PUT/GET APIs with range queries). Each store operation
-// runs inside an RAII ThreadSession; SCAN returns the keys of one
-// RangeSnapshot, i.e. one point in logical time.
+// DELETE / SCAN — the motivating use case in the paper's introduction
+// (key-value stores enriching PUT/GET APIs with range queries) — now
+// served OVER THE WIRE: the index lives behind a bref-server (src/net/)
+// and every store operation is a bref::net::Client call against it. SCAN
+// is one RANGE request, whose reply carries the server-side snapshot and
+// the logical timestamp it linearized at: one point in time, even while
+// writers on other connections are active.
 //
 // The store maps string keys to string values: keys are interned to dense
-// int64 ids through an ordered dictionary (so SCANs follow lexicographic
-// key order for the demo's zero-padded keys), values live in a concurrent
-// log. A writer pool ingests while readers run consistent prefix scans.
+// int64 ids through fixed-width decimal encoding (so SCANs follow
+// lexicographic key order), values live in a client-side append-only log —
+// the server's int64 value is the log slot. A writer thread ingests while
+// the main thread runs consistent prefix scans.
 //
 //   build/examples/kv_store
 
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
-#include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "api/set.h"
+#include "net/client.h"
+#include "net/server.h"
 
 namespace {
 
 using namespace bref;
 
-/// Append-only value log; values referenced by index from the index layer.
+/// Append-only value log; values referenced by index from the server.
 class ValueLog {
  public:
   int64_t append(std::string v) {
@@ -51,37 +55,41 @@ int64_t encode_key(const std::string& k) { return std::stoll(k); }
 
 class MiniKv {
  public:
-  MiniKv() : index_(Set::create("Bundle-skiplist")) {}
+  explicit MiniKv(uint16_t port) : port_(port) {}
 
   void put(const std::string& key, std::string value) {
-    auto s = session();
+    net::Client& c = client();
     const int64_t id = log_.append(std::move(value));
     const int64_t k = encode_key(key);
-    if (!s.insert(k, id)) {
-      // Upsert: replace by delete+insert (values are immutable log slots).
-      s.remove(k);
-      s.insert(k, id);
+    if (!c.insert(k, id)) {
+      // Upsert: replace by delete+insert (values are immutable log slots),
+      // batched into one wire transaction so the pair is one round trip
+      // of frames executed back-to-back on the server's worker.
+      c.txn_begin();
+      c.txn_remove(k);
+      c.txn_insert(k, id);
+      c.txn_commit();
     }
   }
 
   bool get(const std::string& key, std::string* value_out) {
-    auto id = session().get(encode_key(key));
+    const std::optional<ValT> id = client().get(encode_key(key));
     if (!id) return false;
     *value_out = log_.get(*id);
     return true;
   }
 
   bool erase(const std::string& key) {
-    return session().remove(encode_key(key));
+    return client().remove(encode_key(key));
   }
 
-  /// Consistent snapshot of all keys in [lo, hi] — the linearizable range
-  /// query is what makes this SCAN return one point in time even while
-  /// writers are active.
+  /// Consistent snapshot of all keys in [lo, hi]: one RANGE request; the
+  /// reply is the server-side linearizable snapshot, stamped with its
+  /// logical timestamp.
   std::vector<std::pair<std::string, std::string>> scan(
       const std::string& lo, const std::string& hi) {
-    RangeSnapshot snap =
-        session().range_query(encode_key(lo), encode_key(hi));
+    RangeSnapshot snap;
+    client().range(encode_key(lo), encode_key(hi), snap);
     std::vector<std::pair<std::string, std::string>> out;
     out.reserve(snap.size());
     char buf[32];
@@ -93,21 +101,35 @@ class MiniKv {
   }
 
  private:
-  /// Session on the caller's pooled per-thread id: as cheap as the old
-  /// tl_thread_id() pattern (no registry round-trip after a thread's first
-  /// call), but the id is *released* when the thread exits — a store
-  /// serving short-lived connection threads no longer leaks id slots.
-  ThreadSession session() { return pool_.session(); }
+  /// One connection per calling thread (the Client is not thread-safe),
+  /// mirroring the one-session-per-thread discipline of the embedded API.
+  /// Server-side this costs nothing per connection: each worker loop runs
+  /// every one of its connections under a single session.
+  net::Client& client() {
+    static thread_local std::optional<net::Client> conn;
+    if (!conn) conn.emplace(port_);
+    return *conn;
+  }
 
-  Set index_;
-  SessionPool pool_{index_};
+  uint16_t port_;
   ValueLog log_;
 };
 
 }  // namespace
 
 int main() {
-  MiniKv kv;
+  // The store's index server: bundled skip list, range-sharded 4 ways,
+  // background maintenance on. An ephemeral loopback port keeps the demo
+  // self-contained; a real deployment sets opt.port.
+  net::ServerOptions opt;
+  opt.impl = "Bundle-skiplist";
+  opt.shards = 4;
+  opt.workers = 2;
+  net::Server server(opt);
+  server.start();
+  std::printf("bref-server on 127.0.0.1:%u\n", server.port());
+
+  MiniKv kv(server.port());
   char key[32];
 
   // Seed some user records.
@@ -119,7 +141,7 @@ int main() {
   kv.get("00000100", &v);
   std::printf("GET 00000100 -> %s\n", v.c_str());
 
-  // Concurrent ingest + scans.
+  // Concurrent ingest (its own connection) + scans.
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     char k[32];
@@ -145,5 +167,6 @@ int main() {
   auto rows = kv.scan("00000990", "00001010");
   for (const auto& [k, val] : rows)
     std::printf("  %s = %s\n", k.c_str(), val.c_str());
+  server.stop();
   return 0;
 }

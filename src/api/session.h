@@ -72,6 +72,48 @@ class SessionId {
 
 }  // namespace detail
 
+/// Explicit acquire/release guard over a dense thread id, for components
+/// that must degrade gracefully when the id space is exhausted instead of
+/// unwinding (ThreadRegistry::acquire throws ThreadSlotsExhaustedError).
+/// The network server acquires one guard per worker loop at startup and
+/// multiplexes every connection pinned to that worker over it — client
+/// connections never consume id slots, so accepting the 65th (or 6500th)
+/// connection cannot exhaust the registry.
+///
+///   SessionGuard g;
+///   if (!g.acquired()) { /* report, shed load, retry later */ }
+///   else               { set.insert(g.tid(), k, v); ... }
+class SessionGuard {
+ public:
+  SessionGuard() : tid_(ThreadRegistry::instance().try_acquire()) {}
+  ~SessionGuard() { reset(); }
+
+  SessionGuard(SessionGuard&& o) noexcept : tid_(std::exchange(o.tid_, -1)) {}
+  SessionGuard& operator=(SessionGuard&& o) noexcept {
+    if (this != &o) {
+      reset();
+      tid_ = std::exchange(o.tid_, -1);
+    }
+    return *this;
+  }
+  SessionGuard(const SessionGuard&) = delete;
+  SessionGuard& operator=(const SessionGuard&) = delete;
+
+  /// False when the registry was exhausted at construction.
+  bool acquired() const noexcept { return tid_ >= 0; }
+  explicit operator bool() const noexcept { return acquired(); }
+  int tid() const noexcept { return tid_; }
+
+  /// Release the id early (idempotent).
+  void reset() noexcept {
+    if (tid_ >= 0) ThreadRegistry::instance().release(tid_);
+    tid_ = -1;
+  }
+
+ private:
+  int tid_ = -1;
+};
+
 /// Session over the type-erased interface; obtained from bref::Set.
 class ThreadSession {
  public:
@@ -193,7 +235,9 @@ class SessionPool {
   ThreadSession session() { return ThreadSession(*set_, thread_tid()); }
 
   /// The calling thread's cached dense id (acquiring it if needed) —
-  /// for callers that also drive explicit-tid surfaces.
+  /// for callers that also drive explicit-tid surfaces. Throws
+  /// ThreadSlotsExhaustedError on a fresh thread when the id space is
+  /// exhausted; callers that must not unwind hold a SessionGuard instead.
   static int thread_tid() {
     TlsSlot& s = slot();
     if (s.tid < 0) s.tid = ThreadRegistry::instance().acquire();

@@ -1,0 +1,284 @@
+#pragma once
+// bref::net::Client — the client library for the bref wire protocol
+// (protocol.h / PROTOCOL.md): a blocking TCP connection with a synchronous
+// per-op surface and an explicit pipelined mode.
+//
+// Synchronous (one round trip per call):
+//
+//   net::Client c("127.0.0.1", port);
+//   c.insert(10, 100);
+//   std::optional<ValT> v = c.get(10);
+//   RangeSnapshot snap;
+//   c.range(5, 50, snap);          // snap.timestamp() = server-side stamp
+//
+// Pipelined (one write, one read wave for a whole batch — the shape the
+// server's epoll-batched execution is built for):
+//
+//   net::Pipeline p(c);
+//   for (KeyT k : keys) p.get(k);
+//   std::vector<net::Reply> rs = p.collect();   // in request order
+//
+// Transactions mirror the wire ops: txn_begin()/txn_op()s/txn_commit()
+// (per-op results) or txn_abort(). One client = one connection = one
+// in-flight user; the class is not thread-safe (use one Client per
+// thread, like sessions).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/range_snapshot.h"
+#include "api/types.h"
+#include "net/protocol.h"
+
+namespace bref::net {
+
+/// Thrown on connection failure, unexpected EOF, or a reply that does not
+/// parse — conditions where the byte stream is no longer trustworthy.
+class ClientError : public std::runtime_error {
+ public:
+  explicit ClientError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Client {
+ public:
+  /// Connect to host:port (blocking). Throws ClientError on failure.
+  Client(const std::string& host, uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw ClientError("socket: " + errno_str());
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd_);
+      throw ClientError("bad address: " + host);
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      const std::string e = errno_str();
+      ::close(fd_);
+      throw ClientError("connect " + host + ":" + std::to_string(port) +
+                        ": " + e);
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  /// Loopback convenience.
+  explicit Client(uint16_t port) : Client("127.0.0.1", port) {}
+
+  ~Client() { close(); }
+  Client(Client&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Client& operator=(Client&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  int fd() const noexcept { return fd_; }
+
+  // -- synchronous surface (mirrors ThreadSession) -------------------------
+  bool insert(KeyT key, ValT val) {
+    buf_.clear();
+    encode_insert(buf_, key, val);
+    return call(Op::kInsert).status == Status::kOk;
+  }
+  bool remove(KeyT key) {
+    buf_.clear();
+    encode_remove(buf_, key);
+    return call(Op::kRemove).status == Status::kOk;
+  }
+  std::optional<ValT> get(KeyT key) {
+    buf_.clear();
+    encode_get(buf_, key);
+    const Reply r = call(Op::kGet);
+    if (r.status != Status::kOk) return std::nullopt;
+    return r.val;
+  }
+  /// Fill `out` with the server-side snapshot of [lo, hi], including the
+  /// timestamp it linearized at (kNoTimestamp when the backing
+  /// implementation reports none) — the same contract as
+  /// ThreadSession::range_query, over the wire.
+  size_t range(KeyT lo, KeyT hi, RangeSnapshot& out) {
+    buf_.clear();
+    encode_range(buf_, lo, hi);
+    Reply r = call(Op::kRange);
+    if (r.status != Status::kOk)
+      throw ClientError(std::string("range: ") + to_string(r.status));
+    out.reset(lo, hi) = std::move(r.items);
+    out.set_timestamp(r.ts);
+    return out.size();
+  }
+  bool ping() {
+    buf_.clear();
+    encode_ping(buf_);
+    return call(Op::kPing).status == Status::kOk;
+  }
+  /// The server's stats document (JSON text; see Server::stats_json).
+  std::string stats() {
+    buf_.clear();
+    encode_stats(buf_);
+    return call(Op::kStats).text;
+  }
+
+  // -- transactions --------------------------------------------------------
+  bool txn_begin() {
+    buf_.clear();
+    encode_txn_begin(buf_);
+    return call(Op::kTxnBegin).status == Status::kOk;
+  }
+  bool txn_insert(KeyT key, ValT val) {
+    buf_.clear();
+    encode_txn_op(buf_, Op::kInsert, key, val);
+    return call(Op::kTxnOp).status == Status::kOk;
+  }
+  bool txn_remove(KeyT key) {
+    buf_.clear();
+    encode_txn_op(buf_, Op::kRemove, key);
+    return call(Op::kTxnOp).status == Status::kOk;
+  }
+  bool txn_get(KeyT key) {
+    buf_.clear();
+    encode_txn_op(buf_, Op::kGet, key);
+    return call(Op::kTxnOp).status == Status::kOk;
+  }
+  /// Commit; per-op outcomes in buffer order (empty on state error).
+  std::vector<TxnOpResult> txn_commit() {
+    buf_.clear();
+    encode_txn_commit(buf_);
+    return call(Op::kTxnCommit).txn;
+  }
+  bool txn_abort() {
+    buf_.clear();
+    encode_txn_abort(buf_);
+    return call(Op::kTxnAbort).status == Status::kOk;
+  }
+
+  // -- raw building blocks (Pipeline and the bench driver use these) -------
+  /// Write `n` bytes, looping over short writes. Throws on error.
+  void write_all(const uint8_t* p, size_t n) {
+    while (n > 0) {
+      const ssize_t r = ::send(fd_, p, n, MSG_NOSIGNAL);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw ClientError("send: " + errno_str());
+      }
+      p += static_cast<size_t>(r);
+      n -= static_cast<size_t>(r);
+    }
+  }
+
+  /// Read exactly one response frame into `frame_buf` (cleared first) and
+  /// decode it for request kind `req`. Throws on EOF / malformed reply.
+  Reply read_reply(Op req) {
+    frame_.resize(kLenBytes);
+    read_exact(frame_.data(), kLenBytes);
+    const uint32_t len = get_u32(frame_.data());
+    if (len == 0) throw ClientError("zero-length reply frame");
+    frame_.resize(kLenBytes + len);
+    read_exact(frame_.data() + kLenBytes, len);
+    FrameView f;
+    f.tag = frame_[kLenBytes];
+    f.body = frame_.data() + kLenBytes + 1;
+    f.body_len = len - 1;
+    Reply r;
+    if (!decode_reply(req, f, &r))
+      throw ClientError("reply payload does not match request kind");
+    return r;
+  }
+
+ private:
+  Reply call(Op req) {
+    write_all(buf_.data(), buf_.size());
+    return read_reply(req);
+  }
+
+  void read_exact(uint8_t* p, size_t n) {
+    while (n > 0) {
+      const ssize_t r = ::recv(fd_, p, n, 0);
+      if (r == 0) throw ClientError("server closed the connection");
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw ClientError("recv: " + errno_str());
+      }
+      p += static_cast<size_t>(r);
+      n -= static_cast<size_t>(r);
+    }
+  }
+
+  static std::string errno_str() { return std::strerror(errno); }
+
+  int fd_ = -1;
+  std::vector<uint8_t> buf_;    // request scratch
+  std::vector<uint8_t> frame_;  // response scratch
+};
+
+/// Pipelined batch over a Client: queue any number of requests, flush()
+/// them in one write, collect() the replies in request order. The server
+/// executes the whole batch in one epoll wave and answers with one writev.
+class Pipeline {
+ public:
+  explicit Pipeline(Client& c) : c_(&c) {}
+
+  void get(KeyT key) {
+    encode_get(buf_, key);
+    ops_.push_back(Op::kGet);
+  }
+  void insert(KeyT key, ValT val) {
+    encode_insert(buf_, key, val);
+    ops_.push_back(Op::kInsert);
+  }
+  void remove(KeyT key) {
+    encode_remove(buf_, key);
+    ops_.push_back(Op::kRemove);
+  }
+  void range(KeyT lo, KeyT hi) {
+    encode_range(buf_, lo, hi);
+    ops_.push_back(Op::kRange);
+  }
+  void ping() {
+    encode_ping(buf_);
+    ops_.push_back(Op::kPing);
+  }
+
+  size_t queued() const noexcept { return ops_.size(); }
+
+  /// Send every queued request in one write (does not read).
+  void flush() {
+    c_->write_all(buf_.data(), buf_.size());
+    buf_.clear();
+  }
+
+  /// flush() if needed, then read every outstanding reply, in order.
+  std::vector<Reply> collect() {
+    if (!buf_.empty()) flush();
+    std::vector<Reply> out;
+    out.reserve(ops_.size());
+    for (Op op : ops_) out.push_back(c_->read_reply(op));
+    ops_.clear();
+    return out;
+  }
+
+ private:
+  Client* c_;
+  std::vector<uint8_t> buf_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace bref::net

@@ -1,0 +1,712 @@
+#pragma once
+// bref::net::Server — the epoll-batched network front-end over
+// ShardedSet / the registry's ordered sets.
+//
+// Architecture (one acceptor + N worker loops):
+//
+//   * The acceptor thread owns the listening socket; each accepted
+//     connection is handed to a worker round-robin and stays pinned to it
+//     for life (no cross-worker migration, so per-connection state needs
+//     no locks).
+//   * Each worker runs an edge-triggered epoll loop over its connections.
+//     One epoll wave drains EVERYTHING readable: for each ready
+//     connection the worker reads to EAGAIN, parses every complete frame,
+//     executes the whole batch against the set, then flushes the
+//     responses with one writev per connection (pending bytes from an
+//     earlier short write + this wave's responses = two iovecs).
+//     Pipelined clients therefore amortize both syscalls and the
+//     session's cache warmth over the whole batch.
+//   * Sessions: each worker holds ONE dense thread id (SessionGuard) for
+//     its whole lifetime and executes every pinned connection's ops under
+//     it. Connections never consume ThreadRegistry slots — the
+//     connection:session mapping is many:1 by construction, so accepting
+//     more connections than kMaxThreads is fine.
+//   * Transactions: TXN_BEGIN/TXN_OP buffer ops per connection;
+//     TXN_COMMIT executes the batch back-to-back under the worker's
+//     session (mirroring MiniDB's db::Txn: one id over the batch, effects
+//     applied eagerly, abort = discard the buffer). Ops of one
+//     transaction are never interleaved with other ops *on this worker*,
+//     but there is no cross-worker isolation — documented in PROTOCOL.md.
+//
+// Lifecycle: construct -> start() -> stop() (idempotent; the destructor
+// stops). start() spawns the MaintenanceService for the backing set;
+// stop() closes the listener, lets every worker execute what it already
+// buffered and flush pending writes, closes all connections, joins the
+// loops, and stops maintenance — under ASan this is fd- and session-leak
+// free (test_net asserts the ThreadRegistry high-water mark returns to
+// baseline).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/builtin_impls.h"
+#include "api/registry.h"
+#include "api/session.h"
+#include "api/set_interface.h"
+#include "common/cacheline.h"
+#include "net/protocol.h"
+#include "shard/builtin_shards.h"
+#include "shard/maintenance.h"
+#include "shard/sharded_set.h"
+
+namespace bref::net {
+
+struct ServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Worker event loops; each holds one session for all its connections.
+  int workers = 2;
+  /// Registry name of the backing implementation.
+  std::string impl = "Bundle-skiplist";
+  /// Shard the keyspace over this many instances (<= 1 = unsharded).
+  size_t shards = 4;
+  /// Partition bounds when sharding (ShardOptions semantics).
+  KeyT key_lo = 0;
+  KeyT key_hi = 1 << 20;
+  /// Reject request frames declaring more than this many payload bytes.
+  uint32_t max_frame = kDefaultMaxFrame;
+  /// Buffered ops per transaction before TXN_OP answers kErrTxnState.
+  size_t max_txn_ops = 1024;
+  /// Run the per-shard MaintenanceService while the server is up.
+  bool maintenance = true;
+  MaintenanceOptions maint{};
+  int backlog = 128;
+};
+
+/// Monotonic server-wide counters (relaxed; exact once quiescent).
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t closed = 0;
+  uint64_t frames = 0;          // requests executed
+  uint64_t batches = 0;         // epoll waves that executed >= 1 frame
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t protocol_errors = 0; // error responses sent
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt = {}) : opt_(std::move(opt)) {
+    ImplDescriptor desc;
+    if (!ImplRegistry::instance().find(opt_.impl, &desc))
+      throw std::invalid_argument("unknown ordered-set implementation: " +
+                                  opt_.impl);
+    const SetOptions inner{.reclaim = desc.caps.reclamation};
+    if (opt_.shards > 1) {
+      ShardOptions so;
+      so.shards = opt_.shards;
+      so.key_lo = opt_.key_lo;
+      so.key_hi = opt_.key_hi;
+      so.inner = inner;
+      sharded_ = std::make_unique<ShardedSet>(opt_.impl, so);
+      set_ = sharded_.get();
+    } else {
+      plain_ = ImplRegistry::instance().create(opt_.impl, inner);
+      set_ = plain_.get();
+    }
+    if (opt_.maintenance)
+      maint_ = std::make_unique<MaintenanceService>(*set_, opt_.maint);
+  }
+
+  ~Server() { stop(); }
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, spawn acceptor + workers (+ maintenance). Throws on
+  /// socket errors or session exhaustion; safe to call once per stop().
+  void start() {
+    std::lock_guard<std::mutex> g(lifecycle_mu_);
+    if (running_) return;
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opt_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0 ||
+        ::listen(listen_fd_, opt_.backlog) < 0) {
+      const int e = errno;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error(std::string("bind/listen: ") +
+                               std::strerror(e));
+    }
+    socklen_t alen = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+    port_ = ntohs(addr.sin_port);
+
+    stop_.store(false, std::memory_order_relaxed);
+    workers_.clear();
+    // Every step that can throw — worker session ids, epoll fds, the
+    // maintenance service's registry ids — runs BEFORE any thread spawns,
+    // so a failed start() unwinds to a fully stopped server (no half-live
+    // acceptor to join, no leaked fds or ids) and can be retried.
+    try {
+      const int nworkers = opt_.workers < 1 ? 1 : opt_.workers;
+      for (int i = 0; i < nworkers; ++i) {
+        auto w = std::make_unique<Worker>();
+        // Acquire the worker's session up front, on this thread, so
+        // start() can fail with a clear error instead of a dead loop: the
+        // guard is just a dense id, valid from any thread that uses it
+        // exclusively, and this worker's loop is its only user.
+        if (!w->session.acquired()) throw ThreadSlotsExhaustedError();
+        w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+        w->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+        if (w->epoll_fd < 0 || w->wake_fd < 0) throw_errno("epoll/eventfd");
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = w->wake_fd;
+        ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->wake_fd, &ev);
+        workers_.push_back(std::move(w));
+      }
+      if (maint_) maint_->start();
+    } catch (...) {
+      workers_.clear();  // releases acquired guards, closes epoll/wake fds
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw;
+    }
+    for (auto& w : workers_) {
+      Worker* wp = w.get();
+      wp->thread = std::thread([this, wp] { worker_loop(*wp); });
+    }
+    acceptor_ = std::thread([this] { acceptor_loop(); });
+    running_ = true;
+  }
+
+  /// Drain and shut down: stop accepting, execute every already-buffered
+  /// frame, flush pending responses (bounded retry), close all fds, join
+  /// all threads, stop maintenance. Idempotent; restartable.
+  void stop() {
+    std::lock_guard<std::mutex> g(lifecycle_mu_);
+    if (!running_) return;
+    stop_.store(true, std::memory_order_release);
+    // Closing the listener wakes the acceptor's epoll_wait with EPOLLHUP
+    // semantics; the eventfd write is belt and braces.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (acceptor_.joinable()) acceptor_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (auto& w : workers_) wake(*w);
+    for (auto& w : workers_)
+      if (w->thread.joinable()) w->thread.join();
+    workers_.clear();  // closes epoll/wake fds, releases session guards
+    if (maint_) maint_->stop();
+    running_ = false;
+  }
+
+  bool running() const {
+    std::lock_guard<std::mutex> g(lifecycle_mu_);
+    return running_;
+  }
+  uint16_t port() const { return port_; }
+  AnyOrderedSet& set() { return *set_; }
+  MaintenanceService* maintenance() { return maint_.get(); }
+
+  /// NOTE on the stats accessors: they read workers_ without the
+  /// lifecycle lock. workers_ is only mutated by start()/stop(), and a
+  /// STATS request is *executed by a worker*, which would deadlock
+  /// against stop() (it joins workers under the lock) if these locked.
+  /// Between start() and stop() the vector is stable; after stop() it is
+  /// empty — both safe to iterate. Counters themselves are relaxed
+  /// atomics, exact once quiescent.
+  ServerStats stats() const {
+    ServerStats s;
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.closed = closed_.load(std::memory_order_relaxed);
+    for (const auto& w : workers_) {
+      s.frames += w->frames.load(std::memory_order_relaxed);
+      s.batches += w->batches.load(std::memory_order_relaxed);
+      s.bytes_in += w->bytes_in.load(std::memory_order_relaxed);
+      s.bytes_out += w->bytes_out.load(std::memory_order_relaxed);
+      s.protocol_errors += w->protocol_errors.load(std::memory_order_relaxed);
+      s.txns_committed += w->txns_committed.load(std::memory_order_relaxed);
+      s.txns_aborted += w->txns_aborted.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  /// Live connection count (approximate under churn).
+  size_t connections() const {
+    size_t n = 0;
+    for (const auto& w : workers_)
+      n += w->nconns.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  /// The STATS response body: server counters, routing counters when
+  /// sharded, per-shard maintenance stats when the service runs.
+  std::string stats_json() const {
+    const ServerStats s = stats();
+    char buf[512];
+    std::string out = "{";
+    std::snprintf(buf, sizeof buf,
+                  "\"impl\": \"%s\", \"shards\": %zu, \"workers\": %zu, "
+                  "\"connections\": %zu, \"accepted\": %llu, "
+                  "\"frames\": %llu, \"batches\": %llu, "
+                  "\"frames_per_batch\": %.2f, \"bytes_in\": %llu, "
+                  "\"bytes_out\": %llu, \"protocol_errors\": %llu, "
+                  "\"txns_committed\": %llu, \"txns_aborted\": %llu",
+                  opt_.impl.c_str(), opt_.shards > 1 ? opt_.shards : 1,
+                  workers_.size(), connections(),
+                  static_cast<unsigned long long>(s.accepted),
+                  static_cast<unsigned long long>(s.frames),
+                  static_cast<unsigned long long>(s.batches),
+                  s.batches ? static_cast<double>(s.frames) / s.batches : 0.0,
+                  static_cast<unsigned long long>(s.bytes_in),
+                  static_cast<unsigned long long>(s.bytes_out),
+                  static_cast<unsigned long long>(s.protocol_errors),
+                  static_cast<unsigned long long>(s.txns_committed),
+                  static_cast<unsigned long long>(s.txns_aborted));
+    out += buf;
+    if (sharded_) {
+      const ShardedSetStats r = sharded_->stats();
+      std::snprintf(buf, sizeof buf,
+                    ", \"routing\": {\"single_shard_rqs\": %llu, "
+                    "\"coordinated_rqs\": %llu, \"fallback_rqs\": %llu, "
+                    "\"timestamps_acquired\": %llu}",
+                    static_cast<unsigned long long>(r.single_shard_rqs),
+                    static_cast<unsigned long long>(r.coordinated_rqs),
+                    static_cast<unsigned long long>(r.fallback_rqs),
+                    static_cast<unsigned long long>(r.timestamps_acquired));
+      out += buf;
+    }
+    if (maint_) {
+      out += ", \"maintenance\": [";
+      for (size_t i = 0; i < maint_->workers(); ++i) {
+        const ShardMaintenanceStats m = maint_->stats(i);
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"passes\": %llu, \"pruned\": %llu, "
+                      "\"flushed\": %llu, \"idle_backoffs\": %llu}",
+                      i > 0 ? ", " : "",
+                      static_cast<unsigned long long>(m.passes),
+                      static_cast<unsigned long long>(m.bundle_entries_pruned),
+                      static_cast<unsigned long long>(m.limbo_flushed),
+                      static_cast<unsigned long long>(m.idle_backoffs));
+        out += buf;
+      }
+      out += "]";
+    }
+    return out + "}";
+  }
+
+ private:
+  // -- per-connection state (owned by exactly one worker) ------------------
+  struct BufferedOp {
+    Op op;
+    KeyT key;
+    ValT val;
+  };
+  struct Conn {
+    explicit Conn(int fd_) : fd(fd_) {}
+    ~Conn() {
+      if (fd >= 0) ::close(fd);
+    }
+    int fd;
+    std::vector<uint8_t> in;       // unparsed request bytes
+    std::vector<uint8_t> pending;  // response bytes a short write left over
+    size_t pending_off = 0;
+    bool epollout = false;         // EPOLLOUT currently armed
+    bool closing = false;          // poisoned stream: close once flushed
+    bool in_txn = false;
+    std::vector<BufferedOp> txn;
+  };
+
+  struct Worker {
+    SessionGuard session;
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    // Handoff queue from the acceptor (the only cross-thread touch).
+    std::mutex inbox_mu;
+    std::vector<int> inbox;
+    std::atomic<size_t> nconns{0};
+    // Written by the loop, read by any STATS caller: relaxed atomics.
+    std::atomic<uint64_t> frames{0}, batches{0}, bytes_in{0}, bytes_out{0};
+    std::atomic<uint64_t> protocol_errors{0}, txns_committed{0},
+        txns_aborted{0};
+
+    ~Worker() {
+      if (epoll_fd >= 0) ::close(epoll_fd);
+      if (wake_fd >= 0) ::close(wake_fd);
+      for (int fd : inbox) ::close(fd);  // accepted but never adopted
+    }
+  };
+
+  [[noreturn]] static void throw_errno(const char* what) {
+    throw std::runtime_error(std::string(what) + ": " +
+                             std::strerror(errno));
+  }
+
+  static void wake(Worker& w) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(w.wake_fd, &one, sizeof one);
+  }
+
+  // -- acceptor ------------------------------------------------------------
+  void acceptor_loop() {
+    size_t next = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+      pollfd p{listen_fd_, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) continue;
+      for (;;) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        Worker& w = *workers_[next++ % workers_.size()];
+        {
+          std::lock_guard<std::mutex> g(w.inbox_mu);
+          w.inbox.push_back(fd);
+        }
+        wake(w);
+      }
+    }
+  }
+
+  // -- worker loop ---------------------------------------------------------
+  void worker_loop(Worker& w) {
+    const int tid = w.session.tid();
+    std::vector<std::unique_ptr<Conn>> conns;  // indexed by fd
+    std::vector<epoll_event> events(256);
+    std::vector<uint8_t> scratch;  // this wave's responses, per connection
+    RangeSnapshot rq_out;
+
+    auto adopt = [&](int fd) {
+      if (static_cast<size_t>(fd) >= conns.size())
+        conns.resize(static_cast<size_t>(fd) + 1);
+      conns[static_cast<size_t>(fd)] = std::make_unique<Conn>(fd);
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+      ev.data.fd = fd;
+      ::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+      w.nconns.fetch_add(1, std::memory_order_relaxed);
+    };
+    auto drop = [&](Conn& c) {
+      ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+      conns[static_cast<size_t>(c.fd)].reset();  // closes the fd
+      w.nconns.fetch_sub(1, std::memory_order_relaxed);
+      closed_.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    for (;;) {
+      const int n = ::epoll_wait(w.epoll_fd, events.data(),
+                                 static_cast<int>(events.size()), 100);
+      const bool stopping = stop_.load(std::memory_order_acquire);
+      // Adopt connections handed over by the acceptor.
+      {
+        std::vector<int> fresh;
+        {
+          std::lock_guard<std::mutex> g(w.inbox_mu);
+          fresh.swap(w.inbox);
+        }
+        for (int fd : fresh) {
+          if (stopping) {
+            ::close(fd);
+            closed_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            adopt(fd);
+          }
+        }
+      }
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == w.wake_fd) {
+          uint64_t drainv;
+          while (::read(w.wake_fd, &drainv, sizeof drainv) > 0) {
+          }
+          continue;
+        }
+        Conn* c = static_cast<size_t>(fd) < conns.size()
+                      ? conns[static_cast<size_t>(fd)].get()
+                      : nullptr;
+        if (c == nullptr) continue;
+        if ((events[i].events & EPOLLOUT) != 0 && !flush(w, *c, nullptr)) {
+          drop(*c);
+          continue;
+        }
+        if ((events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0) {
+          if (!service(w, tid, *c, scratch, rq_out)) drop(*c);
+        }
+      }
+      if (stopping) {
+        // Drain pass: execute whatever each connection already sent,
+        // flush best-effort, then close everything and leave.
+        for (auto& cp : conns) {
+          if (!cp) continue;
+          service(w, tid, *cp, scratch, rq_out);
+          for (int spin = 0; spin < 100 && has_pending(*cp); ++spin) {
+            if (!flush(w, *cp, nullptr)) break;
+            if (has_pending(*cp))
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          closed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        conns.clear();
+        return;
+      }
+    }
+  }
+
+  static bool has_pending(const Conn& c) {
+    return c.pending.size() > c.pending_off;
+  }
+
+  /// Read to EAGAIN, execute every complete frame, flush. False = close.
+  bool service(Worker& w, int tid, Conn& c, std::vector<uint8_t>& scratch,
+               RangeSnapshot& rq_out) {
+    bool peer_closed = false;
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t r = ::read(c.fd, buf, sizeof buf);
+      if (r > 0) {
+        c.in.insert(c.in.end(), buf, buf + r);
+        w.bytes_in.fetch_add(static_cast<uint64_t>(r),
+                              std::memory_order_relaxed);
+        continue;
+      }
+      if (r == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;  // ECONNRESET and friends
+    }
+
+    // Execute the wave's whole batch, building responses in scratch.
+    scratch.clear();
+    size_t off = 0;
+    uint64_t executed = 0;
+    while (!c.closing) {
+      FrameView f;
+      size_t advance = 0;
+      const SplitResult s = split_frame(c.in.data(), c.in.size(), off,
+                                        opt_.max_frame, &f, &advance);
+      if (s == SplitResult::kNeedMore) break;
+      if (s == SplitResult::kOversized || s == SplitResult::kBadLength) {
+        encode_status(scratch, s == SplitResult::kOversized
+                                   ? Status::kErrTooLarge
+                                   : Status::kErrMalformed);
+        w.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        c.closing = true;  // framing lost; close after the flush
+        break;
+      }
+      execute(w, tid, c, f, scratch, rq_out);
+      off += advance;
+      ++executed;
+    }
+    if (off > 0) c.in.erase(c.in.begin(), c.in.begin() + off);
+    if (executed > 0) {
+      w.frames.fetch_add(executed, std::memory_order_relaxed);
+      w.batches.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!flush(w, c, &scratch)) return false;
+    if (c.closing && !has_pending(c)) return false;
+    return !peer_closed;
+  }
+
+  /// Execute one request frame; append the response to `out`.
+  void execute(Worker& w, int tid, Conn& c, const FrameView& f,
+               std::vector<uint8_t>& out, RangeSnapshot& rq_out) {
+    auto err = [&](Status st) {
+      encode_status(out, st);
+      w.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    };
+    switch (f.op()) {
+      case Op::kGet: {
+        if (f.body_len != 8) return err(Status::kErrMalformed);
+        ValT v = 0;
+        if (set_->contains(tid, get_i64(f.body), &v))
+          encode_val_response(out, v);
+        else
+          encode_status(out, Status::kNo);
+        return;
+      }
+      case Op::kInsert: {
+        if (f.body_len != 16) return err(Status::kErrMalformed);
+        encode_status(out, set_->insert(tid, get_i64(f.body),
+                                        get_i64(f.body + 8))
+                               ? Status::kOk
+                               : Status::kNo);
+        return;
+      }
+      case Op::kRemove: {
+        if (f.body_len != 8) return err(Status::kErrMalformed);
+        encode_status(
+            out, set_->remove(tid, get_i64(f.body)) ? Status::kOk
+                                                    : Status::kNo);
+        return;
+      }
+      case Op::kRange: {
+        if (f.body_len != 16) return err(Status::kErrMalformed);
+        set_->range_query(tid, get_i64(f.body), get_i64(f.body + 8), rq_out);
+        encode_range_response(out,
+                              rq_out.has_timestamp()
+                                  ? rq_out.timestamp()
+                                  : RangeSnapshot::kNoTimestamp,
+                              rq_out.items());
+        return;
+      }
+      case Op::kTxnBegin: {
+        if (c.in_txn) return err(Status::kErrTxnState);
+        c.in_txn = true;
+        c.txn.clear();
+        encode_status(out, Status::kOk);
+        return;
+      }
+      case Op::kTxnOp: {
+        if (!c.in_txn) return err(Status::kErrTxnState);
+        if (f.body_len < 9) return err(Status::kErrMalformed);
+        const Op inner = static_cast<Op>(f.body[0]);
+        const size_t want = inner == Op::kInsert ? 17 : 9;
+        if ((inner != Op::kGet && inner != Op::kInsert &&
+             inner != Op::kRemove) ||
+            f.body_len != want)
+          return err(Status::kErrMalformed);
+        if (c.txn.size() >= opt_.max_txn_ops) return err(Status::kErrTxnState);
+        c.txn.push_back({inner, get_i64(f.body + 1),
+                         inner == Op::kInsert ? get_i64(f.body + 9) : 0});
+        encode_status(out, Status::kOk);
+        return;
+      }
+      case Op::kTxnCommit: {
+        if (!c.in_txn) return err(Status::kErrTxnState);
+        // The batch runs back-to-back under this worker's one session —
+        // the wire analogue of db::Txn's "one dense id over every index
+        // the transaction touches".
+        put_u32(out, static_cast<uint32_t>(1 + 4 + 9 * c.txn.size()));
+        out.push_back(static_cast<uint8_t>(Status::kOk));
+        put_u32(out, static_cast<uint32_t>(c.txn.size()));
+        for (const BufferedOp& op : c.txn) {
+          ValT v = 0;
+          bool r = false;
+          switch (op.op) {
+            case Op::kGet: r = set_->contains(tid, op.key, &v); break;
+            case Op::kInsert: r = set_->insert(tid, op.key, op.val); break;
+            case Op::kRemove: r = set_->remove(tid, op.key); break;
+            default: break;
+          }
+          out.push_back(static_cast<uint8_t>(r ? Status::kOk : Status::kNo));
+          put_i64(out, v);
+        }
+        c.in_txn = false;
+        c.txn.clear();
+        w.txns_committed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      case Op::kTxnAbort: {
+        if (!c.in_txn) return err(Status::kErrTxnState);
+        c.in_txn = false;
+        c.txn.clear();
+        w.txns_aborted.fetch_add(1, std::memory_order_relaxed);
+        encode_status(out, Status::kOk);
+        return;
+      }
+      case Op::kPing:
+        encode_status(out, Status::kOk);
+        return;
+      case Op::kStats:
+        encode_text_response(out, stats_json());
+        return;
+    }
+    err(Status::kErrMalformed);  // unknown opcode; framing is intact
+  }
+
+  /// One writev per connection per wave: leftover bytes from an earlier
+  /// short write + this wave's scratch. Remainder (if any) is kept in
+  /// c.pending and EPOLLOUT armed. False = fatal write error.
+  bool flush(Worker& w, Conn& c, std::vector<uint8_t>* scratch) {
+    iovec iov[2];
+    int iovcnt = 0;
+    if (has_pending(c)) {
+      iov[iovcnt].iov_base = c.pending.data() + c.pending_off;
+      iov[iovcnt].iov_len = c.pending.size() - c.pending_off;
+      ++iovcnt;
+    }
+    if (scratch != nullptr && !scratch->empty()) {
+      iov[iovcnt].iov_base = scratch->data();
+      iov[iovcnt].iov_len = scratch->size();
+      ++iovcnt;
+    }
+    size_t scratch_sent = scratch != nullptr ? scratch->size() : 0;
+    if (iovcnt > 0) {
+      const ssize_t sent = ::writev(c.fd, iov, iovcnt);
+      if (sent < 0) {
+        if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+          return false;
+        scratch_sent = 0;
+      } else {
+        w.bytes_out.fetch_add(static_cast<uint64_t>(sent),
+                              std::memory_order_relaxed);
+        size_t s = static_cast<size_t>(sent);
+        const size_t pend = c.pending.size() - c.pending_off;
+        const size_t from_pending = s < pend ? s : pend;
+        c.pending_off += from_pending;
+        s -= from_pending;
+        scratch_sent = s;  // bytes of scratch that made it out
+      }
+    }
+    if (c.pending_off >= c.pending.size()) {
+      c.pending.clear();
+      c.pending_off = 0;
+    }
+    if (scratch != nullptr && scratch_sent < scratch->size())
+      c.pending.insert(c.pending.end(), scratch->begin() + scratch_sent,
+                       scratch->end());
+    const bool want_out = has_pending(c);
+    if (want_out != c.epollout) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP |
+                  (want_out ? EPOLLOUT : 0u);
+      ev.data.fd = c.fd;
+      ::epoll_ctl(w.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+      c.epollout = want_out;
+    }
+    return true;
+  }
+
+  ServerOptions opt_;
+  std::unique_ptr<AnyOrderedSet> plain_;
+  std::unique_ptr<ShardedSet> sharded_;
+  AnyOrderedSet* set_ = nullptr;
+  std::unique_ptr<MaintenanceService> maint_;
+
+  mutable std::mutex lifecycle_mu_;
+  bool running_ = false;
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+};
+
+}  // namespace bref::net

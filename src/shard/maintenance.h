@@ -16,13 +16,17 @@
 // `max_interval` and any productive pass snaps it back — idle shards cost
 // ~zero CPU while hot shards are serviced at the base rate.
 //
-// Worker thread ids: by default each worker takes a dedicated slot from
-// the TOP of the id space (kMaxThreads-1 downward — BundleCleaner's
-// convention, safe next to benchmark drivers that pin dense ids from 0).
-// `pooled_tids` switches to SessionPool-backed per-OS-thread ids from the
-// global ThreadRegistry, the right mode when every other participant also
-// acquires ids (applications, run_pooled tests); do not mix pooled workers
-// with hand-pinned workload ids that could collide.
+// Worker thread ids: by default start() claims a registry-tracked id from
+// the TOP of the id space (ThreadRegistry::try_acquire_high) per worker,
+// released by stop(). High ids stay clear of benchmark drivers that pin
+// dense ids from 0 without consulting the registry, and because the slot
+// is *tracked*, a concurrent try_acquire (sessions, server workers) can
+// never be handed the same id — the untracked kMaxThreads-1-index
+// convention this replaces could collide with recycled session ids.
+// `pooled_tids` switches to SessionPool-backed per-OS-thread ids, the
+// right mode when every other participant also acquires ids
+// (applications, run_pooled tests); do not mix pooled workers with
+// hand-pinned workload ids that could collide.
 //
 // Lifecycle: construct -> start() -> stop() (idempotent, restartable);
 // the destructor stops. stats(i) exposes per-shard counters.
@@ -90,13 +94,27 @@ class MaintenanceService {
   MaintenanceService(const MaintenanceService&) = delete;
   MaintenanceService& operator=(const MaintenanceService&) = delete;
 
+  /// Spawns the workers. In the default (non-pooled) mode every worker's
+  /// registry id is claimed HERE, before any thread starts — callers see
+  /// deterministic ThreadRegistry::in_use() accounting, and exhaustion
+  /// surfaces as ThreadSlotsExhaustedError from start() (nothing spawned,
+  /// already-claimed ids rolled back) instead of a silently dead worker.
   void start() {
     std::lock_guard<std::mutex> g(lifecycle_mu_);
     if (running_) return;
+    if (!opt_.pooled_tids) {
+      for (auto& w : workers_) {
+        w->tid = ThreadRegistry::instance().try_acquire_high();
+        if (w->tid < 0) {
+          release_tids();
+          throw ThreadSlotsExhaustedError();
+        }
+      }
+    }
     stop_.store(false, std::memory_order_relaxed);
-    for (size_t i = 0; i < workers_.size(); ++i) {
-      Worker& w = *workers_[i];
-      w.thread = std::thread([this, &w, i] { run(w, i); });
+    for (auto& worker : workers_) {
+      Worker& w = *worker;
+      w.thread = std::thread([this, &w] { run(w); });
     }
     running_ = true;
   }
@@ -111,6 +129,7 @@ class MaintenanceService {
     cv_.notify_all();
     for (auto& w : workers_)
       if (w->thread.joinable()) w->thread.join();
+    if (!opt_.pooled_tids) release_tids();
     running_ = false;
   }
 
@@ -142,26 +161,27 @@ class MaintenanceService {
     return t;
   }
 
-  /// Worker `i`'s dedicated slot in default (non-pooled) mode. Workload
-  /// threads on the serviced structure must use smaller ids.
-  static constexpr int dedicated_tid(size_t worker) {
-    return kMaxThreads - 1 - static_cast<int>(worker);
-  }
-
  private:
   struct Worker {
     explicit Worker(AnyOrderedSet* t) : target(t) {}
     AnyOrderedSet* target;
     std::thread thread;
+    int tid = -1;  // registry-tracked id (non-pooled mode), set by start()
     CachePadded<std::atomic<uint64_t>> passes{};
     CachePadded<std::atomic<uint64_t>> pruned{};
     CachePadded<std::atomic<uint64_t>> flushed{};
     CachePadded<std::atomic<uint64_t>> idle_backoffs{};
   };
 
-  void run(Worker& w, size_t index) {
-    const int tid =
-        opt_.pooled_tids ? SessionPool::thread_tid() : dedicated_tid(index);
+  void release_tids() noexcept {
+    for (auto& w : workers_) {
+      if (w->tid >= 0) ThreadRegistry::instance().release(w->tid);
+      w->tid = -1;
+    }
+  }
+
+  void run(Worker& w) {
+    const int tid = opt_.pooled_tids ? SessionPool::thread_tid() : w.tid;
     auto interval = opt_.interval;
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
