@@ -20,11 +20,15 @@
 //   fig7_server [--conns 64] [--clients 4] [--rate 40000] [--workers 4]
 //               [--shards 4] [--impl Bundle-skiplist] [--scenario all]
 //               [--duration 1000] [--keyrange 65536] [--zipf 0.99]
-//               [--txnops 4] [--json [path]]
+//               [--txnops 4] [--json [path]] [--metrics-out path]
 //
 // --json records one entry per scenario; "threads" is the connection
-// count, extra carries the offered/achieved rates and the server's own
-// stats document (frames-per-batch shows how well pipelining coalesced).
+// count, extra carries the offered/achieved rates, the mid-run live
+// connection count, the server-side queue/execute/flush p99 attribution
+// (deltas of the bref_net_stage_seconds histograms over the scenario),
+// and the server's own stats document (frames-per-batch shows how well
+// pipelining coalesced). --metrics-out writes the mid-run Prometheus
+// scrape to a file (CI validates it with tools/promcheck).
 
 #include <fcntl.h>
 #include <poll.h>
@@ -108,7 +112,7 @@ struct Conn {
 };
 
 struct DriverResult {
-  std::vector<uint64_t> latencies_ns;
+  obs::HistogramSnapshot latency;  // ns; merged across threads with +=
   uint64_t frames = 0;      // request frames completed
   uint64_t errors = 0;      // connection/protocol failures (expect 0)
   uint64_t stragglers = 0;  // units unanswered at the drain deadline
@@ -227,8 +231,7 @@ void try_read(Conn& c, Clock::time_point t0, DriverResult& res) {
       return;
     }
     ++res.frames;
-    if (inf.sample)
-      res.latencies_ns.push_back(ns_since(t0) - inf.sched_ns);
+    if (inf.sample) res.latency.record(ns_since(t0) - inf.sched_ns);
   }
   if (off > 0) c.in.erase(c.in.begin(), c.in.begin() + off);
 }
@@ -247,9 +250,6 @@ DriverResult drive(const DriverConfig& cfg, int thread_idx, int nconns,
                    Barrier& ready, const Clock::time_point& t0_out,
                    uint64_t end_ns) {
   DriverResult res;
-  res.latencies_ns.reserve(
-      static_cast<size_t>(cfg.rate) * cfg.duration_ms / 1000 / cfg.clients +
-      1024);
   // Per-connection interval so the *total* offered rate is cfg.rate.
   const uint64_t interval_ns =
       1'000'000'000ull * static_cast<uint64_t>(cfg.conns) /
@@ -389,12 +389,21 @@ int main(int argc, char** argv) {
   std::printf("%8s %10s %10s %9s %9s %9s %9s %6s\n", "mix", "offered/s",
               "achieved/s", "p50us", "p99us", "p999us", "maxus", "err");
 
+  const std::string metrics_out = args.get_str("--metrics-out", "");
+  std::string last_metrics;  // latest mid-run Prometheus scrape
+
   for (const Scenario& sc : scenarios) {
     cfg.mix = sc;
     net::Server server(sopt);  // fresh server per scenario: clean stats
     server.start();
     cfg.port = server.port();
     prefill_wire(cfg.port, cfg.key_range);
+
+    // Stage-attribution brackets: the server's queue/execute/flush
+    // histograms are process-global, so delta them across the scenario.
+    const obs::HistogramSnapshot stage_before[3] = {
+        net::stage_hist(0).snapshot(), net::stage_hist(1).snapshot(),
+        net::stage_hist(2).snapshot()};
 
     const uint64_t end_ns =
         static_cast<uint64_t>(cfg.duration_ms) * 1'000'000ull;
@@ -412,21 +421,53 @@ int main(int argc, char** argv) {
         results[i] = drive(cfg, i, nconns, ready, t0, end_ns);
       });
     }
+    // Mid-run monitor: scrape METRICS and STATS over a connection of its
+    // own while every driver connection is live — the regression check
+    // for live-connection visibility (a mid-run "connections": 0 was
+    // exactly the BENCH_6 bug) and the payload --metrics-out archives.
+    std::string midrun_metrics, midrun_stats;
+    std::thread monitor([&] {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(cfg.duration_ms / 2, 1)));
+      try {
+        net::Client mc(cfg.port);
+        midrun_metrics = mc.metrics();
+        midrun_stats = mc.stats();
+      } catch (const net::ClientError&) {
+        // A scrape failure shows up as midrun_connections: -1 below.
+      }
+    });
     for (auto& th : threads) th.join();
+    monitor.join();
     const double elapsed = elapsed_s(t0);
+    if (!midrun_metrics.empty()) last_metrics = midrun_metrics;
+    long midrun_conns = -1;
+    const size_t cpos = midrun_stats.find("\"connections\": ");
+    if (cpos != std::string::npos)
+      midrun_conns = std::atol(midrun_stats.c_str() + cpos + 15);
 
     DriverResult total;
     for (auto& r : results) {
-      total.latencies_ns.insert(total.latencies_ns.end(),
-                                r.latencies_ns.begin(), r.latencies_ns.end());
+      total.latency += r.latency;
       total.frames += r.frames;
       total.errors += r.errors;
       total.stragglers += r.stragglers;
     }
     Measured m;
-    m.ops = total.latencies_ns.size();
+    m.ops = total.latency.count;
     m.mops = static_cast<double>(m.ops) / elapsed / 1e6;
-    m.set_latencies(total.latencies_ns);
+    m.set_latencies(total.latency);
+
+    // Per-stage server-side p99s over this scenario (µs). Their sum is a
+    // lower bound on the end-to-end p99 the driver saw: the wire path is
+    // queue -> execute -> flush, and the client adds schedule + network
+    // delay on top.
+    double stage_p99_us[3];
+    for (int s = 0; s < 3; ++s) {
+      obs::HistogramSnapshot d = net::stage_hist(s).snapshot();
+      d -= stage_before[s];
+      stage_p99_us[s] = d.quantile(0.99) / 1000.0;
+    }
 
     const std::string server_stats = server.stats_json();
     server.stop();
@@ -439,16 +480,19 @@ int main(int argc, char** argv) {
                 m.p50_us, m.p99_us, m.p999_us, m.max_us,
                 static_cast<unsigned long long>(total.errors +
                                                 total.stragglers));
-    char extra_buf[256];
+    char extra_buf[512];
     std::snprintf(
         extra_buf, sizeof extra_buf,
         "\"conns\": %d, \"clients\": %d, \"offered_rate\": %llu, "
         "\"achieved_rate\": %.0f, \"frames\": %llu, \"errors\": %llu, "
-        "\"stragglers\": %llu, \"server\": ",
+        "\"stragglers\": %llu, \"midrun_connections\": %ld, "
+        "\"queue_p99_us\": %.1f, \"execute_p99_us\": %.1f, "
+        "\"flush_p99_us\": %.1f, \"server\": ",
         cfg.conns, cfg.clients, static_cast<unsigned long long>(cfg.rate),
         m.mops * 1e6, static_cast<unsigned long long>(total.frames),
         static_cast<unsigned long long>(total.errors),
-        static_cast<unsigned long long>(total.stragglers));
+        static_cast<unsigned long long>(total.stragglers), midrun_conns,
+        stage_p99_us[0], stage_p99_us[1], stage_p99_us[2]);
     JsonSink::instance().record(sopt.impl, mix_str, cfg.conns, m,
                                 extra_buf + server_stats);
     if (total.errors > 0) {
@@ -458,9 +502,23 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fig7_server: cannot open %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(last_metrics.data(), 1, last_metrics.size(), f);
+    std::fclose(f);
+    std::printf("# metrics: wrote %zu bytes of mid-run exposition to %s\n",
+                last_metrics.size(), metrics_out.c_str());
+  }
   std::printf("shape-check: achieved should track offered while p99 stays "
               "low; past saturation the open-loop tail grows without "
-              "dragging the offered rate down.\n");
+              "dragging the offered rate down. queue/execute/flush p99s in "
+              "the JSON record attribute the server-side share of the "
+              "tail.\n");
   JsonSink::instance().flush();
   return 0;
 }

@@ -26,6 +26,7 @@
 #include "common/random.h"
 #include "common/timing.h"
 #include "core/entry_pool.h"
+#include "obs/metrics.h"
 
 namespace bref::bench {
 
@@ -144,22 +145,23 @@ struct Measured {
   // closed-loop benches' records keep their historical shape.
   bool has_latency = false;
   double p50_us = 0, p99_us = 0, p999_us = 0, max_us = 0;
+  /// The merged distribution behind the percentiles — the same log₂
+  /// histogram type the server's stage metrics use (obs::Histogram
+  /// snapshots merge into it with +=), so bench-side and server-side
+  /// latencies share one quantile implementation and accuracy bound.
+  obs::HistogramSnapshot latency;
 
-  /// Fill the latency fields from a sorted-or-not sample of nanosecond
-  /// latencies (sorts in place).
-  void set_latencies(std::vector<uint64_t>& ns) {
-    if (ns.empty()) return;
-    std::sort(ns.begin(), ns.end());
-    auto at = [&](double q) {
-      return static_cast<double>(
-                 ns[static_cast<size_t>(q * (ns.size() - 1))]) /
-             1000.0;
-    };
+  /// Fill the latency fields from a merged histogram of nanosecond
+  /// samples. Quantiles are bucket-interpolated (DESIGN.md §7); max is
+  /// the upper bound of the highest occupied bucket.
+  void set_latencies(const obs::HistogramSnapshot& ns) {
+    if (ns.count == 0) return;
     has_latency = true;
-    p50_us = at(0.50);
-    p99_us = at(0.99);
-    p999_us = at(0.999);
-    max_us = static_cast<double>(ns.back()) / 1000.0;
+    latency = ns;
+    p50_us = ns.quantile(0.50) / 1000.0;
+    p99_us = ns.quantile(0.99) / 1000.0;
+    p999_us = ns.quantile(0.999) / 1000.0;
+    max_us = ns.quantile(1.0) / 1000.0;
   }
 };
 

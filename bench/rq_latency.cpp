@@ -6,11 +6,12 @@
 // (the paper measures 300-600 extra nodes at high thread counts), an RLU
 // query may wait on writer synchronization, while a bundled query does
 // bounded work — entry walk + one bundle dereference per snapshot node.
-// This bench pins one thread on range queries (recording per-op latency)
-// while the remaining threads run a 50%-update churn, and reports
-// p50/p90/p99/max per implementation via the runtime registry.
+// This bench pins one thread on range queries (recording per-op latency
+// into the shared obs log₂ histogram — the same quantile machinery the
+// server's stage metrics use) while the remaining threads run a
+// 50%-update churn, and reports p50/p90/p99/max per implementation via
+// the runtime registry.
 
-#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <thread>
@@ -19,33 +20,17 @@
 #include "api/any_set.h"
 #include "api/set.h"
 #include "harness.h"
+#include "obs/metrics.h"
 
 namespace {
 
 using namespace bref;
 using namespace bref::bench;
 
-struct LatencyStats {
-  double p50_us, p90_us, p99_us, max_us;
-  size_t queries;
-};
-
 struct ProbeRun {
-  std::vector<uint64_t> lat_ns;  // per-query latencies, probe thread only
+  obs::HistogramSnapshot lat;  // per-query ns latencies, probe thread only
   double elapsed_s = 0;
 };
-
-LatencyStats percentile_stats(std::vector<uint64_t>& ns) {
-  std::sort(ns.begin(), ns.end());
-  auto at = [&](double q) {
-    if (ns.empty()) return 0.0;
-    const size_t i = static_cast<size_t>(q * (ns.size() - 1));
-    return static_cast<double>(ns[i]) / 1000.0;
-  };
-  return {at(0.50), at(0.90), at(0.99),
-          ns.empty() ? 0.0 : static_cast<double>(ns.back()) / 1000.0,
-          ns.size()};
-}
 
 ProbeRun run_one(const std::string& impl, int churn_threads,
                  const Config& cfg) {
@@ -89,8 +74,7 @@ ProbeRun run_one(const std::string& impl, int churn_threads,
       }
     });
   }
-  std::vector<uint64_t> lat_ns;
-  lat_ns.reserve(1 << 16);
+  obs::HistogramSnapshot lat;
   std::thread prober([&] {
     ThreadSession s = pool.session();
     Xoshiro256 rng(1);
@@ -101,7 +85,7 @@ ProbeRun run_one(const std::string& impl, int churn_threads,
       const KeyT lo = 1 + static_cast<KeyT>(rng.next_range(cfg.key_range));
       const auto t0 = now();
       s.range_query(lo, lo + cfg.rq_size - 1, out);
-      lat_ns.push_back(static_cast<uint64_t>(elapsed_s(t0) * 1e9));
+      lat.record(static_cast<uint64_t>(elapsed_s(t0) * 1e9));
     }
   });
   start.arrive_and_wait();
@@ -111,7 +95,7 @@ ProbeRun run_one(const std::string& impl, int churn_threads,
   prober.join();
   const double elapsed = elapsed_s(t0);
   for (auto& t : churn) t.join();
-  return {std::move(lat_ns), elapsed};
+  return {lat, elapsed};
 }
 
 }  // namespace
@@ -133,15 +117,16 @@ int main(int argc, char** argv) {
   std::snprintf(mix_str, sizeof mix_str, "rq-probe+%dchurn", churn_threads);
   for (const auto& impl : any_set_names()) {
     ProbeRun run = run_one(impl, churn_threads, cfg);
-    const LatencyStats s = percentile_stats(run.lat_ns);
-    std::printf("%-24s %10.1f %10.1f %10.1f %10.1f %10zu\n", impl.c_str(),
-                s.p50_us, s.p90_us, s.p99_us, s.max_us, s.queries);
+    std::printf("%-24s %10.1f %10.1f %10.1f %10.1f %10llu\n", impl.c_str(),
+                run.lat.quantile(0.50) / 1000.0, run.lat.quantile(0.90) / 1000.0,
+                run.lat.quantile(0.99) / 1000.0, run.lat.quantile(1.0) / 1000.0,
+                static_cast<unsigned long long>(run.lat.count));
     Measured m;
-    m.ops = run.lat_ns.size();
+    m.ops = run.lat.count;
     m.mops = run.elapsed_s > 0
                  ? static_cast<double>(m.ops) / run.elapsed_s / 1e6
                  : 0.0;
-    m.set_latencies(run.lat_ns);  // p50/p99/p999/max into the record
+    m.set_latencies(run.lat);  // p50/p99/p999/max into the record
     JsonSink::instance().record(impl, mix_str, churn_threads + 1, m);
   }
   JsonSink::instance().flush();

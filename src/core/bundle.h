@@ -43,8 +43,33 @@
 #include "core/global_timestamp.h"
 #include "core/sync_hooks.h"
 #include "epoch/ebr.h"
+#include "obs/metrics.h"
 
 namespace bref {
+
+/// Chain-depth histogram (obs, core layer): how many entries a bundle
+/// dereference walks before finding its timestamp — the runtime view of
+/// the technical report's depth-vs-cost breakdown. One histogram across
+/// all Bundle instantiations (free function, not a template member).
+/// Sampled 1-in-64 so the hot walk pays one thread-local countdown, no
+/// atomic, in the unsampled case.
+inline void obs_sample_bundle_depth(size_t hops) {
+  if constexpr (!obs::kEnabled) return;
+  thread_local uint32_t countdown = 0;
+  if (countdown-- != 0) return;
+  countdown = 63;
+  static obs::Histogram& h = obs::registry().histogram(
+      "bref_bundle_chain_depth",
+      "Entries walked per bundle dereference (sampled 1-in-64)");
+  h.observe(hops);
+}
+
+inline obs::Counter& obs_bundle_pruned_counter() {
+  static obs::Counter& c = obs::registry().counter(
+      "bref_bundle_entries_pruned_total",
+      "Bundle entries retired by reclaim_older (cleaner/maintenance)");
+  return c;
+}
 
 /// One link version: 32 bytes, 32-byte aligned, so `ts` and `next` — the
 /// two fields a dereference touches per hop — always share one cache line
@@ -188,11 +213,15 @@ class Bundle {
     // Relaxed hops: each entry's fields were written before its
     // publication, each publication happens-before the head we
     // acquire-loaded, and coherence forbids reading anything older.
+    size_t hops = 0;
     for (; e != nullptr; e = e->next.load(std::memory_order_relaxed)) {
+      ++hops;
       if (e->ts.load(std::memory_order_relaxed) <= ts) {
+        obs_sample_bundle_depth(hops);
         return {e->ptr, true};
       }
     }
+    obs_sample_bundle_depth(hops);
     return {nullptr, false};
   }
 
@@ -237,6 +266,7 @@ class Bundle {
       stale = next;
       ++n;
     }
+    if (n != 0) obs_bundle_pruned_counter().add(tid, n);
     return n;
   }
 

@@ -60,6 +60,7 @@
 #include "common/cacheline.h"
 #include "common/spinlock.h"
 #include "common/thread_registry.h"
+#include "obs/metrics.h"
 
 #if defined(__SANITIZE_ADDRESS__)
 #define BREF_ENTRY_POOL_ASAN 1
@@ -149,6 +150,35 @@ class EntryPoolRegistry {
   }
 
  private:
+  EntryPoolRegistry() {
+    // Pool-path counters for the obs exposition (core layer). Pools are
+    // never unregistered, so callbacks summing totals() stay valid for
+    // the registry's whole lifetime; the handles unregister them at exit
+    // (MetricsRegistry is leaky, so the order is safe).
+    using obs::MetricKind;
+    auto cb = [](std::string name, std::string help,
+                 uint64_t EntryPoolStats::* field) {
+      return obs::registry().add_callback(
+          MetricKind::kCounter, std::move(name), std::move(help), "",
+          [field] {
+            return static_cast<double>(instance().totals().*field);
+          });
+    };
+    obs_handles_[0] = cb("bref_entry_pool_hits_total",
+                         "Entry acquires served from a per-thread free list",
+                         &EntryPoolStats::hits);
+    obs_handles_[1] = cb("bref_entry_pool_misses_total",
+                         "Entry acquires that touched the allocator",
+                         &EntryPoolStats::misses);
+    obs_handles_[2] = cb("bref_entry_pool_recycled_total",
+                         "Entries returned to a pool inbox after EBR grace",
+                         &EntryPoolStats::recycled);
+    obs_handles_[3] = obs::registry().add_callback(
+        MetricKind::kCounter, "bref_entry_pool_allocs_total",
+        "Heap allocations on the entry path (slabs + bypass)", "",
+        [] { return static_cast<double>(instance().totals().allocs()); });
+  }
+
   struct PoolRef {
     StatsFn stats;
     EnableFn enable;
@@ -156,6 +186,7 @@ class EntryPoolRegistry {
   mutable Spinlock lock_;
   bool default_enabled_ = true;
   std::vector<PoolRef> pools_;
+  obs::MetricsRegistry::Handle obs_handles_[4];
 };
 
 template <typename T>

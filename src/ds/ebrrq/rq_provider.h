@@ -69,10 +69,28 @@
 #include "common/spinlock.h"
 #include "common/thread_registry.h"
 #include "epoch/ebr.h"
+#include "obs/metrics.h"
 
 namespace bref {
 
 enum class EbrRqMode { kLock, kLockFree };
+
+/// Cross-instance obs gauges (ds layer): every live provider registers a
+/// source. Free functions, not template members, so all NodeT
+/// instantiations share one exposition series.
+inline obs::GaugeSet& ebrrq_limbo_gauge() {
+  static auto* g = new obs::GaugeSet(
+      obs::GaugeSet::Agg::kSum, "bref_ebrrq_limbo_nodes",
+      "Nodes parked in EBR-RQ limbo lists (sum over live providers)");
+  return *g;
+}
+inline obs::GaugeSet& ebrrq_limbo_checked_counter() {
+  static auto* g = new obs::GaugeSet(
+      obs::GaugeSet::Agg::kSum, "bref_ebrrq_limbo_nodes_checked_total",
+      "Limbo nodes scanned by range queries (sum over live providers)", "",
+      obs::MetricKind::kCounter);
+  return *g;
+}
 
 template <typename NodeT, typename K, typename V>
 class EbrRqProvider {
@@ -81,9 +99,19 @@ class EbrRqProvider {
   /// so the word remains DCSS-compatible).
   static constexpr uint64_t kInfTs = 1ull << 62;
 
-  EbrRqProvider(EbrRqMode mode, Ebr& ebr) : mode_(mode), ebr_(&ebr) {}
+  EbrRqProvider(EbrRqMode mode, Ebr& ebr) : mode_(mode), ebr_(&ebr) {
+    limbo_src_ = ebrrq_limbo_gauge().add(
+        [this] { return static_cast<double>(limbo_size()); });
+    checked_src_ = ebrrq_limbo_checked_counter().add(
+        [this] { return static_cast<double>(limbo_nodes_checked()); });
+  }
 
   ~EbrRqProvider() {
+    // Unregister the obs sources first: the drain below writes limbo state
+    // without taking the leaf locks (quiescent teardown), so no snapshot
+    // may still be able to read it.
+    limbo_src_.reset();
+    checked_src_.reset();
     for (auto& lb : limbo_) {
       NodeT* n = lb->head;
       while (n != nullptr) {
@@ -470,6 +498,12 @@ class EbrRqProvider {
   mutable CachePadded<Limbo> limbo_[kMaxThreads];
   CachePadded<RqSlot> rq_slots_[kMaxThreads];
   CachePadded<uint64_t> last_rq_ts_[kMaxThreads] = {};
+  // Last members: destroyed first, unregistering the obs callbacks before
+  // the limbo state they read. limbo_size() takes only the limbo leaf
+  // locks, which a snapshot may take under the registry lock (leaf-lock
+  // ordering is preserved).
+  obs::GaugeSet::Source limbo_src_;
+  obs::GaugeSet::Source checked_src_;
 };
 
 }  // namespace bref

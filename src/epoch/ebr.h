@@ -31,13 +31,40 @@
 
 #include "common/cacheline.h"
 #include "common/thread_registry.h"
+#include "obs/metrics.h"
 
 namespace bref {
+
+/// Cross-instance gauges (obs): every live Ebr registers a source; the
+/// exposition shows the worst epoch lag and the total limbo depth across
+/// all structures in the process. Leaky statics — sources registered from
+/// Ebr constructors may be released after ordinary static destruction.
+inline obs::GaugeSet& ebr_epoch_lag_gauge() {
+  static auto* g = new obs::GaugeSet(
+      obs::GaugeSet::Agg::kMax, "bref_epoch_lag",
+      "Epochs the global clock is ahead of the oldest pinned thread "
+      "(max over live Ebr instances; 0 when nothing is pinned)");
+  return *g;
+}
+inline obs::GaugeSet& ebr_limbo_gauge() {
+  static auto* g = new obs::GaugeSet(
+      obs::GaugeSet::Agg::kSum, "bref_epoch_limbo_objects",
+      "Objects retired but not yet freed (sum over live Ebr instances)");
+  return *g;
+}
 
 class Ebr {
  public:
   Ebr() {
     for (auto& s : slots_) s->announce.store(kQuiescent, std::memory_order_relaxed);
+    lag_src_ = ebr_epoch_lag_gauge().add(
+        [this] { return static_cast<double>(epoch_lag()); });
+    limbo_src_ = ebr_limbo_gauge().add([this] {
+      // Both counters are relaxed; a racy read may momentarily see a free
+      // before its retire — clamp instead of wrapping.
+      const uint64_t r = retired(), f = freed();
+      return r > f ? static_cast<double>(r - f) : 0.0;
+    });
   }
 
   ~Ebr() { free_all_unsafe(); }
@@ -95,7 +122,10 @@ class Ebr {
     const size_t i = g % kGenerations;
     s.bags[i].push_back({p, deleter});
     s.bag_epoch[i] = g;
-    s.retired_count++;
+    // Single-writer bump; atomic only so the obs gauge may read it from
+    // another thread.
+    s.retired_count.store(s.retired_count.load(std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
   }
 
   template <typename T>
@@ -167,10 +197,24 @@ class Ebr {
   // -- statistics (tests / Table 1 bench) ------------------------------
   uint64_t retired() const {
     uint64_t n = 0;
-    for (auto& s : slots_) n += s->retired_count;
+    for (auto& s : slots_) n += s->retired_count.load(std::memory_order_relaxed);
     return n;
   }
   uint64_t freed() const { return freed_count_.load(std::memory_order_relaxed); }
+
+  /// How many epochs the global clock is ahead of the oldest pinned
+  /// thread; 0 when every thread is quiescent. A persistently large lag
+  /// means some pin is blocking advancement and limbo will grow.
+  uint64_t epoch_lag() const {
+    const uint64_t g = global_epoch_.load(std::memory_order_acquire);
+    uint64_t oldest = kQuiescent;
+    const int n = hwm_.get();
+    for (int i = 0; i < n; ++i) {
+      const uint64_t a = slots_[i]->announce.load(std::memory_order_relaxed);
+      if (a != kQuiescent && a < oldest) oldest = a;
+    }
+    return oldest == kQuiescent ? 0 : g - oldest;
+  }
 
  private:
   static constexpr uint64_t kQuiescent = ~0ull;
@@ -186,7 +230,8 @@ class Ebr {
     std::atomic<uint64_t> announce{kQuiescent};
     uint64_t local_epoch{0};
     uint64_t pin_count{0};
-    uint64_t retired_count{0};
+    // Atomic (single-writer bump) so the obs limbo gauge can read it.
+    std::atomic<uint64_t> retired_count{0};
     std::vector<RetiredObj> bags[kGenerations];
     uint64_t bag_epoch[kGenerations] = {};  // epoch each bag was filled under
   };
@@ -215,6 +260,10 @@ class Ebr {
   std::atomic<uint64_t> freed_count_{0};
   TidHwm hwm_;
   CachePadded<Slot> slots_[kMaxThreads];
+  // Last members: destroyed FIRST, so the gauge callbacks (which read the
+  // atomics above) are unregistered before any state they read goes away.
+  obs::GaugeSet::Source lag_src_;
+  obs::GaugeSet::Source limbo_src_;
 };
 
 }  // namespace bref

@@ -136,6 +136,25 @@ class Client {
     encode_stats(buf_);
     return call(Op::kStats).text;
   }
+  /// The process-wide metrics snapshot (Prometheus text exposition).
+  std::string metrics() {
+    buf_.clear();
+    encode_metrics(buf_);
+    return call(Op::kMetrics).text;
+  }
+  /// The flight-recorder tail (JSON text; see Server::trace_dump_json).
+  std::string trace_dump() {
+    buf_.clear();
+    encode_trace_dump(buf_);
+    return call(Op::kTraceDump).text;
+  }
+  /// Set the global trace sampling rate (one span per `sample_every`
+  /// requests; 0 disables tracing).
+  bool trace_rate(uint32_t sample_every) {
+    buf_.clear();
+    encode_trace_rate(buf_, sample_every);
+    return call(Op::kTraceDump).status == Status::kOk;
+  }
 
   // -- transactions --------------------------------------------------------
   bool txn_begin() {

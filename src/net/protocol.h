@@ -45,6 +45,8 @@ enum class Op : uint8_t {
   kTxnAbort = 8,   // body: -                   -> kOk | kErrTxnState
   kPing = 9,       // body: -                   -> kOk
   kStats = 10,     // body: -                   -> kOk + utf8 JSON text
+  kMetrics = 11,   // body: -                   -> kOk + Prometheus text
+  kTraceDump = 12, // body: - | u32 sample_every-> kOk + utf8 JSON text | kOk
 };
 
 enum class Status : uint8_t {
@@ -153,6 +155,18 @@ inline void encode_ping(std::vector<uint8_t>& b) {
 }
 inline void encode_stats(std::vector<uint8_t>& b) {
   encode_header(b, Op::kStats, 0);
+}
+inline void encode_metrics(std::vector<uint8_t>& b) {
+  encode_header(b, Op::kMetrics, 0);
+}
+/// Empty body: dump the flight-recorder tail. With `sample_every`: set the
+/// global trace sampling rate (0 disables) and answer a bare kOk.
+inline void encode_trace_dump(std::vector<uint8_t>& b) {
+  encode_header(b, Op::kTraceDump, 0);
+}
+inline void encode_trace_rate(std::vector<uint8_t>& b, uint32_t sample_every) {
+  encode_header(b, Op::kTraceDump, 4);
+  put_u32(b, sample_every);
 }
 
 // -- response encoding (server side) ----------------------------------------
@@ -283,6 +297,8 @@ inline bool decode_reply(Op req, const FrameView& f, Reply* r) {
       return true;
     }
     case Op::kStats:
+    case Op::kMetrics:
+    case Op::kTraceDump:  // rate-set acks are tag-only; text stays empty
       r->text.assign(reinterpret_cast<const char*>(f.body), f.body_len);
       return true;
     default:  // INSERT/REMOVE/PING/TXN_BEGIN/TXN_OP/TXN_ABORT: tag only

@@ -48,6 +48,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
@@ -64,11 +65,116 @@
 #include "api/set_interface.h"
 #include "common/cacheline.h"
 #include "net/protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/builtin_shards.h"
 #include "shard/maintenance.h"
 #include "shard/sharded_set.h"
 
 namespace bref::net {
+
+inline const char* op_name(uint8_t op) {
+  switch (static_cast<Op>(op)) {
+    case Op::kGet: return "get";
+    case Op::kInsert: return "insert";
+    case Op::kRemove: return "remove";
+    case Op::kRange: return "range";
+    case Op::kTxnBegin: return "txn_begin";
+    case Op::kTxnOp: return "txn_op";
+    case Op::kTxnCommit: return "txn_commit";
+    case Op::kTxnAbort: return "txn_abort";
+    case Op::kPing: return "ping";
+    case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
+    case Op::kTraceDump: return "trace_dump";
+  }
+  return "unknown";
+}
+
+/// Steady-clock nanoseconds for stage attribution; constant-folds to 0
+/// when obs is compiled out, which dead-codes every duration math below.
+inline uint64_t obs_now_ns() {
+  if constexpr (!obs::kEnabled) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The wire path's tail-latency attribution (obs, net layer): where a
+/// request's time goes between the epoll wakeup that surfaced it and the
+/// writev that answered it. Process-wide; benches attribute per-scenario
+/// via HistogramSnapshot deltas.
+inline obs::Histogram& stage_hist(int stage) {  // 0 queue, 1 execute, 2 flush
+  static obs::Histogram* h[3] = {
+      &obs::registry().histogram(
+          "bref_net_stage_seconds",
+          "Worker-loop stage time per connection batch", "stage=\"queue\"",
+          1e9),
+      &obs::registry().histogram(
+          "bref_net_stage_seconds",
+          "Worker-loop stage time per connection batch", "stage=\"execute\"",
+          1e9),
+      &obs::registry().histogram(
+          "bref_net_stage_seconds",
+          "Worker-loop stage time per connection batch", "stage=\"flush\"",
+          1e9)};
+  return *h[stage];
+}
+
+inline obs::Histogram& op_hist(Op op) {
+  auto make = [](const char* name) {
+    return &obs::registry().histogram(
+        "bref_net_op_seconds", "Per-op execute time on the worker loop",
+        std::string("op=\"") + name + "\"", 1e9);
+  };
+  switch (op) {
+    case Op::kGet: { static auto* h = make("get"); return *h; }
+    case Op::kInsert: { static auto* h = make("insert"); return *h; }
+    case Op::kRemove: { static auto* h = make("remove"); return *h; }
+    case Op::kRange: { static auto* h = make("range"); return *h; }
+    case Op::kTxnCommit: { static auto* h = make("txn_commit"); return *h; }
+    default: { static auto* h = make("other"); return *h; }
+  }
+}
+
+/// Server-level series aggregated over live Server instances (servers are
+/// created and destroyed per bench scenario; RAII sources keep the
+/// exposition honest). Index order matches Server::register_obs().
+inline obs::GaugeSet& server_series(size_t i) {
+  using GS = obs::GaugeSet;
+  using MK = obs::MetricKind;
+  static auto* v = [] {
+    auto* u = new std::vector<GS*>();
+    auto add = [&](GS::Agg a, const char* n, const char* h, MK k) {
+      u->push_back(new GS(a, n, h, "", k));
+    };
+    add(GS::Agg::kSum, "bref_net_connections",
+        "Connections currently adopted by worker loops", MK::kGauge);
+    add(GS::Agg::kMax, "bref_net_connections_peak",
+        "High-water mark of adopted connections (max over live servers)",
+        MK::kGauge);
+    add(GS::Agg::kSum, "bref_net_accepted_total",
+        "Connections accepted", MK::kCounter);
+    add(GS::Agg::kSum, "bref_net_frames_total",
+        "Request frames executed", MK::kCounter);
+    add(GS::Agg::kSum, "bref_net_batches_total",
+        "Epoll waves that executed at least one frame", MK::kCounter);
+    add(GS::Agg::kSum, "bref_net_bytes_in_total",
+        "Request bytes read", MK::kCounter);
+    add(GS::Agg::kSum, "bref_net_bytes_out_total",
+        "Response bytes written", MK::kCounter);
+    add(GS::Agg::kSum, "bref_net_protocol_errors_total",
+        "Error responses sent", MK::kCounter);
+    add(GS::Agg::kSum, "bref_net_txns_committed_total",
+        "Wire transactions committed", MK::kCounter);
+    add(GS::Agg::kSum, "bref_net_txns_aborted_total",
+        "Wire transactions aborted", MK::kCounter);
+    return u;
+  }();
+  return *(*v)[i];
+}
+inline constexpr size_t kServerSeries = 10;
 
 struct ServerOptions {
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
@@ -103,6 +209,8 @@ struct ServerStats {
   uint64_t protocol_errors = 0; // error responses sent
   uint64_t txns_committed = 0;
   uint64_t txns_aborted = 0;
+  uint64_t connections = 0;       // live right now (approximate under churn)
+  uint64_t connections_peak = 0;  // sum of per-worker adoption high-waters
 };
 
 class Server {
@@ -190,8 +298,14 @@ class Server {
       listen_fd_ = -1;
       throw;
     }
-    for (auto& w : workers_) {
-      Worker* wp = w.get();
+    // Register the obs sources only once workers_ is fully built: their
+    // callbacks iterate it without the lifecycle lock (see the stats()
+    // NOTE below), so registration brackets exactly the stable window —
+    // stop() removes them before mutating the vector.
+    register_obs();
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Worker* wp = workers_[i].get();
+      wp->index = static_cast<uint8_t>(i);
       wp->thread = std::thread([this, wp] { worker_loop(*wp); });
     }
     acceptor_ = std::thread([this] { acceptor_loop(); });
@@ -204,6 +318,9 @@ class Server {
   void stop() {
     std::lock_guard<std::mutex> g(lifecycle_mu_);
     if (!running_) return;
+    // Unregister the obs sources first: removal blocks on in-flight
+    // snapshot reads, so no callback can observe workers_ mid-teardown.
+    for (auto& s : obs_srcs_) s.reset();
     stop_.store(true, std::memory_order_release);
     // Closing the listener wakes the acceptor's epoll_wait with EPOLLHUP
     // semantics; the eventfd write is belt and braces.
@@ -246,6 +363,8 @@ class Server {
       s.protocol_errors += w->protocol_errors.load(std::memory_order_relaxed);
       s.txns_committed += w->txns_committed.load(std::memory_order_relaxed);
       s.txns_aborted += w->txns_aborted.load(std::memory_order_relaxed);
+      s.connections += w->nconns.load(std::memory_order_relaxed);
+      s.connections_peak += w->peak_conns.load(std::memory_order_relaxed);
     }
     return s;
   }
@@ -258,6 +377,17 @@ class Server {
     return n;
   }
 
+  /// Sum of per-worker adoption high-waters. An upper bound on the true
+  /// concurrent peak (workers peak independently), and — unlike the live
+  /// gauge — nonzero in any post-run stats capture, which is what made
+  /// BENCH_6's "connections: 0" unanswerable.
+  size_t peak_connections() const {
+    size_t n = 0;
+    for (const auto& w : workers_)
+      n += w->peak_conns.load(std::memory_order_relaxed);
+    return n;
+  }
+
   /// The STATS response body: server counters, routing counters when
   /// sharded, per-shard maintenance stats when the service runs.
   std::string stats_json() const {
@@ -266,13 +396,14 @@ class Server {
     std::string out = "{";
     std::snprintf(buf, sizeof buf,
                   "\"impl\": \"%s\", \"shards\": %zu, \"workers\": %zu, "
-                  "\"connections\": %zu, \"accepted\": %llu, "
+                  "\"connections\": %zu, \"connections_peak\": %zu, "
+                  "\"accepted\": %llu, "
                   "\"frames\": %llu, \"batches\": %llu, "
                   "\"frames_per_batch\": %.2f, \"bytes_in\": %llu, "
                   "\"bytes_out\": %llu, \"protocol_errors\": %llu, "
                   "\"txns_committed\": %llu, \"txns_aborted\": %llu",
                   opt_.impl.c_str(), opt_.shards > 1 ? opt_.shards : 1,
-                  workers_.size(), connections(),
+                  workers_.size(), connections(), peak_connections(),
                   static_cast<unsigned long long>(s.accepted),
                   static_cast<unsigned long long>(s.frames),
                   static_cast<unsigned long long>(s.batches),
@@ -301,17 +432,50 @@ class Server {
         const ShardMaintenanceStats m = maint_->stats(i);
         std::snprintf(buf, sizeof buf,
                       "%s{\"passes\": %llu, \"pruned\": %llu, "
-                      "\"flushed\": %llu, \"idle_backoffs\": %llu}",
+                      "\"flushed\": %llu, \"idle_backoffs\": %llu, "
+                      "\"backlog\": %llu}",
                       i > 0 ? ", " : "",
                       static_cast<unsigned long long>(m.passes),
                       static_cast<unsigned long long>(m.bundle_entries_pruned),
                       static_cast<unsigned long long>(m.limbo_flushed),
-                      static_cast<unsigned long long>(m.idle_backoffs));
+                      static_cast<unsigned long long>(m.idle_backoffs),
+                      static_cast<unsigned long long>(m.backlog));
         out += buf;
       }
       out += "]";
     }
+    // The registry view — counters, gauges and quantile summaries across
+    // all four layers — spliced in whole, so STATS is the JSON twin of
+    // the METRICS exposition.
+    out += ", \"obs\": " + obs::registry().json();
     return out + "}";
+  }
+
+  /// The TRACE_DUMP response body: every worker ring's tail, oldest first
+  /// per worker, plus the active sampling rate.
+  std::string trace_dump_json() const {
+    std::string out = "{\"sample_every\": " +
+                      std::to_string(obs::trace_sample_every().load(
+                          std::memory_order_relaxed)) +
+                      ", \"spans\": [";
+    char buf[192];
+    bool first = true;
+    for (const auto& w : workers_) {
+      uint64_t total = 0;
+      for (const obs::TraceSpan& sp : w->trace.dump(&total)) {
+        std::snprintf(
+            buf, sizeof buf,
+            "%s{\"worker\": %u, \"op\": \"%s\", \"shard\": %u, "
+            "\"end_ns\": %llu, \"queue_ns\": %u, \"exec_ns\": %u, "
+            "\"flush_ns\": %u}",
+            first ? "" : ", ", w->index, op_name(sp.op), sp.shard,
+            static_cast<unsigned long long>(sp.end_ns), sp.queue_ns,
+            sp.exec_ns, sp.flush_ns);
+        out += buf;
+        first = false;
+      }
+    }
+    return out + "]}";
   }
 
  private:
@@ -340,15 +504,22 @@ class Server {
     SessionGuard session;
     int epoll_fd = -1;
     int wake_fd = -1;
+    uint8_t index = 0;  // position in workers_ (trace span attribution)
     std::thread thread;
     // Handoff queue from the acceptor (the only cross-thread touch).
     std::mutex inbox_mu;
     std::vector<int> inbox;
     std::atomic<size_t> nconns{0};
+    // High-water of nconns; single-writer (the loop adopts), so a plain
+    // load/store bump suffices.
+    std::atomic<uint64_t> peak_conns{0};
     // Written by the loop, read by any STATS caller: relaxed atomics.
     std::atomic<uint64_t> frames{0}, batches{0}, bytes_in{0}, bytes_out{0};
     std::atomic<uint64_t> protocol_errors{0}, txns_committed{0},
         txns_aborted{0};
+    // Flight-recorder ring (obs/trace.h); written by the loop for sampled
+    // requests, drained by any worker executing TRACE_DUMP.
+    obs::TraceRing trace;
 
     ~Worker() {
       if (epoll_fd >= 0) ::close(epoll_fd);
@@ -360,6 +531,45 @@ class Server {
   [[noreturn]] static void throw_errno(const char* what) {
     throw std::runtime_error(std::string(what) + ": " +
                              std::strerror(errno));
+  }
+
+  /// Register this instance's callback sources (see start()/stop() for
+  /// the workers_-stability bracket). Indices follow server_series().
+  void register_obs() {
+    auto reg = [this](size_t i, double (Server::*read)() const) {
+      obs_srcs_[i] =
+          server_series(i).add([this, read] { return (this->*read)(); });
+    };
+    reg(0, &Server::obs_connections);
+    reg(1, &Server::obs_peak);
+    reg(2, &Server::obs_accepted);
+    reg(3, &Server::obs_frames);
+    reg(4, &Server::obs_batches);
+    reg(5, &Server::obs_bytes_in);
+    reg(6, &Server::obs_bytes_out);
+    reg(7, &Server::obs_protocol_errors);
+    reg(8, &Server::obs_txns_committed);
+    reg(9, &Server::obs_txns_aborted);
+  }
+  double obs_connections() const { return static_cast<double>(connections()); }
+  double obs_peak() const { return static_cast<double>(peak_connections()); }
+  double obs_accepted() const {
+    return static_cast<double>(accepted_.load(std::memory_order_relaxed));
+  }
+  double obs_frames() const { return static_cast<double>(stats().frames); }
+  double obs_batches() const { return static_cast<double>(stats().batches); }
+  double obs_bytes_in() const { return static_cast<double>(stats().bytes_in); }
+  double obs_bytes_out() const {
+    return static_cast<double>(stats().bytes_out);
+  }
+  double obs_protocol_errors() const {
+    return static_cast<double>(stats().protocol_errors);
+  }
+  double obs_txns_committed() const {
+    return static_cast<double>(stats().txns_committed);
+  }
+  double obs_txns_aborted() const {
+    return static_cast<double>(stats().txns_aborted);
   }
 
   static void wake(Worker& w) {
@@ -406,7 +616,9 @@ class Server {
       ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
       ev.data.fd = fd;
       ::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
-      w.nconns.fetch_add(1, std::memory_order_relaxed);
+      const size_t nc = w.nconns.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (nc > w.peak_conns.load(std::memory_order_relaxed))
+        w.peak_conns.store(nc, std::memory_order_relaxed);
     };
     auto drop = [&](Conn& c) {
       ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
@@ -418,6 +630,9 @@ class Server {
     for (;;) {
       const int n = ::epoll_wait(w.epoll_fd, events.data(),
                                  static_cast<int>(events.size()), 100);
+      // Queue-wait attribution starts here: everything a request waits
+      // for past this point is this loop's doing, not the kernel's.
+      const uint64_t wake_ns = obs_now_ns();
       const bool stopping = stop_.load(std::memory_order_acquire);
       // Adopt connections handed over by the acceptor.
       {
@@ -452,7 +667,7 @@ class Server {
           continue;
         }
         if ((events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0) {
-          if (!service(w, tid, *c, scratch, rq_out)) drop(*c);
+          if (!service(w, tid, *c, scratch, rq_out, wake_ns)) drop(*c);
         }
       }
       if (stopping) {
@@ -460,7 +675,7 @@ class Server {
         // flush best-effort, then close everything and leave.
         for (auto& cp : conns) {
           if (!cp) continue;
-          service(w, tid, *cp, scratch, rq_out);
+          service(w, tid, *cp, scratch, rq_out, wake_ns);
           for (int spin = 0; spin < 100 && has_pending(*cp); ++spin) {
             if (!flush(w, *cp, nullptr)) break;
             if (has_pending(*cp))
@@ -479,8 +694,10 @@ class Server {
   }
 
   /// Read to EAGAIN, execute every complete frame, flush. False = close.
+  /// `wake_ns` is the epoll wakeup that surfaced this connection (0 when
+  /// obs is compiled out) — the zero point for stage attribution.
   bool service(Worker& w, int tid, Conn& c, std::vector<uint8_t>& scratch,
-               RangeSnapshot& rq_out) {
+               RangeSnapshot& rq_out, uint64_t wake_ns) {
     bool peer_closed = false;
     char buf[64 * 1024];
     for (;;) {
@@ -504,6 +721,11 @@ class Server {
     scratch.clear();
     size_t off = 0;
     uint64_t executed = 0;
+    // Spans sampled this batch, parked until the flush stamps them.
+    obs::TraceSpan spans[8];
+    int nspans = 0;
+    const uint64_t exec_start_ns = obs_now_ns();
+    uint64_t prev_ns = exec_start_ns;
     while (!c.closing) {
       FrameView f;
       size_t advance = 0;
@@ -519,6 +741,19 @@ class Server {
         break;
       }
       execute(w, tid, c, f, scratch, rq_out);
+      if constexpr (obs::kEnabled) {
+        const uint64_t now_ns = obs_now_ns();
+        op_hist(f.op()).record(tid, now_ns - prev_ns);
+        if (nspans < 8 && obs::trace_should_sample()) {
+          obs::TraceSpan& sp = spans[nspans++];
+          sp.op = f.tag;
+          sp.worker = w.index;
+          sp.shard = span_shard(f);
+          sp.queue_ns = clamp32(exec_start_ns - wake_ns);
+          sp.exec_ns = clamp32(now_ns - prev_ns);
+        }
+        prev_ns = now_ns;
+      }
       off += advance;
       ++executed;
     }
@@ -527,9 +762,43 @@ class Server {
       w.frames.fetch_add(executed, std::memory_order_relaxed);
       w.batches.fetch_add(1, std::memory_order_relaxed);
     }
-    if (!flush(w, c, &scratch)) return false;
+    const bool flushed = flush(w, c, &scratch);
+    if constexpr (obs::kEnabled) {
+      if (executed > 0) {
+        const uint64_t end_ns = obs_now_ns();
+        stage_hist(0).record(tid, exec_start_ns - wake_ns);
+        stage_hist(1).record(tid, prev_ns - exec_start_ns);
+        stage_hist(2).record(tid, end_ns - prev_ns);
+        for (int i = 0; i < nspans; ++i) {
+          spans[i].flush_ns = clamp32(end_ns - prev_ns);
+          spans[i].end_ns = end_ns;
+          w.trace.push(spans[i]);
+        }
+      }
+    }
+    if (!flushed) return false;
     if (c.closing && !has_pending(c)) return false;
     return !peer_closed;
+  }
+
+  static uint32_t clamp32(uint64_t ns) {
+    return ns > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(ns);
+  }
+
+  /// Shard a sampled frame's key routes to (0 when unsharded or keyless).
+  uint16_t span_shard(const FrameView& f) const {
+    if (!sharded_) return 0;
+    switch (f.op()) {
+      case Op::kGet:
+      case Op::kRemove:
+      case Op::kInsert:
+      case Op::kRange:
+        if (f.body_len >= 8)
+          return static_cast<uint16_t>(sharded_->shard_index(get_i64(f.body)));
+        return 0;
+      default:
+        return 0;
+    }
   }
 
   /// Execute one request frame; append the response to `out`.
@@ -635,6 +904,20 @@ class Server {
       case Op::kStats:
         encode_text_response(out, stats_json());
         return;
+      case Op::kMetrics:
+        encode_text_response(out, obs::registry().prometheus());
+        return;
+      case Op::kTraceDump: {
+        if (f.body_len == 4) {  // set the global sampling rate, ack
+          obs::trace_sample_every().store(get_u32(f.body),
+                                          std::memory_order_relaxed);
+          encode_status(out, Status::kOk);
+          return;
+        }
+        if (f.body_len != 0) return err(Status::kErrMalformed);
+        encode_text_response(out, trace_dump_json());
+        return;
+      }
     }
     err(Status::kErrMalformed);  // unknown opcode; framing is intact
   }
@@ -707,6 +990,9 @@ class Server {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};
+  // Registered by start() after workers_ is built, removed by stop()
+  // before it is torn down (their callbacks iterate workers_ unlocked).
+  obs::GaugeSet::Source obs_srcs_[kServerSeries];
 };
 
 }  // namespace bref::net

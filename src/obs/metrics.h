@@ -1,0 +1,553 @@
+#pragma once
+// bref::obs — process-wide metrics: the cross-layer observability core.
+//
+// Everything the stack already counted ad hoc (server frame counters,
+// EntryPool hit/miss, ShardedSet routing, maintenance stats) plus what it
+// could not see at all (per-stage wire latencies, bundle-chain depth, EBR
+// epoch lag) flows through one registry here, readable at any moment as
+// either Prometheus text exposition (the METRICS wire op) or JSON (STATS).
+//
+// Design rules, in order of importance:
+//
+//   1. Allocation-free and lock-free on the hot path. A Counter/Histogram
+//      is a fixed array of cache-padded per-thread slots (same sharding as
+//      the EBR/RQ substrates); add()/record() is one relaxed atomic RMW on
+//      the caller's own line. Nothing on the record path takes a lock,
+//      allocates, or touches another thread's line.
+//   2. Merge-on-read. Aggregation happens in snapshot(), which sums the
+//      slots; the result is "exact once quiescent, approximate under
+//      concurrency" — the relaxed-counter accuracy argument in DESIGN.md
+//      §7 (each slot is only ever missing its last in-flight increments).
+//   3. Self-registering, like ImplRegistry: a call site does
+//          static obs::Counter& c = obs::registry().counter("name", "help");
+//      and the metric exists process-wide from first touch. Per-instance
+//      sources (one Ebr per structure, one ShardedSet per server) register
+//      callbacks into an aggregating GaugeSet with an RAII handle, so
+//      instance churn never leaves dangling metrics behind.
+//   4. Compiled out on demand: -DBREF_OBS_ENABLED=0 (CMake -DBREF_OBS=OFF)
+//      turns every record path into a no-op while keeping the registry and
+//      exposition code alive — the ablation baseline the ≤3%-overhead
+//      budget is measured against.
+//
+// Histograms are log₂-bucketed: 64 fixed buckets, bucket i > 0 covering
+// [2^(i-1), 2^i), bucket 0 = {0}. Quantiles are computed from any merged
+// snapshot by rank walk + linear interpolation inside the landing bucket,
+// so p50/p99/p999 are available from a histogram that was never sorted and
+// never stored a sample. Wide enough for nanoseconds-to-hours; exposition
+// scales values by `scale` (1e9 for ns → seconds histograms, Prometheus
+// convention).
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/spinlock.h"
+#include "common/thread_registry.h"
+
+// Ablation flag: 0 compiles every record path to nothing (registry and
+// snapshot stay; already-registered gauges still read).
+#ifndef BREF_OBS_ENABLED
+#define BREF_OBS_ENABLED 1
+#endif
+
+namespace bref::obs {
+
+inline constexpr bool kEnabled = BREF_OBS_ENABLED != 0;
+
+/// Slot index for threads that have no dense tid at hand (client threads,
+/// tests). Monotonic assignment modulo the slot count: collisions are
+/// possible and harmless (slots are atomics; attribution blurs, totals
+/// don't).
+inline int slot_hint() {
+  static std::atomic<unsigned> next{0};
+  thread_local const int slot = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<unsigned>(kMaxThreads));
+  return slot;
+}
+
+// ---------------------------------------------------------------------------
+// Counter — monotonic, per-thread sharded.
+
+class Counter {
+ public:
+  void add(int tid, uint64_t n = 1) noexcept {
+    if constexpr (!kEnabled) return;
+    slots_[tid]->fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Unattributed variant (distinct name, not an overload: a lone integer
+  /// argument would silently resolve to the tid parameter above).
+  void bump(uint64_t n = 1) noexcept { add(slot_hint(), n); }
+
+  uint64_t value() const noexcept {
+    uint64_t v = 0;
+    for (int i = 0; i < kMaxThreads; ++i)
+      v += slots_[i]->load(std::memory_order_relaxed);
+    return v;
+  }
+
+ private:
+  CachePadded<std::atomic<uint64_t>> slots_[kMaxThreads] = {};
+};
+
+// ---------------------------------------------------------------------------
+// Histogram — 64 log₂ buckets, per-thread sharded, merge-on-read.
+
+inline constexpr int kHistBuckets = 64;
+
+/// Bucket for value v: 0 for v == 0, else bit_width(v) clamped to 63 —
+/// bucket i > 0 covers [2^(i-1), 2^i).
+inline int bucket_of(uint64_t v) noexcept {
+  const int b = std::bit_width(v);  // 0 for v==0
+  return b < kHistBuckets ? b : kHistBuckets - 1;
+}
+
+/// A merged (single-threaded) view of a histogram; also usable standalone
+/// as a local accumulator (the bench harness records straight into one).
+struct HistogramSnapshot {
+  uint64_t buckets[kHistBuckets] = {};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  void record(uint64_t v) noexcept {
+    ++buckets[bucket_of(v)];
+    ++count;
+    sum += v;
+  }
+
+  /// Rank-walk quantile with linear interpolation inside the landing
+  /// bucket. q in [0,1]; returns 0 on an empty histogram. Accuracy is
+  /// bounded by the bucket width (≤ 2x, typically far better after
+  /// interpolation) — see DESIGN.md §7.
+  double quantile(double q) const noexcept {
+    if (count == 0) return 0.0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    // Rank of the target sample, 1-based.
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kHistBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      if (seen + buckets[i] >= rank) {
+        const double lo = i == 0 ? 0.0 : static_cast<double>(1ull << (i - 1));
+        const double hi = i == 0 ? 0.0 : static_cast<double>(1ull << i) - 1.0;
+        const double frac =
+            static_cast<double>(rank - seen) / static_cast<double>(buckets[i]);
+        return lo + (hi - lo) * frac;
+      }
+      seen += buckets[i];
+    }
+    return static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& o) noexcept {
+    for (int i = 0; i < kHistBuckets; ++i) buckets[i] += o.buckets[i];
+    count += o.count;
+    sum += o.sum;
+    return *this;
+  }
+  /// Delta against an earlier snapshot of the SAME histogram (counts are
+  /// monotonic, so member-wise subtraction is exact).
+  HistogramSnapshot& operator-=(const HistogramSnapshot& o) noexcept {
+    for (int i = 0; i < kHistBuckets; ++i) buckets[i] -= o.buckets[i];
+    count -= o.count;
+    sum -= o.sum;
+    return *this;
+  }
+};
+
+class Histogram {
+ public:
+  void record(int tid, uint64_t v) noexcept {
+    if constexpr (!kEnabled) return;
+    Slot& s = slots_[tid];
+    s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+  /// Unattributed variant (distinct name for the same reason as
+  /// Counter::bump).
+  void observe(uint64_t v) noexcept { record(slot_hint(), v); }
+
+  HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot out;
+    for (int t = 0; t < kMaxThreads; ++t) {
+      const Slot& s = slots_[t];
+      for (int i = 0; i < kHistBuckets; ++i)
+        out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+      out.count += s.count.load(std::memory_order_relaxed);
+      out.sum += s.sum.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(kCacheLine) Slot {
+    std::atomic<uint64_t> buckets[kHistBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+  };
+  Slot slots_[kMaxThreads] = {};
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+class MetricsRegistry {
+ public:
+  /// Leaky singleton: RAII handles held by per-instance sources may
+  /// outlive every static with a destructor.
+  static MetricsRegistry& instance() {
+    static MetricsRegistry* reg = new MetricsRegistry();
+    return *reg;
+  }
+
+  /// Find-or-create by (name, labels). References stay valid forever
+  /// (metrics are never destroyed). `labels` is the inner label list
+  /// without braces, e.g. `op="get"`.
+  Counter& counter(std::string name, std::string help,
+                   std::string labels = "") {
+    std::lock_guard<Spinlock> g(lock_);
+    for (auto& e : entries_)
+      if (e->kind == MetricKind::kCounter && e->name == name &&
+          e->labels == labels)
+        return *e->counter;
+    auto e = std::make_unique<Entry>();
+    e->kind = MetricKind::kCounter;
+    e->name = std::move(name);
+    e->help = std::move(help);
+    e->labels = std::move(labels);
+    e->counter = std::make_unique<Counter>();
+    entries_.push_back(std::move(e));
+    return *entries_.back()->counter;
+  }
+
+  /// `scale` divides raw recorded values on exposition (1e9 renders
+  /// nanosecond recordings as a Prometheus _seconds histogram).
+  Histogram& histogram(std::string name, std::string help,
+                       std::string labels = "", double scale = 1.0) {
+    std::lock_guard<Spinlock> g(lock_);
+    for (auto& e : entries_)
+      if (e->kind == MetricKind::kHistogram && e->name == name &&
+          e->labels == labels)
+        return *e->histogram;
+    auto e = std::make_unique<Entry>();
+    e->kind = MetricKind::kHistogram;
+    e->name = std::move(name);
+    e->help = std::move(help);
+    e->labels = std::move(labels);
+    e->scale = scale;
+    e->histogram = std::make_unique<Histogram>();
+    entries_.push_back(std::move(e));
+    return *entries_.back()->histogram;
+  }
+
+  /// RAII registration of a callback-backed series (gauge or counter
+  /// semantics); the callback is invoked at snapshot time, under the
+  /// registry lock — it must only read (atomics, locked stats getters)
+  /// and must not call back into the registry.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(MetricsRegistry* r, uint64_t id) : reg_(r), id_(id) {}
+    ~Handle() { reset(); }
+    Handle(Handle&& o) noexcept
+        : reg_(std::exchange(o.reg_, nullptr)), id_(o.id_) {}
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        reset();
+        reg_ = std::exchange(o.reg_, nullptr);
+        id_ = o.id_;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    void reset() {
+      if (reg_ != nullptr) reg_->remove_callback(id_);
+      reg_ = nullptr;
+    }
+
+   private:
+    MetricsRegistry* reg_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  [[nodiscard]] Handle add_callback(MetricKind kind, std::string name,
+                                    std::string help, std::string labels,
+                                    std::function<double()> fn) {
+    std::lock_guard<Spinlock> g(lock_);
+    auto e = std::make_unique<Entry>();
+    e->kind = kind;
+    e->name = std::move(name);
+    e->help = std::move(help);
+    e->labels = std::move(labels);
+    e->fn = std::move(fn);
+    e->callback_id = next_id_++;
+    const uint64_t id = e->callback_id;
+    entries_.push_back(std::move(e));
+    return Handle(this, id);
+  }
+
+  /// Prometheus text exposition (version 0.0.4): HELP/TYPE emitted once
+  /// per family, histograms as cumulative le-buckets with +Inf, _sum and
+  /// _count. Safe to call concurrently with recording.
+  std::string prometheus() const {
+    std::lock_guard<Spinlock> g(lock_);
+    std::string out;
+    out.reserve(4096);
+    std::vector<const Entry*> sorted = sorted_entries();
+    const std::string* last_family = nullptr;
+    char buf[256];
+    for (const Entry* e : sorted) {
+      if (last_family == nullptr || *last_family != e->name) {
+        out += "# HELP " + e->name + " " + e->help + "\n";
+        out += "# TYPE " + e->name + " " + type_name(e->kind) + "\n";
+        last_family = &e->name;
+      }
+      if (e->kind == MetricKind::kHistogram) {
+        const HistogramSnapshot h = e->histogram->snapshot();
+        uint64_t cum = 0;
+        for (int i = 0; i < kHistBuckets; ++i) {
+          if (h.buckets[i] == 0 && i != 0) continue;
+          cum += h.buckets[i];
+          const double le =
+              i == 0 ? 0.0
+                     : (static_cast<double>(1ull << i) - 1.0) / e->scale;
+          std::snprintf(buf, sizeof buf, "%.9g", le);
+          out += e->name + "_bucket{" + label_prefix(*e) + "le=\"" + buf +
+                 "\"} " + std::to_string(cum) + "\n";
+        }
+        out += e->name + "_bucket{" + label_prefix(*e) + "le=\"+Inf\"} " +
+               std::to_string(h.count) + "\n";
+        std::snprintf(buf, sizeof buf, "%.9g",
+                      static_cast<double>(h.sum) / e->scale);
+        out += e->name + "_sum" + label_suffix(*e) + " " + buf + "\n";
+        out += e->name + "_count" + label_suffix(*e) + " " +
+               std::to_string(h.count) + "\n";
+      } else {
+        std::snprintf(buf, sizeof buf, "%.17g", read_value(*e));
+        out += e->name + label_suffix(*e) + " " + buf + "\n";
+      }
+    }
+    return out;
+  }
+
+  /// The same snapshot as one JSON object: {"counters": {...}, "gauges":
+  /// {...}, "histograms": {"name{labels}": {count, sum, p50, p99, p999}}}.
+  std::string json() const {
+    std::lock_guard<Spinlock> g(lock_);
+    std::vector<const Entry*> sorted = sorted_entries();
+    std::string counters, gauges, hists;
+    char buf[256];
+    for (const Entry* e : sorted) {
+      const std::string key = "\"" + series_name(*e) + "\": ";
+      if (e->kind == MetricKind::kHistogram) {
+        const HistogramSnapshot h = e->histogram->snapshot();
+        std::snprintf(buf, sizeof buf,
+                      "{\"count\": %llu, \"sum\": %.9g, \"p50\": %.1f, "
+                      "\"p99\": %.1f, \"p999\": %.1f}",
+                      static_cast<unsigned long long>(h.count),
+                      static_cast<double>(h.sum), h.quantile(0.50),
+                      h.quantile(0.99), h.quantile(0.999));
+        append_kv(hists, key, buf);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.17g", read_value(*e));
+        append_kv(e->kind == MetricKind::kCounter ? counters : gauges, key,
+                  buf);
+      }
+    }
+    return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+           "}, \"histograms\": {" + hists + "}}";
+  }
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::string name;
+    std::string help;
+    std::string labels;  // inner label list, no braces; may be empty
+    double scale = 1.0;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> fn;  // callback series when set
+    uint64_t callback_id = 0;    // nonzero only for callback series
+  };
+
+  MetricsRegistry() = default;
+
+  void remove_callback(uint64_t id) {
+    std::lock_guard<Spinlock> g(lock_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if ((*it)->callback_id == id) {
+        entries_.erase(it);
+        return;
+      }
+    }
+  }
+
+  static const char* type_name(MetricKind k) {
+    switch (k) {
+      case MetricKind::kCounter: return "counter";
+      case MetricKind::kGauge: return "gauge";
+      case MetricKind::kHistogram: return "histogram";
+    }
+    return "untyped";
+  }
+
+  static double read_value(const Entry& e) {
+    if (e.fn) return e.fn();
+    if (e.counter) return static_cast<double>(e.counter->value());
+    return 0.0;
+  }
+
+  static std::string label_prefix(const Entry& e) {
+    return e.labels.empty() ? std::string() : e.labels + ",";
+  }
+  static std::string label_suffix(const Entry& e) {
+    return e.labels.empty() ? std::string() : "{" + e.labels + "}";
+  }
+  static std::string series_name(const Entry& e) {
+    return e.name + label_suffix(e);
+  }
+  static void append_kv(std::string& dst, const std::string& key,
+                        const char* val) {
+    if (!dst.empty()) dst += ", ";
+    dst += key;
+    dst += val;
+  }
+
+  /// Stable grouping by family name (registration order within a family),
+  /// so HELP/TYPE precede every sample of the family exactly once.
+  std::vector<const Entry*> sorted_entries() const {
+    std::vector<const Entry*> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      bool placed = false;
+      for (auto it = out.begin(); it != out.end(); ++it) {
+        if ((*it)->name == e->name) {
+          // Insert after the last member of this family.
+          auto last = it;
+          while (last != out.end() && (*last)->name == e->name) ++last;
+          out.insert(last, e.get());
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) out.push_back(e.get());
+    }
+    return out;
+  }
+
+  mutable Spinlock lock_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  uint64_t next_id_ = 1;
+};
+
+inline MetricsRegistry& registry() { return MetricsRegistry::instance(); }
+
+// ---------------------------------------------------------------------------
+// GaugeSet — one exposition series aggregated over N live instances.
+//
+// Per-instance subsystems (one Ebr per structure, one EbrRqProvider per
+// EBR-RQ set, one ShardedSet per server) register a callback per instance;
+// the set exposes sum or max over whichever instances are alive right now.
+// The RAII Source MUST be destroyed before the state its callback reads —
+// declare it as the LAST member of the owning class (members are destroyed
+// in reverse order), so the source is gone before the data is.
+
+class GaugeSet {
+ public:
+  enum class Agg : uint8_t { kSum, kMax };
+
+  GaugeSet(Agg agg, std::string name, std::string help,
+           std::string labels = "", MetricKind kind = MetricKind::kGauge)
+      : agg_(agg),
+        handle_(registry().add_callback(kind, std::move(name),
+                                        std::move(help), std::move(labels),
+                                        [this] { return read(); })) {}
+
+  class Source {
+   public:
+    Source() = default;
+    Source(GaugeSet* s, uint64_t id) : set_(s), id_(id) {}
+    ~Source() { reset(); }
+    Source(Source&& o) noexcept
+        : set_(std::exchange(o.set_, nullptr)), id_(o.id_) {}
+    Source& operator=(Source&& o) noexcept {
+      if (this != &o) {
+        reset();
+        set_ = std::exchange(o.set_, nullptr);
+        id_ = o.id_;
+      }
+      return *this;
+    }
+    Source(const Source&) = delete;
+    Source& operator=(const Source&) = delete;
+    void reset() {
+      if (set_ != nullptr) set_->remove(id_);
+      set_ = nullptr;
+    }
+
+   private:
+    GaugeSet* set_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  [[nodiscard]] Source add(std::function<double()> fn) {
+    std::lock_guard<Spinlock> g(lock_);
+    const uint64_t id = next_id_++;
+    sources_.push_back({id, std::move(fn)});
+    return Source(this, id);
+  }
+
+  double read() const {
+    std::lock_guard<Spinlock> g(lock_);
+    double v = 0;
+    for (const auto& s : sources_) {
+      const double x = s.fn();
+      if (agg_ == Agg::kSum)
+        v += x;
+      else if (x > v)
+        v = x;
+    }
+    return v;
+  }
+
+ private:
+  void remove(uint64_t id) {
+    std::lock_guard<Spinlock> g(lock_);
+    for (auto it = sources_.begin(); it != sources_.end(); ++it) {
+      if (it->id == id) {
+        sources_.erase(it);
+        return;
+      }
+    }
+  }
+
+  struct Src {
+    uint64_t id;
+    std::function<double()> fn;
+  };
+  const Agg agg_;
+  mutable Spinlock lock_;
+  std::vector<Src> sources_;
+  uint64_t next_id_ = 1;
+  MetricsRegistry::Handle handle_;  // last: callback dies before sources_
+};
+
+}  // namespace bref::obs

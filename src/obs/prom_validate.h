@@ -1,0 +1,286 @@
+#pragma once
+// bref::obs — a small, dependency-free validator for Prometheus text
+// exposition (format 0.0.4). Checked in so CI can assert METRICS output is
+// syntactically valid without pulling in promtool; also exercised directly
+// by tests/test_obs.cpp and wrapped as the tools/promcheck binary.
+//
+// What it checks (the subset real scrapers are strict about):
+//   - every line is a comment (# HELP / # TYPE / # plain), a sample, or
+//     blank;
+//   - metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*  (labels may
+//     not contain ':');
+//   - label values are double-quoted with \\, \" and \n escapes only;
+//   - sample values parse as a double (or +Inf/-Inf/NaN);
+//   - a family's # TYPE appears at most once and precedes its samples;
+//   - histogram families expose _bucket/_sum/_count, buckets carry an
+//     `le` label, cumulative bucket counts are non-decreasing in le order
+//     and end with le="+Inf" matching _count.
+//
+// validate() returns false with a one-line error (line number + reason).
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bref::obs {
+
+struct PromSeries {
+  std::string name;                                  // full sample name
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+};
+
+namespace prom_detail {
+
+inline bool name_char(char c, bool first, bool label) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return true;
+  if (!label && c == ':') return true;
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+inline bool parse_name(std::string_view& s, std::string& out, bool label) {
+  out.clear();
+  while (!s.empty() && name_char(s.front(), out.empty(), label)) {
+    out.push_back(s.front());
+    s.remove_prefix(1);
+  }
+  return !out.empty();
+}
+
+inline void skip_ws(std::string_view& s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+}
+
+inline bool parse_value(std::string_view s, double& out) {
+  if (s == "+Inf" || s == "Inf") { out = 1e308 * 10; return true; }
+  if (s == "-Inf") { out = -1e308 * 10; return true; }
+  if (s == "NaN") { out = 0; return true; }
+  if (s.empty()) return false;
+  std::string tmp(s);
+  char* end = nullptr;
+  out = std::strtod(tmp.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace prom_detail
+
+/// Parse + validate one exposition payload. On success, optionally fills
+/// `series` with every sample parsed. On failure returns false and sets
+/// `err` to "line N: reason".
+inline bool validate_prometheus(std::string_view text, std::string* err,
+                                std::vector<PromSeries>* series = nullptr) {
+  using namespace prom_detail;
+  auto fail = [&](size_t line, const std::string& why) {
+    if (err != nullptr) *err = "line " + std::to_string(line) + ": " + why;
+    return false;
+  };
+
+  std::map<std::string, std::string> family_type;  // family -> TYPE
+  std::map<std::string, bool> family_sampled;      // family has samples
+  // Histogram bookkeeping: family -> (label-set-minus-le -> last cumulative
+  // count / last le / saw +Inf / inf value) and _count values for matching.
+  struct HistState {
+    double last_le = -1e308 * 10;
+    uint64_t last_cum = 0;
+    bool saw_inf = false;
+    double inf_value = 0;
+    bool saw_count = false;
+    double count_value = 0;
+  };
+  std::map<std::string, HistState> hist;  // key: family + "|" + labels
+
+  size_t lineno = 0;
+  size_t nsamples = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+
+    if (line.front() == '#') {
+      std::string_view s = line.substr(1);
+      skip_ws(s);
+      std::string kw;
+      size_t sp = s.find(' ');
+      if (sp == std::string_view::npos) continue;  // plain comment
+      kw = std::string(s.substr(0, sp));
+      if (kw != "HELP" && kw != "TYPE") continue;  // plain comment
+      s.remove_prefix(sp);
+      skip_ws(s);
+      std::string fam;
+      if (!parse_name(s, fam, /*label=*/false))
+        return fail(lineno, "# " + kw + " without a metric name");
+      skip_ws(s);
+      if (kw == "TYPE") {
+        std::string ty(s);
+        if (ty != "counter" && ty != "gauge" && ty != "histogram" &&
+            ty != "summary" && ty != "untyped")
+          return fail(lineno, "unknown TYPE '" + ty + "'");
+        if (family_type.count(fam) != 0)
+          return fail(lineno, "duplicate TYPE for family " + fam);
+        if (family_sampled.count(fam) != 0)
+          return fail(lineno, "TYPE for " + fam + " after its samples");
+        family_type[fam] = ty;
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    std::string_view s = line;
+    PromSeries ps;
+    if (!parse_name(s, ps.name, /*label=*/false))
+      return fail(lineno, "bad metric name");
+    if (!s.empty() && s.front() == '{') {
+      s.remove_prefix(1);
+      for (;;) {
+        skip_ws(s);
+        if (!s.empty() && s.front() == '}') { s.remove_prefix(1); break; }
+        std::string lname;
+        if (!parse_name(s, lname, /*label=*/true))
+          return fail(lineno, "bad label name");
+        if (s.empty() || s.front() != '=')
+          return fail(lineno, "label '" + lname + "' missing '='");
+        s.remove_prefix(1);
+        if (s.empty() || s.front() != '"')
+          return fail(lineno, "label value must be double-quoted");
+        s.remove_prefix(1);
+        std::string lval;
+        bool closed = false;
+        while (!s.empty()) {
+          char c = s.front();
+          s.remove_prefix(1);
+          if (c == '\\') {
+            if (s.empty()) return fail(lineno, "dangling escape");
+            char e = s.front();
+            s.remove_prefix(1);
+            if (e != '\\' && e != '"' && e != 'n')
+              return fail(lineno, "bad escape in label value");
+            lval.push_back(e == 'n' ? '\n' : e);
+          } else if (c == '"') {
+            closed = true;
+            break;
+          } else {
+            lval.push_back(c);
+          }
+        }
+        if (!closed) return fail(lineno, "unterminated label value");
+        ps.labels.emplace_back(std::move(lname), std::move(lval));
+        skip_ws(s);
+        if (!s.empty() && s.front() == ',') s.remove_prefix(1);
+      }
+    }
+    skip_ws(s);
+    // Value runs to next whitespace (an optional timestamp may follow).
+    size_t vend = s.find_first_of(" \t");
+    std::string_view vstr = s.substr(0, vend);
+    if (!parse_value(vstr, ps.value))
+      return fail(lineno, "bad sample value '" + std::string(vstr) + "'");
+    if (vend != std::string_view::npos) {
+      std::string_view ts = s.substr(vend);
+      skip_ws(ts);
+      double ignored;
+      if (!ts.empty() && !parse_value(ts, ignored))
+        return fail(lineno, "bad timestamp");
+    }
+
+    // Family = sample name minus a histogram suffix when that family is
+    // declared a histogram.
+    std::string family = ps.name;
+    for (const char* suf : {"_bucket", "_sum", "_count"}) {
+      const std::string sufs(suf);
+      if (family.size() > sufs.size() &&
+          family.compare(family.size() - sufs.size(), sufs.size(), sufs) ==
+              0) {
+        std::string base = family.substr(0, family.size() - sufs.size());
+        auto it = family_type.find(base);
+        if (it != family_type.end() &&
+            (it->second == "histogram" || it->second == "summary")) {
+          family = base;
+          break;
+        }
+      }
+    }
+    family_sampled[family] = true;
+
+    auto ft = family_type.find(family);
+    if (ft != family_type.end() && ft->second == "histogram") {
+      // Key by labels minus le so per-labelset bucket chains validate
+      // independently.
+      std::string key = family + "|";
+      std::string le_val;
+      bool has_le = false;
+      for (const auto& [k, v] : ps.labels) {
+        if (k == "le") {
+          has_le = true;
+          le_val = v;
+        } else {
+          key += k + "=" + v + ";";
+        }
+      }
+      HistState& hs = hist[key];
+      if (ps.name == family + "_bucket") {
+        if (!has_le)
+          return fail(lineno, family + "_bucket missing le label");
+        double le;
+        if (!parse_value(le_val, le))
+          return fail(lineno, "bad le value '" + le_val + "'");
+        if (le_val == "+Inf") {
+          hs.saw_inf = true;
+          hs.inf_value = ps.value;
+        } else {
+          if (le <= hs.last_le)
+            return fail(lineno, family + " buckets out of le order");
+          if (hs.saw_inf)
+            return fail(lineno, family + " bucket after +Inf");
+          hs.last_le = le;
+        }
+        if (ps.value + 0.5 < static_cast<double>(hs.last_cum))
+          return fail(lineno, family + " cumulative bucket count decreased");
+        hs.last_cum = static_cast<uint64_t>(ps.value);
+      } else if (ps.name == family + "_count") {
+        hs.saw_count = true;
+        hs.count_value = ps.value;
+      }
+    }
+
+    ++nsamples;
+    if (series != nullptr) series->push_back(std::move(ps));
+  }
+
+  if (nsamples == 0) return fail(lineno, "no samples in exposition");
+
+  for (const auto& [key, hs] : hist) {
+    const std::string family = key.substr(0, key.find('|'));
+    if (!hs.saw_inf)
+      return fail(0, "histogram " + family + " missing le=\"+Inf\" bucket");
+    if (hs.saw_count && hs.inf_value != hs.count_value)
+      return fail(0, "histogram " + family + " +Inf bucket != _count");
+  }
+  return true;
+}
+
+/// True when the exposition contains at least one sample whose name starts
+/// with `prefix` (CI uses this to assert layer coverage).
+inline bool has_metric_prefix(std::string_view text, std::string_view prefix) {
+  std::vector<PromSeries> series;
+  std::string err;
+  if (!validate_prometheus(text, &err, &series)) return false;
+  for (const auto& s : series)
+    if (s.name.size() >= prefix.size() &&
+        s.name.compare(0, prefix.size(), prefix) == 0)
+      return true;
+  return false;
+}
+
+}  // namespace bref::obs

@@ -1,0 +1,100 @@
+#pragma once
+// bref::obs — flight recorder: per-worker rings of sampled trace spans.
+//
+// Histograms (metrics.h) tell you THAT p99 is 2.4 ms; the flight recorder
+// tells you WHICH requests paid it and where. Each server worker owns a
+// fixed-size ring of TraceSpans; roughly one request in `sample_every`
+// (default 128, ≈1%, runtime-adjustable over the wire via TRACE_DUMP with
+// a body) deposits a span recording its op type, shard, owning worker and
+// the per-stage nanosecond breakdown the worker loop measured anyway:
+// queue-wait (epoll wakeup → this frame's execute), execute, and the
+// flush share of its write wave. TRACE_DUMP returns the tail of every
+// ring — the last kCapacity sampled spans per worker, oldest first.
+//
+// Cost model: the ring is fixed storage (no allocation ever); push/dump
+// take a per-ring spinlock, but a push happens only for sampled requests
+// (~1%) and a dump only when a client asks, so the lock is uncontended in
+// steady state and exists purely to keep dumps torn-span-free (and TSan
+// clean). The sampling decision itself is one thread-local counter
+// decrement — that is the only per-request cost when tracing is idle.
+//
+// This header depends only on common/ — op codes are carried as raw
+// uint8_t so the net layer (which knows their names) can render dumps
+// without obs depending on net.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/spinlock.h"
+
+namespace bref::obs {
+
+struct TraceSpan {
+  uint64_t end_ns = 0;    ///< completion time, steady-clock ns
+  uint32_t queue_ns = 0;  ///< epoll wakeup -> start of this conn's execute
+  uint32_t exec_ns = 0;   ///< execute of this frame
+  uint32_t flush_ns = 0;  ///< flush of the conn's write wave (shared cost)
+  uint16_t shard = 0;     ///< routed shard (0 when unsharded / n/a)
+  uint8_t op = 0;         ///< wire op code (net::Op), raw
+  uint8_t worker = 0;     ///< worker index that executed it
+};
+
+/// Global sampling knob: a span is recorded for ~one request in
+/// `trace_sample_every()` (0 disables tracing entirely). Runtime-writable
+/// (TRACE_DUMP with a 4-byte body sets it).
+inline std::atomic<uint32_t>& trace_sample_every() {
+  static std::atomic<uint32_t> every{128};
+  return every;
+}
+
+/// Per-request sampling decision; one thread-local countdown, no atomics
+/// on the common path.
+inline bool trace_should_sample() {
+  const uint32_t every = trace_sample_every().load(std::memory_order_relaxed);
+  if (every == 0) return false;
+  thread_local uint32_t countdown = 0;
+  if (countdown == 0) {
+    countdown = every;
+    return true;
+  }
+  --countdown;
+  return false;
+}
+
+class TraceRing {
+ public:
+  static constexpr size_t kCapacity = 4096;  // power of two, ~96 KiB
+
+  void push(const TraceSpan& s) noexcept {
+    std::lock_guard<Spinlock> g(lock_);
+    spans_[next_ & (kCapacity - 1)] = s;
+    ++next_;
+  }
+
+  /// Copy out the tail, oldest first. `total` (optional) receives the
+  /// number of spans ever pushed, so callers can report drops.
+  std::vector<TraceSpan> dump(uint64_t* total = nullptr) const {
+    std::lock_guard<Spinlock> g(lock_);
+    const uint64_t n = next_ < kCapacity ? next_ : kCapacity;
+    std::vector<TraceSpan> out;
+    out.reserve(n);
+    for (uint64_t i = next_ - n; i < next_; ++i)
+      out.push_back(spans_[i & (kCapacity - 1)]);
+    if (total != nullptr) *total = next_;
+    return out;
+  }
+
+  uint64_t pushed() const noexcept {
+    std::lock_guard<Spinlock> g(lock_);
+    return next_;
+  }
+
+ private:
+  mutable Spinlock lock_;
+  uint64_t next_ = 0;
+  TraceSpan spans_[kCapacity] = {};
+};
+
+}  // namespace bref::obs

@@ -36,6 +36,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -45,9 +46,29 @@
 #include "api/set_interface.h"
 #include "common/cacheline.h"
 #include "common/thread_registry.h"
+#include "common/timing.h"
+#include "obs/metrics.h"
 #include "shard/sharded_set.h"
 
 namespace bref {
+
+/// Per-shard-index backlog gauges (obs, shard layer): `bref_maintenance_
+/// backlog{shard="i"}`, summed over live services driving that shard
+/// index. Created lazily so only shard indices that actually run workers
+/// appear in the exposition. Leaky, like every obs aggregation point.
+inline obs::GaugeSet& maintenance_backlog_gauge(size_t shard) {
+  static Spinlock lock;
+  static auto* gauges = new std::vector<obs::GaugeSet*>();
+  std::lock_guard<Spinlock> g(lock);
+  while (gauges->size() <= shard) {
+    gauges->push_back(new obs::GaugeSet(
+        obs::GaugeSet::Agg::kSum, "bref_maintenance_backlog",
+        "Reclaimable items (limbo nodes + prunable bundle entries) behind "
+        "the maintenance worker, as of its last pass",
+        "shard=\"" + std::to_string(gauges->size()) + "\""));
+  }
+  return *(*gauges)[shard];
+}
 
 struct MaintenanceOptions {
   /// Base pause between passes (0 = back-to-back, Table 1's d=0).
@@ -59,6 +80,12 @@ struct MaintenanceOptions {
   /// Take worker ids from SessionPool (see header) instead of dedicated
   /// top-of-range slots.
   bool pooled_tids = false;
+  /// Warn (one rate-limited stderr line) when a worker's post-pass backlog
+  /// exceeds this bound; 0 disables. The precursor to backlog-driven
+  /// wakeups: the signal exists and is visible before it steers anything.
+  size_t backlog_warn = 0;
+  /// Minimum spacing between warnings per worker.
+  std::chrono::milliseconds backlog_warn_interval{5000};
 };
 
 struct ShardMaintenanceStats {
@@ -66,6 +93,7 @@ struct ShardMaintenanceStats {
   uint64_t bundle_entries_pruned = 0;
   uint64_t limbo_flushed = 0;
   uint64_t idle_backoffs = 0;
+  uint64_t backlog = 0;  // reclaimables behind the worker, last pass
 };
 
 class MaintenanceService {
@@ -81,6 +109,7 @@ class MaintenanceService {
     } else {
       workers_.push_back(std::make_unique<Worker>(&set));
     }
+    register_gauges();
   }
   /// Explicit target list (advanced: several plain sets under one service).
   explicit MaintenanceService(std::vector<AnyOrderedSet*> targets,
@@ -88,6 +117,7 @@ class MaintenanceService {
       : opt_(opt) {
     for (AnyOrderedSet* s : targets)
       workers_.push_back(std::make_unique<Worker>(s));
+    register_gauges();
   }
 
   ~MaintenanceService() { stop(); }
@@ -112,9 +142,9 @@ class MaintenanceService {
       }
     }
     stop_.store(false, std::memory_order_relaxed);
-    for (auto& worker : workers_) {
-      Worker& w = *worker;
-      w.thread = std::thread([this, &w] { run(w); });
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = *workers_[i];
+      w.thread = std::thread([this, &w, i] { run(w, i); });
     }
     running_ = true;
   }
@@ -147,6 +177,7 @@ class MaintenanceService {
     s.bundle_entries_pruned = w.pruned->load(std::memory_order_relaxed);
     s.limbo_flushed = w.flushed->load(std::memory_order_relaxed);
     s.idle_backoffs = w.idle_backoffs->load(std::memory_order_relaxed);
+    s.backlog = w.backlog->load(std::memory_order_relaxed);
     return s;
   }
   ShardMaintenanceStats total() const {
@@ -157,6 +188,7 @@ class MaintenanceService {
       t.bundle_entries_pruned += s.bundle_entries_pruned;
       t.limbo_flushed += s.limbo_flushed;
       t.idle_backoffs += s.idle_backoffs;
+      t.backlog += s.backlog;
     }
     return t;
   }
@@ -171,7 +203,20 @@ class MaintenanceService {
     CachePadded<std::atomic<uint64_t>> pruned{};
     CachePadded<std::atomic<uint64_t>> flushed{};
     CachePadded<std::atomic<uint64_t>> idle_backoffs{};
+    CachePadded<std::atomic<uint64_t>> backlog{};
+    Clock::time_point last_warn{};  // worker-thread private
+    obs::GaugeSet::Source backlog_src;  // reads `backlog` above only
   };
+
+  void register_gauges() {
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Worker* w = workers_[i].get();
+      w->backlog_src = maintenance_backlog_gauge(i).add([w] {
+        return static_cast<double>(
+            w->backlog->load(std::memory_order_relaxed));
+      });
+    }
+  }
 
   void release_tids() noexcept {
     for (auto& w : workers_) {
@@ -180,7 +225,7 @@ class MaintenanceService {
     }
   }
 
-  void run(Worker& w) {
+  void run(Worker& w, size_t shard) {
     const int tid = opt_.pooled_tids ? SessionPool::thread_tid() : w.tid;
     auto interval = opt_.interval;
     std::unique_lock<std::mutex> lk(mu_);
@@ -195,6 +240,23 @@ class MaintenanceService {
       w.pruned->fetch_add(work.bundle_entries_pruned,
                           std::memory_order_relaxed);
       w.flushed->fetch_add(work.limbo_flushed, std::memory_order_relaxed);
+      // What the pass left behind: the live signal for the obs gauge, the
+      // warning below, and (next) backlog-driven wakeups.
+      const size_t backlog = w.target->maintenance_backlog();
+      w.backlog->store(backlog, std::memory_order_relaxed);
+      if (opt_.backlog_warn != 0 && backlog > opt_.backlog_warn) {
+        const auto now = Clock::now();
+        if (w.last_warn.time_since_epoch().count() == 0 ||
+            now - w.last_warn >= opt_.backlog_warn_interval) {
+          w.last_warn = now;
+          std::fprintf(stderr,
+                       "[bref-maintenance] shard %zu backlog %zu exceeds "
+                       "bound %zu (pass %llu)\n",
+                       shard, backlog, opt_.backlog_warn,
+                       static_cast<unsigned long long>(
+                           w.passes->load(std::memory_order_relaxed)));
+        }
+      }
       if (opt_.adaptive) {
         if (work.reclaimed() == 0) {
           interval = std::min(

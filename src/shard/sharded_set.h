@@ -60,6 +60,7 @@
 #include "common/thread_registry.h"
 #include "core/global_timestamp.h"
 #include "core/rq_tracker.h"
+#include "obs/metrics.h"
 
 namespace bref {
 
@@ -92,6 +93,34 @@ struct ShardedSetStats {
     return *this;
   }
 };
+
+/// Cross-instance routing counters (obs, shard layer), summed over live
+/// ShardedSets. Registered as counter-kind callbacks: the per-thread
+/// StatSlots stay the source of truth, obs only reads stats().
+inline obs::GaugeSet& sharded_routing_counter(int which) {
+  static auto* single = new obs::GaugeSet(
+      obs::GaugeSet::Agg::kSum, "bref_shard_rqs_total",
+      "Range queries by routing decision", "route=\"single\"",
+      obs::MetricKind::kCounter);
+  static auto* coord = new obs::GaugeSet(
+      obs::GaugeSet::Agg::kSum, "bref_shard_rqs_total",
+      "Range queries by routing decision", "route=\"coordinated\"",
+      obs::MetricKind::kCounter);
+  static auto* fallback = new obs::GaugeSet(
+      obs::GaugeSet::Agg::kSum, "bref_shard_rqs_total",
+      "Range queries by routing decision", "route=\"fallback\"",
+      obs::MetricKind::kCounter);
+  static auto* stamps = new obs::GaugeSet(
+      obs::GaugeSet::Agg::kSum, "bref_shard_timestamps_acquired_total",
+      "Shared-clock reads by coordinated cross-shard range queries", "",
+      obs::MetricKind::kCounter);
+  switch (which) {
+    case 0: return *single;
+    case 1: return *coord;
+    case 2: return *fallback;
+    default: return *stamps;
+  }
+}
 
 class ShardedSet final : public AnyOrderedSet {
  public:
@@ -128,6 +157,14 @@ class ShardedSet final : public AnyOrderedSet {
     pools_.reserve(nshards_);
     for (size_t i = 0; i < nshards_; ++i)
       pools_.emplace_back(std::make_unique<SessionPool>(*shards_[i]));
+    obs_srcs_[0] = sharded_routing_counter(0).add(
+        [this] { return static_cast<double>(stats().single_shard_rqs); });
+    obs_srcs_[1] = sharded_routing_counter(1).add(
+        [this] { return static_cast<double>(stats().coordinated_rqs); });
+    obs_srcs_[2] = sharded_routing_counter(2).add(
+        [this] { return static_cast<double>(stats().fallback_rqs); });
+    obs_srcs_[3] = sharded_routing_counter(3).add(
+        [this] { return static_cast<double>(stats().timestamps_acquired); });
   }
 
   // -- point operations: single-shard fast path ---------------------------
@@ -366,6 +403,8 @@ class ShardedSet final : public AnyOrderedSet {
   mutable CachePadded<std::vector<std::pair<KeyT, ValT>>>
       scratch_[kMaxThreads];
   mutable CachePadded<StatSlot> stats_[kMaxThreads] = {};
+  // Last members: unregistered before the StatSlots they read go away.
+  obs::GaugeSet::Source obs_srcs_[4];
 };
 
 }  // namespace bref

@@ -16,6 +16,7 @@
 #include "common/thread_registry.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/prom_validate.h"
 #include "validation/wing_gong.h"
 
 namespace {
@@ -411,6 +412,95 @@ TEST(Shutdown, DrainsBufferedFramesOnStop) {
   stopper.join();
   ASSERT_EQ(rs.size(), 64u);
   for (const Reply& r : rs) EXPECT_EQ(r.status, Status::kOk);
+}
+
+// ---- observability over the wire -------------------------------------------
+
+// The BENCH_6 regression: a mid-run stats document reported
+// "connections": 0 while 64 clients were actively driving the server.
+// Live connections must be visible WHILE they are connected, from both
+// the stats document and the Prometheus gauge, and the peak must survive
+// the connections going away.
+TEST(Observability, LiveConnectionsVisibleUnderLoad) {
+  Server srv(small_opts(/*workers=*/2));
+  srv.start();
+  std::vector<Client> conns;
+  for (int i = 0; i < 64; ++i) conns.emplace_back(srv.port());
+  for (auto& c : conns) ASSERT_TRUE(c.ping());
+  // Mid-run, with every connection still open:
+  const ServerStats st = srv.stats();
+  EXPECT_EQ(st.connections, 64u);
+  EXPECT_GE(st.connections_peak, 64u);
+  const std::string doc = srv.stats_json();
+  EXPECT_EQ(doc.find("\"connections\": 0,"), std::string::npos)
+      << "live connections invisible in mid-run stats:\n"
+      << doc;
+  // The same truth through the metrics path.
+  std::string err;
+  std::vector<bref::obs::PromSeries> series;
+  ASSERT_TRUE(
+      bref::obs::validate_prometheus(conns[0].metrics(), &err, &series))
+      << err;
+  double gauge = -1, peak = -1;
+  for (const auto& s : series) {
+    if (s.name == "bref_net_connections") gauge = s.value;
+    if (s.name == "bref_net_connections_peak") peak = s.value;
+  }
+  EXPECT_EQ(gauge, 64.0);
+  EXPECT_GE(peak, 64.0);
+  // Peak survives the connections; the live gauge follows them down.
+  conns.clear();
+  for (int spin = 0; spin < 200 && srv.stats().connections != 0; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(srv.stats().connections, 0u);
+  EXPECT_GE(srv.stats().connections_peak, 64u);
+  srv.stop();
+}
+
+// METRICS must answer valid Prometheus text exposition covering every
+// instrumented layer: net (server), shard (router), epoch (EBR), core
+// (entry pool) — the CI validator's acceptance gate, as a unit test.
+TEST(Observability, MetricsOpCoversAllLayers) {
+  Server srv(small_opts(/*workers=*/2, /*shards=*/4));
+  srv.start();
+  Client c(srv.port());
+  for (KeyT k = 1; k <= 200; ++k) c.insert(k, k);
+  RangeSnapshot snap;
+  c.range(1, 200, snap);
+  const std::string text = c.metrics();
+  std::string err;
+  ASSERT_TRUE(bref::obs::validate_prometheus(text, &err)) << err;
+  EXPECT_TRUE(bref::obs::has_metric_prefix(text, "bref_net_"));
+  EXPECT_TRUE(bref::obs::has_metric_prefix(text, "bref_shard_"));
+  EXPECT_TRUE(bref::obs::has_metric_prefix(text, "bref_epoch_"));
+  EXPECT_TRUE(bref::obs::has_metric_prefix(text, "bref_entry_pool_"));
+  // Stage attribution flows: the wire path must have recorded per-stage
+  // samples for the traffic above.
+  std::vector<bref::obs::PromSeries> series;
+  ASSERT_TRUE(bref::obs::validate_prometheus(text, &err, &series)) << err;
+  double stage_count = 0;
+  for (const auto& s : series)
+    if (s.name == "bref_net_stage_seconds_count") stage_count += s.value;
+  EXPECT_GT(stage_count, 0.0);
+  srv.stop();
+}
+
+// TRACE_DUMP: rate-setting round trip, then a dump that carries spans
+// whose stage breakdown is consistent (end_ns set, stages recorded).
+TEST(Observability, TraceDumpCarriesSampledSpans) {
+  Server srv(small_opts(/*workers=*/2));
+  srv.start();
+  Client c(srv.port());
+  ASSERT_TRUE(c.trace_rate(1));  // sample everything
+  for (KeyT k = 1; k <= 300; ++k) c.insert(k, k);
+  const std::string dump = c.trace_dump();
+  EXPECT_NE(dump.find("\"sample_every\": 1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"op\": \"insert\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"queue_ns\""), std::string::npos);
+  EXPECT_NE(dump.find("\"exec_ns\""), std::string::npos);
+  EXPECT_NE(dump.find("\"flush_ns\""), std::string::npos);
+  ASSERT_TRUE(c.trace_rate(128));  // restore the default for other tests
+  srv.stop();
 }
 
 // ---- acceptance: loopback linearizability audit ----------------------------

@@ -1,0 +1,276 @@
+// The observability suite: registry registration + snapshot shape, the
+// log₂-histogram bucket math checked against exact sorted-sample
+// quantiles, merge-on-read under an 8-thread recording storm (the TSan
+// job runs this suite), Prometheus text exposition validated by the
+// checked-in parser, GaugeSet instance churn, and the flight recorder's
+// ring wraparound + sampling countdown.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/prom_validate.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace bref;
+using namespace bref::obs;
+
+// ---- bucket math -----------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(bucket_of(0), 0);
+  EXPECT_EQ(bucket_of(1), 1);
+  EXPECT_EQ(bucket_of(2), 2);
+  EXPECT_EQ(bucket_of(3), 2);
+  EXPECT_EQ(bucket_of(4), 3);
+  EXPECT_EQ(bucket_of(7), 3);
+  EXPECT_EQ(bucket_of(8), 4);
+  EXPECT_EQ(bucket_of((1ull << 62) + 5), 63);
+  EXPECT_EQ(bucket_of(~0ull), 63);  // clamped into the last bucket
+}
+
+// Interpolated quantiles from the log₂ buckets must land within one
+// bucket width of the exact sorted-sample quantile — the accuracy bound
+// DESIGN.md §7 claims.
+TEST(Histogram, QuantilesTrackExactWithinBucketWidth) {
+  Xoshiro256 rng(42);
+  HistogramSnapshot h;
+  std::vector<uint64_t> exact;
+  for (int i = 0; i < 200000; ++i) {
+    // Latency-shaped: a lognormal-ish body with a uniform far tail.
+    const uint64_t v = (i % 100 == 0)
+                           ? 1000000 + rng.next_range(9000000)
+                           : 1000 + rng.next_range(200000);
+    h.record(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const double est = h.quantile(q);
+    const double ref = static_cast<double>(
+        exact[static_cast<size_t>(q * (exact.size() - 1))]);
+    // One log₂ bucket spans [2^(i-1), 2^i): a factor-of-two window.
+    EXPECT_LE(est, ref * 2.0 + 1) << "q=" << q;
+    EXPECT_GE(est, ref / 2.0 - 1) << "q=" << q;
+  }
+  EXPECT_NEAR(h.mean(),
+              static_cast<double>(std::accumulate(exact.begin(), exact.end(),
+                                                  uint64_t{0})) /
+                  exact.size(),
+              1e-6);
+}
+
+TEST(Histogram, SnapshotDeltaIsExact) {
+  HistogramSnapshot a, b;
+  for (uint64_t v : {1u, 5u, 5u, 100u}) a.record(v);
+  b = a;
+  for (uint64_t v : {7u, 9u}) b.record(v);
+  b -= a;
+  EXPECT_EQ(b.count, 2u);
+  EXPECT_EQ(b.sum, 16u);
+  EXPECT_EQ(b.buckets[bucket_of(7)] + b.buckets[bucket_of(9)], 2u);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  HistogramSnapshot h;
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+// ---- merge-on-read under concurrency ---------------------------------------
+
+TEST(Registry, EightThreadRecordingMergesLosslessly) {
+  Counter& c = registry().counter("bref_test_merge_total", "test counter");
+  Histogram& h =
+      registry().histogram("bref_test_merge_seconds", "test histogram");
+  const uint64_t before_c = c.value();
+  const HistogramSnapshot before_h = h.snapshot();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPer = 50000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPer; ++i) {
+        c.add(t);
+        h.record(t, i % 1024);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  // Quiescent now: merge-on-read must see every recorded event (the
+  // approximation is only ever about in-flight increments).
+  EXPECT_EQ(c.value() - before_c, kThreads * kPer);
+  HistogramSnapshot after = h.snapshot();
+  after -= before_h;
+  EXPECT_EQ(after.count, kThreads * kPer);
+}
+
+// ---- registry identity + snapshot shape ------------------------------------
+
+TEST(Registry, FindOrCreateReturnsSameInstance) {
+  Counter& a = registry().counter("bref_test_identity_total", "help");
+  Counter& b = registry().counter("bref_test_identity_total", "help");
+  EXPECT_EQ(&a, &b);
+  // Different labels = different series.
+  Counter& c =
+      registry().counter("bref_test_identity_total", "help", "k=\"v\"");
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Registry, JsonSnapshotContainsRegisteredSeries) {
+  registry().counter("bref_test_json_total", "help").bump(3);
+  registry().histogram("bref_test_json_seconds", "help").observe(1000);
+  const std::string j = registry().json();
+  EXPECT_NE(j.find("\"bref_test_json_total\""), std::string::npos);
+  EXPECT_NE(j.find("\"bref_test_json_seconds\""), std::string::npos);
+  EXPECT_NE(j.find("\"p99\""), std::string::npos);
+}
+
+// ---- Prometheus exposition --------------------------------------------------
+
+TEST(Prometheus, ExpositionValidatesAndCarriesSamples) {
+  registry()
+      .counter("bref_test_prom_total", "prom test", "op=\"get\"")
+      .bump(7);
+  registry()
+      .histogram("bref_test_prom_seconds", "prom test hist", "", 1e9)
+      .observe(1500);  // 1.5µs
+  const std::string text = registry().prometheus();
+  std::string err;
+  std::vector<PromSeries> series;
+  ASSERT_TRUE(validate_prometheus(text, &err, &series)) << err;
+  bool saw_counter = false, saw_inf = false;
+  for (const auto& s : series) {
+    if (s.name == "bref_test_prom_total") {
+      saw_counter = true;
+      EXPECT_GE(s.value, 7.0);
+    }
+    if (s.name == "bref_test_prom_seconds_bucket")
+      for (const auto& [k, v] : s.labels)
+        if (k == "le" && v == "+Inf") saw_inf = true;
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_inf);
+}
+
+TEST(Prometheus, ValidatorRejectsMalformedPayloads) {
+  std::string err;
+  EXPECT_FALSE(validate_prometheus("9bad_name 1\n", &err));
+  EXPECT_FALSE(validate_prometheus("m{l=unquoted} 1\n", &err));
+  EXPECT_FALSE(validate_prometheus("m 1\nm 2\n# TYPE m counter\n", &err))
+      << "TYPE after samples must fail";
+  EXPECT_FALSE(validate_prometheus("m notanumber\n", &err));
+  // Histogram with decreasing cumulative counts.
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+      &err));
+  // Histogram missing +Inf.
+  EXPECT_FALSE(validate_prometheus(
+      "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_count 5\n", &err));
+}
+
+// ---- GaugeSet instance churn ------------------------------------------------
+
+TEST(GaugeSet, SourcesComeAndGoWithInstances) {
+  static GaugeSet& gs = *new GaugeSet(GaugeSet::Agg::kSum,
+                                      "bref_test_gaugeset", "churn test");
+  EXPECT_EQ(gs.read(), 0.0);
+  {
+    GaugeSet::Source a = gs.add([] { return 3.0; });
+    GaugeSet::Source b = gs.add([] { return 4.0; });
+    EXPECT_EQ(gs.read(), 7.0);
+    // Moves keep exactly one live registration.
+    GaugeSet::Source c = std::move(a);
+    EXPECT_EQ(gs.read(), 7.0);
+  }
+  EXPECT_EQ(gs.read(), 0.0) << "dead instances must leave no residue";
+  GaugeSet::Source d = gs.add([] { return 9.0; });
+  EXPECT_EQ(gs.read(), 9.0);
+  d.reset();
+  EXPECT_EQ(gs.read(), 0.0);
+}
+
+TEST(GaugeSet, MaxAggregationPicksLargest) {
+  static GaugeSet& gs = *new GaugeSet(GaugeSet::Agg::kMax,
+                                      "bref_test_gaugeset_max", "max test");
+  GaugeSet::Source a = gs.add([] { return 2.0; });
+  GaugeSet::Source b = gs.add([] { return 11.0; });
+  GaugeSet::Source c = gs.add([] { return 5.0; });
+  EXPECT_EQ(gs.read(), 11.0);
+}
+
+// ---- flight recorder --------------------------------------------------------
+
+TEST(TraceRing, WraparoundKeepsNewestTailOldestFirst) {
+  TraceRing ring;
+  const uint64_t n = TraceRing::kCapacity + 904;
+  for (uint64_t i = 0; i < n; ++i) {
+    TraceSpan s;
+    s.end_ns = i;
+    ring.push(s);
+  }
+  uint64_t total = 0;
+  const std::vector<TraceSpan> out = ring.dump(&total);
+  EXPECT_EQ(total, n);
+  ASSERT_EQ(out.size(), TraceRing::kCapacity);
+  EXPECT_EQ(out.front().end_ns, n - TraceRing::kCapacity);
+  EXPECT_EQ(out.back().end_ns, n - 1);
+  for (size_t i = 1; i < out.size(); ++i)
+    ASSERT_EQ(out[i].end_ns, out[i - 1].end_ns + 1);
+}
+
+TEST(TraceSampling, CountdownHonorsRateAndZeroDisables) {
+  const uint32_t old = trace_sample_every().load();
+  trace_sample_every().store(10);
+  // Drain whatever countdown this thread carried in, then count over a
+  // fresh window: exactly one sample per 10 decisions.
+  for (int i = 0; i < 11; ++i) trace_should_sample();
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) hits += trace_should_sample() ? 1 : 0;
+  EXPECT_GE(hits, 9);
+  EXPECT_LE(hits, 11);
+  trace_sample_every().store(0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(trace_should_sample());
+  trace_sample_every().store(old);
+}
+
+TEST(TraceRing, ConcurrentPushersNeverTearSpans) {
+  TraceRing ring;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (uint64_t i = 0; i < 5000; ++i) {
+        TraceSpan s;
+        // op/worker carry the writer id; a torn span would mix them.
+        s.op = static_cast<uint8_t>(t);
+        s.worker = static_cast<uint8_t>(t);
+        s.end_ns = i;
+        ring.push(s);
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed))
+      for (const TraceSpan& s : ring.dump()) ASSERT_EQ(s.op, s.worker);
+  });
+  for (auto& th : ts) th.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(ring.pushed(), kThreads * 5000u);
+}
+
+}  // namespace

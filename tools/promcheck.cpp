@@ -1,0 +1,80 @@
+// promcheck — validate Prometheus text exposition (format 0.0.4) from a
+// file or stdin, without needing promtool in the image. CI pipes the
+// server's METRICS reply through this to gate merges on exposition
+// validity and layer coverage.
+//
+//   promcheck [file]                 validate; exit 0/1
+//   promcheck [file] --require p...  additionally require >=1 sample whose
+//                                    name starts with each prefix
+//   promcheck [file] --summary      print per-family sample counts
+//
+// With no file argument (or "-"), reads stdin.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/prom_validate.h"
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::vector<std::string> required;
+  bool summary = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require") == 0) {
+      for (++i; i < argc && argv[i][0] != '-'; ++i) required.push_back(argv[i]);
+      --i;
+    } else if (std::strcmp(argv[i], "--summary") == 0) {
+      summary = true;
+    } else {
+      path = argv[i];
+    }
+  }
+
+  std::string text;
+  std::FILE* f = (path == nullptr || std::strcmp(path, "-") == 0)
+                     ? stdin
+                     : std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "promcheck: cannot open %s\n", path);
+    return 1;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  if (f != stdin) std::fclose(f);
+
+  std::string err;
+  std::vector<bref::obs::PromSeries> series;
+  if (!bref::obs::validate_prometheus(text, &err, &series)) {
+    std::fprintf(stderr, "promcheck: INVALID: %s\n", err.c_str());
+    return 1;
+  }
+
+  int rc = 0;
+  for (const std::string& prefix : required) {
+    bool found = false;
+    for (const auto& s : series)
+      if (s.name.compare(0, prefix.size(), prefix) == 0) {
+        found = true;
+        break;
+      }
+    if (!found) {
+      std::fprintf(stderr, "promcheck: no sample with prefix '%s'\n",
+                   prefix.c_str());
+      rc = 1;
+    }
+  }
+
+  if (summary) {
+    std::map<std::string, size_t> families;
+    for (const auto& s : series) ++families[s.name];
+    for (const auto& [name, count] : families)
+      std::printf("%-48s %zu\n", name.c_str(), count);
+  }
+  std::printf("promcheck: OK — %zu samples%s\n", series.size(),
+              required.empty() ? "" : ", all required prefixes present");
+  return rc;
+}
