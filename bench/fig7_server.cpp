@@ -20,14 +20,35 @@
 //   fig7_server [--conns 64] [--clients 4] [--rate 40000] [--workers 4]
 //               [--shards 4] [--impl Bundle-skiplist] [--scenario all]
 //               [--duration 1000] [--keyrange 65536] [--zipf 0.99]
-//               [--txnops 4] [--json [path]] [--metrics-out path]
+//               [--txnops 4] [--wave-budget N] [--json [path]]
+//               [--metrics-out path]
+//
+// Guard-layer scenarios (ISSUE 8):
+//
+//   --scenario overload   point mix at --rate ("overload-1x", the
+//                         sustainable baseline) then at 5x --rate
+//                         ("overload-5x"). Shed replies (kErrOverloaded)
+//                         are counted separately and EXCLUDED from the
+//                         latency histogram: the reported p99 is the
+//                         p99-of-accepted, and "goodput" is the accepted
+//                         rate. The acceptance gate wants shed > 0 at 5x,
+//                         goodput within tolerance of the baseline, and
+//                         p99-of-accepted within 3x the unloaded one.
+//   --scenario scan       point mix without ("scan-off") and with
+//                         ("scan-on") a background connection running
+//                         whole-keyspace RANGEs back-to-back. With
+//                         cooperative scan chunking the scans must not
+//                         multiply the point p99 by more than ~2x.
+//   --wave-budget N       sets GuardOptions::max_wave_frames (admission
+//                         budget per worker wave; 0 disables shedding).
 //
 // --json records one entry per scenario; "threads" is the connection
-// count, extra carries the offered/achieved rates, the mid-run live
-// connection count, the server-side queue/execute/flush p99 attribution
-// (deltas of the bref_net_stage_seconds histograms over the scenario),
-// and the server's own stats document (frames-per-batch shows how well
-// pipelining coalesced). --metrics-out writes the mid-run Prometheus
+// count, extra carries the offered/achieved rates, shed/goodput, the
+// mid-run live connection count, the server-side queue/execute/flush p99
+// attribution (deltas of the bref_net_stage_seconds histograms over the
+// scenario), and the server's own stats document (frames-per-batch shows
+// how well pipelining coalesced; the "guard" object carries
+// shed/chunked/reaped). --metrics-out writes the mid-run Prometheus
 // scrape to a file (CI validates it with tools/promcheck).
 
 #include <fcntl.h>
@@ -112,8 +133,9 @@ struct Conn {
 };
 
 struct DriverResult {
-  obs::HistogramSnapshot latency;  // ns; merged across threads with +=
-  uint64_t frames = 0;      // request frames completed
+  obs::HistogramSnapshot latency;  // ns; ACCEPTED replies only
+  uint64_t frames = 0;      // request frames completed (accepted + shed)
+  uint64_t shed = 0;        // kErrOverloaded replies (op not executed)
   uint64_t errors = 0;      // connection/protocol failures (expect 0)
   uint64_t stragglers = 0;  // units unanswered at the drain deadline
 };
@@ -231,6 +253,12 @@ void try_read(Conn& c, Clock::time_point t0, DriverResult& res) {
       return;
     }
     ++res.frames;
+    if (reply.overloaded()) {
+      // Shed by admission control: a deliberate, well-formed outcome, not
+      // an error. Excluded from the histogram so p99 is p99-of-accepted.
+      ++res.shed;
+      continue;
+    }
     if (inf.sample) res.latency.record(ns_since(t0) - inf.sched_ns);
   }
   if (off > 0) c.in.erase(c.in.begin(), c.in.begin() + off);
@@ -368,13 +396,38 @@ int main(int argc, char** argv) {
   sopt.key_lo = 0;
   sopt.key_hi = cfg.key_range + 2;
   sopt.maintenance = !args.has("--no-maintain");
+  sopt.guard.max_wave_frames = static_cast<uint32_t>(args.get_long(
+      "--wave-budget", static_cast<long>(sopt.guard.max_wave_frames)));
+  sopt.guard.scan_chunk_keys = static_cast<size_t>(args.get_long(
+      "--scan-chunk", static_cast<long>(sopt.guard.scan_chunk_keys)));
 
+  // A Run is one measured pass: a mix, an offered rate, and optionally a
+  // background whole-keyspace scanner. The guard scenarios are pairs whose
+  // second member perturbs exactly one variable (rate, or the scanner) so
+  // the acceptance gates can compare like with like.
+  struct Run {
+    Scenario mix;
+    const char* label;
+    uint64_t rate;
+    bool scanner;
+  };
   const std::string which = args.get_str("--scenario", "all");
-  std::vector<Scenario> scenarios;
-  if (which == "point" || which == "all") scenarios.push_back(kPoint);
-  if (which == "mixed" || which == "all") scenarios.push_back(kMixed);
-  if (scenarios.empty()) {
-    std::fprintf(stderr, "unknown --scenario %s (point|mixed|all)\n",
+  std::vector<Run> runs;
+  if (which == "point" || which == "all")
+    runs.push_back({kPoint, "point", cfg.rate, false});
+  if (which == "mixed" || which == "all")
+    runs.push_back({kMixed, "mixed", cfg.rate, false});
+  if (which == "overload") {
+    runs.push_back({kPoint, "overload-1x", cfg.rate, false});
+    runs.push_back({kPoint, "overload-5x", cfg.rate * 5, false});
+  }
+  if (which == "scan") {
+    runs.push_back({kPoint, "scan-off", cfg.rate, false});
+    runs.push_back({kPoint, "scan-on", cfg.rate, true});
+  }
+  if (runs.empty()) {
+    std::fprintf(stderr,
+                 "unknown --scenario %s (point|mixed|all|overload|scan)\n",
                  which.c_str());
     return 1;
   }
@@ -386,14 +439,16 @@ int main(int argc, char** argv) {
               cfg.clients, static_cast<unsigned long long>(cfg.rate),
               cfg.duration_ms, static_cast<long long>(cfg.key_range),
               cfg.zipf_theta);
-  std::printf("%8s %10s %10s %9s %9s %9s %9s %6s\n", "mix", "offered/s",
-              "achieved/s", "p50us", "p99us", "p999us", "maxus", "err");
+  std::printf("%12s %10s %10s %9s %9s %9s %9s %8s %6s\n", "mix",
+              "offered/s", "goodput/s", "p50us", "p99us", "p999us", "maxus",
+              "shed", "err");
 
   const std::string metrics_out = args.get_str("--metrics-out", "");
   std::string last_metrics;  // latest mid-run Prometheus scrape
 
-  for (const Scenario& sc : scenarios) {
-    cfg.mix = sc;
+  for (const Run& run : runs) {
+    cfg.mix = run.mix;
+    cfg.rate = run.rate;
     net::Server server(sopt);  // fresh server per scenario: clean stats
     server.start();
     cfg.port = server.port();
@@ -421,6 +476,31 @@ int main(int argc, char** argv) {
         results[i] = drive(cfg, i, nconns, ready, t0, end_ns);
       });
     }
+    // Background scanner ("scan-on"): one connection issuing
+    // whole-keyspace RANGEs for the life of the run, with a short think
+    // time between scans. Back-to-back scans would re-measure raw memory
+    // bandwidth (hundreds of MB/s of response traffic); the think time
+    // keeps a scan in flight a sizable fraction of the run — well above
+    // the 1% a p99 needs — while the gate measures what it claims to:
+    // point-op latency while a chunked cooperative scan executes.
+    std::atomic<bool> scan_stop{false};
+    std::atomic<uint64_t> bg_scans{0};
+    std::thread scanner;
+    if (run.scanner) {
+      scanner = std::thread([&] {
+        try {
+          net::Client sc(cfg.port);
+          RangeSnapshot snap;
+          while (!scan_stop.load(std::memory_order_relaxed)) {
+            sc.range(0, cfg.key_range + 2, snap);
+            bg_scans.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+          }
+        } catch (const net::ClientError&) {
+          // Tear-down racing the last scan; the bg_scans count stands.
+        }
+      });
+    }
     // Mid-run monitor: scrape METRICS and STATS over a connection of its
     // own while every driver connection is live — the regression check
     // for live-connection visibility (a mid-run "connections": 0 was
@@ -440,6 +520,8 @@ int main(int argc, char** argv) {
     for (auto& th : threads) th.join();
     monitor.join();
     const double elapsed = elapsed_s(t0);
+    scan_stop.store(true, std::memory_order_relaxed);
+    if (scanner.joinable()) scanner.join();
     if (!midrun_metrics.empty()) last_metrics = midrun_metrics;
     long midrun_conns = -1;
     const size_t cpos = midrun_stats.find("\"connections\": ");
@@ -450,6 +532,7 @@ int main(int argc, char** argv) {
     for (auto& r : results) {
       total.latency += r.latency;
       total.frames += r.frames;
+      total.shed += r.shed;
       total.errors += r.errors;
       total.stragglers += r.stragglers;
     }
@@ -472,24 +555,38 @@ int main(int argc, char** argv) {
     const std::string server_stats = server.stats_json();
     server.stop();
 
+    // shed_pct is over unit-ending replies: shed frames vs accepted
+    // samples (every shed frame would have ended its unit in these mixes).
+    const double shed_pct =
+        total.shed + total.latency.count > 0
+            ? 100.0 * static_cast<double>(total.shed) /
+                  static_cast<double>(total.shed + total.latency.count)
+            : 0.0;
     char mix_str[48];
-    std::snprintf(mix_str, sizeof mix_str, "%s-%d-%d-%d-%d", sc.name,
-                  sc.u_pct, sc.c_pct, sc.rq_pct, sc.txn_pct);
-    std::printf("%8s %10llu %10.0f %9.1f %9.1f %9.1f %9.1f %6llu\n", sc.name,
-                static_cast<unsigned long long>(cfg.rate), m.mops * 1e6,
-                m.p50_us, m.p99_us, m.p999_us, m.max_us,
+    std::snprintf(mix_str, sizeof mix_str, "%s-%d-%d-%d-%d", run.label,
+                  run.mix.u_pct, run.mix.c_pct, run.mix.rq_pct,
+                  run.mix.txn_pct);
+    std::printf("%12s %10llu %10.0f %9.1f %9.1f %9.1f %9.1f %8llu %6llu\n",
+                run.label, static_cast<unsigned long long>(cfg.rate),
+                m.mops * 1e6, m.p50_us, m.p99_us, m.p999_us, m.max_us,
+                static_cast<unsigned long long>(total.shed),
                 static_cast<unsigned long long>(total.errors +
                                                 total.stragglers));
-    char extra_buf[512];
+    char extra_buf[768];
     std::snprintf(
         extra_buf, sizeof extra_buf,
         "\"conns\": %d, \"clients\": %d, \"offered_rate\": %llu, "
-        "\"achieved_rate\": %.0f, \"frames\": %llu, \"errors\": %llu, "
-        "\"stragglers\": %llu, \"midrun_connections\": %ld, "
-        "\"queue_p99_us\": %.1f, \"execute_p99_us\": %.1f, "
-        "\"flush_p99_us\": %.1f, \"server\": ",
+        "\"achieved_rate\": %.0f, \"goodput_rate\": %.0f, \"shed\": %llu, "
+        "\"shed_pct\": %.2f, \"bg_scans\": %llu, \"frames\": %llu, "
+        "\"errors\": %llu, \"stragglers\": %llu, "
+        "\"midrun_connections\": %ld, \"queue_p99_us\": %.1f, "
+        "\"execute_p99_us\": %.1f, \"flush_p99_us\": %.1f, \"server\": ",
         cfg.conns, cfg.clients, static_cast<unsigned long long>(cfg.rate),
-        m.mops * 1e6, static_cast<unsigned long long>(total.frames),
+        m.mops * 1e6, m.mops * 1e6,
+        static_cast<unsigned long long>(total.shed), shed_pct,
+        static_cast<unsigned long long>(
+            bg_scans.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(total.frames),
         static_cast<unsigned long long>(total.errors),
         static_cast<unsigned long long>(total.stragglers), midrun_conns,
         stage_p99_us[0], stage_p99_us[1], stage_p99_us[2]);

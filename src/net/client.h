@@ -22,14 +22,34 @@
 // (per-op results) or txn_abort(). One client = one connection = one
 // in-flight user; the class is not thread-safe (use one Client per
 // thread, like sessions).
+//
+// Robustness contract (every failure is a typed NetError, never a hang):
+//
+//   * connect honors ClientOptions::connect_timeout_ms, retrying refused
+//     connections with jittered backoff until the deadline — racing a
+//     server that is still binding is safe.
+//   * every read site is deadline-bounded (SO_RCVTIMEO per syscall,
+//     op_deadline_ms per reply): a peer dying mid-pipeline, a black-holed
+//     connection, or a half-open socket surfaces as kTimeout / kEof /
+//     kReset within the deadline instead of blocking forever.
+//   * synchronous ops transparently retry kErrOverloaded replies with
+//     jittered exponential backoff floored at the server's retry-after
+//     hint, up to overload_retries and within op_deadline_ms; past that
+//     the NetError carries kOverloaded. Pipelined mode does NOT retry —
+//     collect() surfaces shed replies (Reply::overloaded()) so batch
+//     callers decide themselves.
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <optional>
 #include <stdexcept>
@@ -39,47 +59,101 @@
 
 #include "api/range_snapshot.h"
 #include "api/types.h"
+#include "common/backoff.h"
 #include "net/protocol.h"
+#include "net/testing/faultfd.h"
 
 namespace bref::net {
 
-/// Thrown on connection failure, unexpected EOF, or a reply that does not
-/// parse — conditions where the byte stream is no longer trustworthy.
-class ClientError : public std::runtime_error {
+/// Why a NetError was thrown — stable across what() wording changes, so
+/// tests and retry policies can branch on it.
+enum class NetErrorKind : uint8_t {
+  kConnect,     // could not establish the connection within its deadline
+  kTimeout,     // a read/write deadline expired (connection may be dead)
+  kEof,         // orderly shutdown from the peer mid-conversation
+  kReset,       // ECONNRESET / EPIPE — the peer vanished
+  kProtocol,    // reply bytes do not parse / do not match the request
+  kOverloaded,  // server kept shedding past every retry
+  kIo,          // any other socket error
+};
+
+inline const char* to_string(NetErrorKind k) {
+  switch (k) {
+    case NetErrorKind::kConnect: return "connect";
+    case NetErrorKind::kTimeout: return "timeout";
+    case NetErrorKind::kEof: return "eof";
+    case NetErrorKind::kReset: return "reset";
+    case NetErrorKind::kProtocol: return "protocol";
+    case NetErrorKind::kOverloaded: return "overloaded";
+    case NetErrorKind::kIo: return "io";
+  }
+  return "?";
+}
+
+/// Thrown on connection failure, deadline expiry, unexpected EOF/reset,
+/// shedding past every retry, or a reply that does not parse.
+class NetError : public std::runtime_error {
  public:
-  explicit ClientError(const std::string& what) : std::runtime_error(what) {}
+  NetError(NetErrorKind kind, const std::string& what)
+      : std::runtime_error(std::string(net::to_string(kind)) + ": " + what),
+        kind_(kind) {}
+  NetErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  NetErrorKind kind_;
+};
+
+/// Historical name; every throw site now carries a NetErrorKind.
+using ClientError = NetError;
+
+struct ClientOptions {
+  uint32_t connect_timeout_ms = 5'000;  // total budget incl. refused-retries
+  uint32_t recv_timeout_ms = 1'000;     // per-recv slice (SO_RCVTIMEO)
+  uint32_t op_deadline_ms = 30'000;     // per-reply / per-op total budget
+  uint32_t overload_retries = 8;        // sync ops only; 0 = never retry
+  uint64_t backoff_seed = 0x9e3779b97f4a7c15ull;  // jitter determinism
 };
 
 class Client {
  public:
-  /// Connect to host:port (blocking). Throws ClientError on failure.
-  Client(const std::string& host, uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd_ < 0) throw ClientError("socket: " + errno_str());
+  /// Connect to host:port within opt.connect_timeout_ms (refused
+  /// connections are retried with jittered backoff — racing a server
+  /// that is still binding its listener is safe). Throws NetError.
+  Client(const std::string& host, uint16_t port, ClientOptions opt = {})
+      : opt_(opt), backoff_(opt.backoff_seed) {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-      ::close(fd_);
-      throw ClientError("bad address: " + host);
-    }
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-      const std::string e = errno_str();
-      ::close(fd_);
-      throw ClientError("connect " + host + ":" + std::to_string(port) +
-                        ": " + e);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+      throw NetError(NetErrorKind::kConnect, "bad address: " + host);
+    const uint64_t deadline = now_ms() + opt_.connect_timeout_ms;
+    JitteredBackoff bo(opt_.backoff_seed ^ 0xc0117ec7ull);  // connect jitter
+    for (;;) {
+      const int e = try_connect(addr, deadline);
+      if (e == 0) break;
+      if ((e != ECONNREFUSED && e != ETIMEDOUT && e != EINPROGRESS) ||
+          now_ms() >= deadline)
+        throw NetError(NetErrorKind::kConnect,
+                       "connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(e));
+      bo.sleep();
     }
     int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    set_recv_timeout(opt_.recv_timeout_ms);
   }
   /// Loopback convenience.
-  explicit Client(uint16_t port) : Client("127.0.0.1", port) {}
+  explicit Client(uint16_t port, ClientOptions opt = {})
+      : Client("127.0.0.1", port, opt) {}
 
   ~Client() { close(); }
-  Client(Client&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Client(Client&& o) noexcept
+      : opt_(o.opt_), backoff_(o.backoff_), fd_(std::exchange(o.fd_, -1)) {}
   Client& operator=(Client&& o) noexcept {
     if (this != &o) {
       close();
+      opt_ = o.opt_;
+      backoff_ = o.backoff_;
       fd_ = std::exchange(o.fd_, -1);
     }
     return *this;
@@ -92,6 +166,7 @@ class Client {
     fd_ = -1;
   }
   int fd() const noexcept { return fd_; }
+  const ClientOptions& options() const noexcept { return opt_; }
 
   // -- synchronous surface (mirrors ThreadSession) -------------------------
   bool insert(KeyT key, ValT val) {
@@ -120,7 +195,8 @@ class Client {
     encode_range(buf_, lo, hi);
     Reply r = call(Op::kRange);
     if (r.status != Status::kOk)
-      throw ClientError(std::string("range: ") + to_string(r.status));
+      throw NetError(NetErrorKind::kProtocol,
+                     std::string("range: ") + to_string(r.status));
     out.reset(lo, hi) = std::move(r.items);
     out.set_timestamp(r.ts);
     return out.size();
@@ -190,59 +266,149 @@ class Client {
   }
 
   // -- raw building blocks (Pipeline and the bench driver use these) -------
-  /// Write `n` bytes, looping over short writes. Throws on error.
+  /// Write `n` bytes, looping over short writes. Throws NetError.
   void write_all(const uint8_t* p, size_t n) {
     while (n > 0) {
-      const ssize_t r = ::send(fd_, p, n, MSG_NOSIGNAL);
+      const ssize_t r = fault::send(fd_, p, n, MSG_NOSIGNAL);
       if (r < 0) {
         if (errno == EINTR) continue;
-        throw ClientError("send: " + errno_str());
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+          throw NetError(NetErrorKind::kTimeout, "send stalled");
+        if (errno == ECONNRESET || errno == EPIPE)
+          throw NetError(NetErrorKind::kReset, "send: " + errno_str());
+        throw NetError(NetErrorKind::kIo, "send: " + errno_str());
       }
       p += static_cast<size_t>(r);
       n -= static_cast<size_t>(r);
     }
   }
 
-  /// Read exactly one response frame into `frame_buf` (cleared first) and
-  /// decode it for request kind `req`. Throws on EOF / malformed reply.
-  Reply read_reply(Op req) {
+  /// Read exactly one response frame and decode it for request kind
+  /// `req`, bounded by opt_.op_deadline_ms. Throws NetError (kTimeout /
+  /// kEof / kReset / kProtocol) — never blocks past the deadline even
+  /// when the peer black-holes or dies mid-frame.
+  Reply read_reply(Op req) { return read_reply(req, deadline_from_now()); }
+
+  /// Same, against an explicit absolute deadline (steady ms).
+  Reply read_reply(Op req, uint64_t deadline) {
     frame_.resize(kLenBytes);
-    read_exact(frame_.data(), kLenBytes);
+    read_exact(frame_.data(), kLenBytes, deadline);
     const uint32_t len = get_u32(frame_.data());
-    if (len == 0) throw ClientError("zero-length reply frame");
+    if (len == 0)
+      throw NetError(NetErrorKind::kProtocol, "zero-length reply frame");
     frame_.resize(kLenBytes + len);
-    read_exact(frame_.data() + kLenBytes, len);
+    read_exact(frame_.data() + kLenBytes, len, deadline);
     FrameView f;
     f.tag = frame_[kLenBytes];
     f.body = frame_.data() + kLenBytes + 1;
     f.body_len = len - 1;
     Reply r;
     if (!decode_reply(req, f, &r))
-      throw ClientError("reply payload does not match request kind");
+      throw NetError(NetErrorKind::kProtocol,
+                     "reply payload does not match request kind");
     return r;
   }
 
- private:
-  Reply call(Op req) {
-    write_all(buf_.data(), buf_.size());
-    return read_reply(req);
+  uint64_t deadline_from_now() const { return now_ms() + opt_.op_deadline_ms; }
+  static uint64_t now_ms() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
   }
 
-  void read_exact(uint8_t* p, size_t n) {
+ private:
+  /// One op: send the request, read the reply, transparently retrying
+  /// kErrOverloaded with jittered backoff floored at the server's
+  /// retry-after hint, within op_deadline_ms and overload_retries.
+  Reply call(Op req) {
+    const uint64_t deadline = deadline_from_now();
+    backoff_.reset();
+    for (uint32_t attempt = 0;; ++attempt) {
+      write_all(buf_.data(), buf_.size());
+      Reply r = read_reply(req, deadline);
+      if (!r.overloaded()) return r;
+      if (attempt >= opt_.overload_retries)
+        throw NetError(NetErrorKind::kOverloaded,
+                       "server still shedding after " +
+                           std::to_string(attempt + 1) + " attempts");
+      const uint32_t wait = backoff_.next_ms(r.retry_after_ms);
+      if (now_ms() + wait >= deadline)
+        throw NetError(NetErrorKind::kOverloaded,
+                       "op deadline reached while backing off");
+      JitteredBackoff::sleep_for(wait);
+    }
+  }
+
+  /// recv() exactly n bytes. SO_RCVTIMEO slices the blocking recv so the
+  /// absolute deadline is re-checked about once per recv_timeout_ms.
+  void read_exact(uint8_t* p, size_t n, uint64_t deadline) {
     while (n > 0) {
-      const ssize_t r = ::recv(fd_, p, n, 0);
-      if (r == 0) throw ClientError("server closed the connection");
+      const ssize_t r = fault::recv(fd_, p, n, 0);
+      if (r == 0)
+        throw NetError(NetErrorKind::kEof, "server closed the connection");
       if (r < 0) {
         if (errno == EINTR) continue;
-        throw ClientError("recv: " + errno_str());
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (now_ms() >= deadline)
+            throw NetError(NetErrorKind::kTimeout,
+                           "reply deadline expired mid-read");
+          continue;  // slice elapsed; deadline still ahead
+        }
+        if (errno == ECONNRESET)
+          throw NetError(NetErrorKind::kReset, "recv: " + errno_str());
+        throw NetError(NetErrorKind::kIo, "recv: " + errno_str());
       }
       p += static_cast<size_t>(r);
       n -= static_cast<size_t>(r);
     }
   }
 
+  /// One non-blocking connect attempt against the remaining deadline.
+  /// Returns 0 on success (fd_ is connected and blocking again), else
+  /// the errno-style failure code (fd_ closed).
+  int try_connect(const sockaddr_in& addr, uint64_t deadline) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (fd_ < 0) return errno;
+    int rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr);
+    if (rc < 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      const uint64_t now = now_ms();
+      const int wait =
+          now >= deadline ? 0 : static_cast<int>(deadline - now);
+      rc = ::poll(&pfd, 1, wait);
+      if (rc == 0) return close_with(ETIMEDOUT);
+      if (rc < 0) return close_with(errno);
+      int soerr = 0;
+      socklen_t slen = sizeof soerr;
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &slen);
+      if (soerr != 0) return close_with(soerr);
+    } else if (rc < 0) {
+      return close_with(errno);
+    }
+    const int flags = ::fcntl(fd_, F_GETFL);
+    ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
+    return 0;
+  }
+  int close_with(int e) {
+    ::close(fd_);
+    fd_ = -1;
+    return e;
+  }
+
+  void set_recv_timeout(uint32_t ms) {
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+
   static std::string errno_str() { return std::strerror(errno); }
 
+  ClientOptions opt_;
+  JitteredBackoff backoff_;
   int fd_ = -1;
   std::vector<uint8_t> buf_;    // request scratch
   std::vector<uint8_t> frame_;  // response scratch
@@ -251,6 +417,12 @@ class Client {
 /// Pipelined batch over a Client: queue any number of requests, flush()
 /// them in one write, collect() the replies in request order. The server
 /// executes the whole batch in one epoll wave and answers with one writev.
+///
+/// Overload: shed requests come back as replies with
+/// Reply::overloaded() == true (retry_after_ms carries the hint); the
+/// pipeline does NOT retry them — the caller owns batch retry policy.
+/// A peer dying mid-batch surfaces as NetError (kEof/kReset/kTimeout)
+/// from collect() within the client's op deadline.
 class Pipeline {
  public:
   explicit Pipeline(Client& c) : c_(&c) {}
@@ -285,11 +457,13 @@ class Pipeline {
   }
 
   /// flush() if needed, then read every outstanding reply, in order.
+  /// One deadline bounds the whole batch read.
   std::vector<Reply> collect() {
     if (!buf_.empty()) flush();
+    const uint64_t deadline = c_->deadline_from_now();
     std::vector<Reply> out;
     out.reserve(ops_.size());
-    for (Op op : ops_) out.push_back(c_->read_reply(op));
+    for (Op op : ops_) out.push_back(c_->read_reply(op, deadline));
     ops_.clear();
     return out;
   }

@@ -56,6 +56,8 @@ enum class Status : uint8_t {
   kErrTooLarge = 17,   // declared frame length over the server's max_frame
   kErrTxnState = 18,   // TXN_OP/COMMIT/ABORT without BEGIN, BEGIN twice, ...
   kErrShutdown = 19,   // server draining; op not executed
+  kErrOverloaded = 20, // shed by admission control; op NOT executed.
+                       // body: u32 retry-after hint (milliseconds).
 };
 
 inline const char* to_string(Status s) {
@@ -66,6 +68,7 @@ inline const char* to_string(Status s) {
     case Status::kErrTooLarge: return "too-large";
     case Status::kErrTxnState: return "txn-state";
     case Status::kErrShutdown: return "shutdown";
+    case Status::kErrOverloaded: return "overloaded";
   }
   return "?";
 }
@@ -198,6 +201,16 @@ inline void encode_text_response(std::vector<uint8_t>& b,
   b.push_back(static_cast<uint8_t>(Status::kOk));
   b.insert(b.end(), text.begin(), text.end());
 }
+/// Shed reply: kErrOverloaded carrying the server's retry-after hint in
+/// milliseconds. The op was NOT executed, so an immediate retry is always
+/// safe — the hint just tells a well-behaved client when retrying is
+/// likely to succeed.
+inline void encode_overloaded(std::vector<uint8_t>& b,
+                              uint32_t retry_after_ms) {
+  put_u32(b, 1 + 4);
+  b.push_back(static_cast<uint8_t>(Status::kErrOverloaded));
+  put_u32(b, retry_after_ms);
+}
 
 // -- frame splitting ---------------------------------------------------------
 
@@ -250,11 +263,13 @@ struct Reply {
   Status status = Status::kErrMalformed;
   ValT val = 0;
   timestamp_t ts = RangeSnapshot::kNoTimestamp;
+  uint32_t retry_after_ms = 0;  // kErrOverloaded's hint; 0 otherwise
   std::vector<std::pair<KeyT, ValT>> items;
   std::string text;
   std::vector<TxnOpResult> txn;
 
   bool ok() const { return status == Status::kOk; }
+  bool overloaded() const { return status == Status::kErrOverloaded; }
 };
 
 /// Decode a response frame's payload for the request kind `req`. Returns
@@ -264,9 +279,14 @@ inline bool decode_reply(Op req, const FrameView& f, Reply* r) {
   r->status = f.status();
   r->val = 0;
   r->ts = RangeSnapshot::kNoTimestamp;
+  r->retry_after_ms = 0;
   r->items.clear();
   r->text.clear();
   r->txn.clear();
+  if (r->status == Status::kErrOverloaded) {
+    if (f.body_len == 4) r->retry_after_ms = get_u32(f.body);
+    return true;  // hint optional: tag-only shed replies stay valid
+  }
   if (r->status != Status::kOk) return true;  // error/negative: tag only
   switch (req) {
     case Op::kGet:

@@ -28,13 +28,26 @@
 //     transaction are never interleaved with other ops *on this worker*,
 //     but there is no cross-worker isolation — documented in PROTOCOL.md.
 //
+//   * Guard layer (net/guard.h): long RANGEs run as cooperative chunked
+//     scans under a second, scan-dedicated session per worker (one
+//     timestamp, bounded key-budget slices behind each wave); per-wave
+//     admission budgets shed excess frames with kErrOverloaded +
+//     retry-after; a timer wheel reaps idle connections and write
+//     stalls; pending-write caps disconnect unrecoverably slow readers.
+//     Policy in ServerOptions::guard, counters in ServerStats/obs.
+//
 // Lifecycle: construct -> start() -> stop() (idempotent; the destructor
 // stops). start() spawns the MaintenanceService for the backing set;
 // stop() closes the listener, lets every worker execute what it already
-// buffered and flush pending writes, closes all connections, joins the
-// loops, and stops maintenance — under ASan this is fd- and session-leak
-// free (test_net asserts the ThreadRegistry high-water mark returns to
-// baseline).
+// buffered and flush pending writes (deadline-bounded drain — stragglers
+// are counted in bref_net_stop_dropped), closes all connections, joins
+// the loops, and stops maintenance — under ASan this is fd- and
+// session-leak free (test_net asserts the ThreadRegistry high-water mark
+// returns to baseline).
+//
+// All wire syscalls go through bref::net::fault wrappers
+// (net/testing/faultfd.h): plain passthrough in production, seeded fault
+// injection under the chaos suite.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -46,6 +59,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -64,7 +78,9 @@
 #include "api/session.h"
 #include "api/set_interface.h"
 #include "common/cacheline.h"
+#include "net/guard.h"
 #include "net/protocol.h"
+#include "net/testing/faultfd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "shard/builtin_shards.h"
@@ -196,6 +212,8 @@ struct ServerOptions {
   bool maintenance = true;
   MaintenanceOptions maint{};
   int backlog = 128;
+  /// Overload protection / graceful degradation policy (net/guard.h).
+  GuardOptions guard{};
 };
 
 /// Monotonic server-wide counters (relaxed; exact once quiescent).
@@ -211,6 +229,15 @@ struct ServerStats {
   uint64_t txns_aborted = 0;
   uint64_t connections = 0;       // live right now (approximate under churn)
   uint64_t connections_peak = 0;  // sum of per-worker adoption high-waters
+  // Guard layer (net/guard.h):
+  uint64_t shed = 0;          // frames answered kErrOverloaded (not executed)
+  uint64_t chunked_rqs = 0;   // RANGEs run as cooperative chunked scans
+  uint64_t scan_slices = 0;   // slices executed across all chunked scans
+  uint64_t reaped_idle = 0;         // connections reaped: idle timeout
+  uint64_t reaped_write_stall = 0;  // connections reaped: write stall
+  uint64_t reaped_slow_reader = 0;  // connections reaped: pending cap
+  uint64_t stop_dropped = 0;  // conns closed at stop() with undelivered bytes
+  uint64_t overloaded = 0;    // workers currently shedding (gauge)
 };
 
 class Server {
@@ -232,6 +259,13 @@ class Server {
     } else {
       plain_ = ImplRegistry::instance().create(opt_.impl, inner);
       set_ = plain_.get();
+      // Chunked scans need a readable snapshot clock + an RQ tracker.
+      // ShardedSet owns both; for an unsharded coordinated-capable set
+      // the server plays the coordinator: redirect the set's clock onto
+      // guard_clock_ (same single-shard shape ShardedSet uses).
+      if (desc.caps.coordinated_rq && plain_->adopt_clock(guard_clock_) &&
+          plain_->rq_tracker_hook() != nullptr)
+        plain_scan_ok_ = true;
     }
     if (opt_.maintenance)
       maint_ = std::make_unique<MaintenanceService>(*set_, opt_.maint);
@@ -277,11 +311,16 @@ class Server {
       const int nworkers = opt_.workers < 1 ? 1 : opt_.workers;
       for (int i = 0; i < nworkers; ++i) {
         auto w = std::make_unique<Worker>();
-        // Acquire the worker's session up front, on this thread, so
+        // Acquire the worker's sessions up front, on this thread, so
         // start() can fail with a clear error instead of a dead loop: the
-        // guard is just a dense id, valid from any thread that uses it
-        // exclusively, and this worker's loop is its only user.
-        if (!w->session.acquired()) throw ThreadSlotsExhaustedError();
+        // guards are just dense ids, valid from any thread that uses them
+        // exclusively, and this worker's loop is their only user. The
+        // second id is scan-dedicated: a chunked scan holds EBR pins
+        // across waves, and Ebr::pin/unpin is not reentrant per tid, so
+        // point ops (worker session) and the held scan (scan session)
+        // must not share one.
+        if (!w->session.acquired() || !w->scan_session.acquired())
+          throw ThreadSlotsExhaustedError();
         w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
         w->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
         if (w->epoll_fd < 0 || w->wake_fd < 0) throw_errno("epoll/eventfd");
@@ -321,6 +360,7 @@ class Server {
     // Unregister the obs sources first: removal blocks on in-flight
     // snapshot reads, so no callback can observe workers_ mid-teardown.
     for (auto& s : obs_srcs_) s.reset();
+    for (auto& s : obs_guard_srcs_) s.reset();
     stop_.store(true, std::memory_order_release);
     // Closing the listener wakes the acceptor's epoll_wait with EPOLLHUP
     // semantics; the eventfd write is belt and braces.
@@ -365,7 +405,18 @@ class Server {
       s.txns_aborted += w->txns_aborted.load(std::memory_order_relaxed);
       s.connections += w->nconns.load(std::memory_order_relaxed);
       s.connections_peak += w->peak_conns.load(std::memory_order_relaxed);
+      s.shed += w->shed.load(std::memory_order_relaxed);
+      s.chunked_rqs += w->chunked.load(std::memory_order_relaxed);
+      s.scan_slices += w->scan_slices.load(std::memory_order_relaxed);
+      s.reaped_idle += w->reaped_idle.load(std::memory_order_relaxed);
+      s.reaped_write_stall +=
+          w->reaped_stall.load(std::memory_order_relaxed);
+      s.reaped_slow_reader += w->reaped_slow.load(std::memory_order_relaxed);
+      s.overloaded += w->overloaded.load(std::memory_order_relaxed) ? 1 : 0;
     }
+    // Server-level (not per-worker) so it stays readable after stop()
+    // tears the workers down — it is precisely a shutdown statistic.
+    s.stop_dropped = stop_dropped_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -413,6 +464,21 @@ class Server {
                   static_cast<unsigned long long>(s.protocol_errors),
                   static_cast<unsigned long long>(s.txns_committed),
                   static_cast<unsigned long long>(s.txns_aborted));
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  ", \"guard\": {\"shed\": %llu, \"chunked_rqs\": %llu, "
+                  "\"scan_slices\": %llu, \"reaped_idle\": %llu, "
+                  "\"reaped_write_stall\": %llu, "
+                  "\"reaped_slow_reader\": %llu, \"stop_dropped\": %llu, "
+                  "\"overloaded\": %llu}",
+                  static_cast<unsigned long long>(s.shed),
+                  static_cast<unsigned long long>(s.chunked_rqs),
+                  static_cast<unsigned long long>(s.scan_slices),
+                  static_cast<unsigned long long>(s.reaped_idle),
+                  static_cast<unsigned long long>(s.reaped_write_stall),
+                  static_cast<unsigned long long>(s.reaped_slow_reader),
+                  static_cast<unsigned long long>(s.stop_dropped),
+                  static_cast<unsigned long long>(s.overloaded));
     out += buf;
     if (sharded_) {
       const ShardedSetStats r = sharded_->stats();
@@ -498,10 +564,22 @@ class Server {
     bool closing = false;          // poisoned stream: close once flushed
     bool in_txn = false;
     std::vector<BufferedOp> txn;
+    // Guard state:
+    uint32_t gen = 0;              // timer-wheel validity token
+    uint64_t last_activity_ms = 0; // last byte read (idle reaping)
+    uint64_t pending_since_ms = 0; // pending became nonempty (0 = empty)
+    bool paused = false;   // a chunked scan owns the connection's ordering
+    bool kicked = false;   // epoll events arrived while paused
+    bool scan_queued = false;  // waiting for the worker's scan slot
+    KeyT scan_lo = 0, scan_hi = 0;  // the queued/active scan's interval
   };
 
   struct Worker {
     SessionGuard session;
+    // Scan-dedicated session: chunked scans hold EBR pins across waves,
+    // and Ebr::pin/unpin is not reentrant per tid, so the held scan and
+    // the wave's point ops must run under different ids.
+    SessionGuard scan_session;
     int epoll_fd = -1;
     int wake_fd = -1;
     uint8_t index = 0;  // position in workers_ (trace span attribution)
@@ -509,6 +587,14 @@ class Server {
     // Handoff queue from the acceptor (the only cross-thread touch).
     std::mutex inbox_mu;
     std::vector<int> inbox;
+    // -- loop-private state (only the worker thread touches these) ------
+    std::vector<std::unique_ptr<Conn>> conns;  // indexed by fd
+    TimerWheel wheel;        // idle + write-stall deadlines
+    uint32_t next_gen = 0;   // timer-wheel generation source
+    std::unique_ptr<SnapshotScan> scan;  // active chunked scan (<= 1)
+    int scan_fd = -1;                    // its owning connection
+    uint64_t scan_start_ns = 0;          // op_hist attribution
+    std::vector<int> scan_waiters;       // conns queued for the scan slot
     std::atomic<size_t> nconns{0};
     // High-water of nconns; single-writer (the loop adopts), so a plain
     // load/store bump suffices.
@@ -517,6 +603,10 @@ class Server {
     std::atomic<uint64_t> frames{0}, batches{0}, bytes_in{0}, bytes_out{0};
     std::atomic<uint64_t> protocol_errors{0}, txns_committed{0},
         txns_aborted{0};
+    // Guard counters (net/guard.h semantics; aggregated by stats()).
+    std::atomic<uint64_t> shed{0}, chunked{0}, scan_slices{0};
+    std::atomic<uint64_t> reaped_idle{0}, reaped_stall{0}, reaped_slow{0};
+    std::atomic<bool> overloaded{false};  // last wave shed something
     // Flight-recorder ring (obs/trace.h); written by the loop for sampled
     // requests, drained by any worker executing TRACE_DUMP.
     obs::TraceRing trace;
@@ -550,6 +640,18 @@ class Server {
     reg(7, &Server::obs_protocol_errors);
     reg(8, &Server::obs_txns_committed);
     reg(9, &Server::obs_txns_aborted);
+    auto greg = [this](size_t i, double (Server::*read)() const) {
+      obs_guard_srcs_[i] =
+          guard_series(i).add([this, read] { return (this->*read)(); });
+    };
+    greg(0, &Server::obs_shed);
+    greg(1, &Server::obs_chunked);
+    greg(2, &Server::obs_scan_slices);
+    greg(3, &Server::obs_reaped_idle);
+    greg(4, &Server::obs_reaped_stall);
+    greg(5, &Server::obs_reaped_slow);
+    greg(6, &Server::obs_stop_dropped);
+    greg(7, &Server::obs_overloaded);
   }
   double obs_connections() const { return static_cast<double>(connections()); }
   double obs_peak() const { return static_cast<double>(peak_connections()); }
@@ -571,6 +673,28 @@ class Server {
   double obs_txns_aborted() const {
     return static_cast<double>(stats().txns_aborted);
   }
+  double obs_shed() const { return static_cast<double>(stats().shed); }
+  double obs_chunked() const {
+    return static_cast<double>(stats().chunked_rqs);
+  }
+  double obs_scan_slices() const {
+    return static_cast<double>(stats().scan_slices);
+  }
+  double obs_reaped_idle() const {
+    return static_cast<double>(stats().reaped_idle);
+  }
+  double obs_reaped_stall() const {
+    return static_cast<double>(stats().reaped_write_stall);
+  }
+  double obs_reaped_slow() const {
+    return static_cast<double>(stats().reaped_slow_reader);
+  }
+  double obs_stop_dropped() const {
+    return static_cast<double>(stats().stop_dropped);
+  }
+  double obs_overloaded() const {
+    return static_cast<double>(stats().overloaded);
+  }
 
   static void wake(Worker& w) {
     uint64_t one = 1;
@@ -584,9 +708,16 @@ class Server {
       pollfd p{listen_fd_, POLLIN, 0};
       if (::poll(&p, 1, 50) <= 0) continue;
       for (;;) {
-        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
-        if (fd < 0) break;
+        const int fd = fault::accept4(listen_fd_, nullptr, nullptr,
+                                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          // Out of fds: back off instead of spinning hot on a readable
+          // listener; the pending connection is retried next poll.
+          if (errno == EMFILE || errno == ENFILE)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          break;
+        }
         int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
         accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -603,36 +734,22 @@ class Server {
   // -- worker loop ---------------------------------------------------------
   void worker_loop(Worker& w) {
     const int tid = w.session.tid();
-    std::vector<std::unique_ptr<Conn>> conns;  // indexed by fd
     std::vector<epoll_event> events(256);
     std::vector<uint8_t> scratch;  // this wave's responses, per connection
     RangeSnapshot rq_out;
 
-    auto adopt = [&](int fd) {
-      if (static_cast<size_t>(fd) >= conns.size())
-        conns.resize(static_cast<size_t>(fd) + 1);
-      conns[static_cast<size_t>(fd)] = std::make_unique<Conn>(fd);
-      epoll_event ev{};
-      ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
-      ev.data.fd = fd;
-      ::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
-      const size_t nc = w.nconns.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (nc > w.peak_conns.load(std::memory_order_relaxed))
-        w.peak_conns.store(nc, std::memory_order_relaxed);
-    };
-    auto drop = [&](Conn& c) {
-      ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
-      conns[static_cast<size_t>(c.fd)].reset();  // closes the fd
-      w.nconns.fetch_sub(1, std::memory_order_relaxed);
-      closed_.fetch_add(1, std::memory_order_relaxed);
-    };
-
     for (;;) {
+      // A live (or queued) chunked scan wants the loop back immediately
+      // after servicing what's ready; otherwise sleep one timer-wheel
+      // granularity so deadlines fire near their time.
+      const int timeout =
+          w.scan != nullptr || !w.scan_waiters.empty() ? 0 : 100;
       const int n = ::epoll_wait(w.epoll_fd, events.data(),
-                                 static_cast<int>(events.size()), 100);
+                                 static_cast<int>(events.size()), timeout);
       // Queue-wait attribution starts here: everything a request waits
       // for past this point is this loop's doing, not the kernel's.
       const uint64_t wake_ns = obs_now_ns();
+      const uint64_t now_ms = steady_ms();
       const bool stopping = stop_.load(std::memory_order_acquire);
       // Adopt connections handed over by the acceptor.
       {
@@ -646,10 +763,13 @@ class Server {
             ::close(fd);
             closed_.fetch_add(1, std::memory_order_relaxed);
           } else {
-            adopt(fd);
+            adopt_conn(w, fd, now_ms);
           }
         }
       }
+      // Admission control: one budget per wave, shared by every
+      // connection the wave services (and the scan resume below).
+      WaveBudget budget = WaveBudget::of(opt_.guard);
       for (int i = 0; i < n; ++i) {
         const int fd = events[i].data.fd;
         if (fd == w.wake_fd) {
@@ -658,35 +778,265 @@ class Server {
           }
           continue;
         }
-        Conn* c = static_cast<size_t>(fd) < conns.size()
-                      ? conns[static_cast<size_t>(fd)].get()
+        Conn* c = static_cast<size_t>(fd) < w.conns.size()
+                      ? w.conns[static_cast<size_t>(fd)].get()
                       : nullptr;
         if (c == nullptr) continue;
+        if (c->paused) {
+          // The connection's response ordering is parked behind its
+          // chunked scan: leave the socket unread (the kernel buffer
+          // fills and TCP backpressure throttles the peer) and remember
+          // to service it on resume — the edge won't refire (EPOLLET).
+          c->kicked = true;
+          continue;
+        }
         if ((events[i].events & EPOLLOUT) != 0 && !flush(w, *c, nullptr)) {
-          drop(*c);
+          drop_conn(w, *c);
           continue;
         }
         if ((events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0) {
-          if (!service(w, tid, *c, scratch, rq_out, wake_ns)) drop(*c);
+          if (!service(w, tid, *c, scratch, rq_out, wake_ns, &budget))
+            drop_conn(w, *c);
         }
       }
       if (stopping) {
-        // Drain pass: execute whatever each connection already sent,
-        // flush best-effort, then close everything and leave.
-        for (auto& cp : conns) {
-          if (!cp) continue;
-          service(w, tid, *cp, scratch, rq_out, wake_ns);
-          for (int spin = 0; spin < 100 && has_pending(*cp); ++spin) {
-            if (!flush(w, *cp, nullptr)) break;
-            if (has_pending(*cp))
-              std::this_thread::sleep_for(std::chrono::milliseconds(1));
-          }
-          closed_.fetch_add(1, std::memory_order_relaxed);
-        }
-        conns.clear();
+        drain_and_close(w, tid, scratch, rq_out, wake_ns);
         return;
       }
+      // Behind the wave: one slice of the active chunked scan, then the
+      // wheel's connection deadlines.
+      pump_scan(w, tid, scratch, rq_out, wake_ns, &budget);
+      advance_timers(w, steady_ms());
+      w.overloaded.store(budget.exhausted, std::memory_order_relaxed);
     }
+  }
+
+  void adopt_conn(Worker& w, int fd, uint64_t now_ms) {
+    if (static_cast<size_t>(fd) >= w.conns.size())
+      w.conns.resize(static_cast<size_t>(fd) + 1);
+    auto& c = w.conns[static_cast<size_t>(fd)];
+    c = std::make_unique<Conn>(fd);
+    c->gen = ++w.next_gen;
+    c->last_activity_ms = now_ms;
+    if (opt_.guard.idle_timeout_ms > 0)
+      w.wheel.schedule(now_ms, opt_.guard.idle_timeout_ms, fd, c->gen,
+                       TimerWheel::Kind::kIdle);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+    ev.data.fd = fd;
+    ::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+    const size_t nc = w.nconns.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (nc > w.peak_conns.load(std::memory_order_relaxed))
+      w.peak_conns.store(nc, std::memory_order_relaxed);
+  }
+
+  void drop_conn(Worker& w, Conn& c) {
+    const int fd = c.fd;
+    if (w.scan_fd == fd) {  // abandon the owner's scan; pins released
+      w.scan.reset();
+      w.scan_fd = -1;
+    }
+    if (c.scan_queued)
+      w.scan_waiters.erase(
+          std::remove(w.scan_waiters.begin(), w.scan_waiters.end(), fd),
+          w.scan_waiters.end());
+    ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    w.conns[static_cast<size_t>(fd)].reset();  // closes the fd
+    w.nconns.fetch_sub(1, std::memory_order_relaxed);
+    closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // -- guard layer ---------------------------------------------------------
+
+  /// True when [lo, hi] should run as a chunked scan: chunking enabled,
+  /// a coordinated snapshot path exists, and the interval spans more
+  /// keys than one slice covers.
+  bool chunkable(KeyT lo, KeyT hi) const {
+    const size_t chunk = opt_.guard.scan_chunk_keys;
+    if (chunk == 0 || lo > hi) return false;
+    if (sharded_ ? !sharded_->coordinated() : !plain_scan_ok_) return false;
+    const uint64_t width_minus_1 =
+        ((static_cast<uint64_t>(hi) ^ (uint64_t{1} << 63)) -
+         (static_cast<uint64_t>(lo) ^ (uint64_t{1} << 63)));
+    return width_minus_1 >= chunk;
+  }
+
+  /// Introspection ops stay admitted past the wave budget: overload is
+  /// exactly when PING/STATS/METRICS must keep answering (and TXN_ABORT
+  /// lets a shed-mid-transaction client always clean up).
+  static bool exempt_from_shedding(Op op) {
+    return op == Op::kPing || op == Op::kStats || op == Op::kMetrics ||
+           op == Op::kTraceDump || op == Op::kTxnAbort;
+  }
+
+  std::vector<ShardedSet::ScanPart> scan_plan(KeyT lo, KeyT hi) {
+    if (sharded_) return sharded_->scan_plan(lo, hi);
+    std::vector<ShardedSet::ScanPart> plan;
+    plan.push_back({plain_.get(), plain_->rq_tracker_hook(), lo, hi});
+    return plan;
+  }
+  GlobalTimestamp& scan_clock() {
+    return sharded_ ? sharded_->coordination_clock() : guard_clock_;
+  }
+
+  void begin_scan(Worker& w, Conn& c) {
+    w.scan = std::make_unique<SnapshotScan>(
+        scan_plan(c.scan_lo, c.scan_hi), scan_clock(), w.scan_session.tid(),
+        c.scan_lo, c.scan_hi);
+    w.scan_fd = c.fd;
+    w.scan_start_ns = obs_now_ns();
+    w.chunked.fetch_add(1, std::memory_order_relaxed);
+    if (sharded_) sharded_->note_external_scan(w.scan_session.tid());
+  }
+
+  void start_or_queue_scan(Worker& w, Conn& c, KeyT lo, KeyT hi) {
+    c.scan_lo = lo;
+    c.scan_hi = hi;
+    if (w.scan == nullptr) {
+      begin_scan(w, c);
+    } else {  // one active scan per worker; FIFO for the rest
+      c.scan_queued = true;
+      w.scan_waiters.push_back(c.fd);
+    }
+  }
+
+  void promote_waiter(Worker& w) {
+    while (!w.scan_waiters.empty() && w.scan == nullptr) {
+      const int fd = w.scan_waiters.front();
+      w.scan_waiters.erase(w.scan_waiters.begin());
+      Conn* nc = w.conns[static_cast<size_t>(fd)].get();
+      if (nc != nullptr) {
+        nc->scan_queued = false;
+        begin_scan(w, *nc);
+      }
+    }
+  }
+
+  /// Advance the active chunked scan by one key-budget slice (called
+  /// once per wave, after ready connections were serviced — point ops
+  /// never wait on scan progress). On completion: encode the reply
+  /// (stamped with the scan's ONE timestamp), resume the owner (flush +
+  /// service its parked backlog), and hand the slot to the next waiter.
+  void pump_scan(Worker& w, int tid, std::vector<uint8_t>& scratch,
+                 RangeSnapshot& rq_out, uint64_t wake_ns,
+                 WaveBudget* budget) {
+    if (w.scan == nullptr) {
+      promote_waiter(w);
+      if (w.scan == nullptr) return;
+    }
+    w.scan_slices.fetch_add(1, std::memory_order_relaxed);
+    if (!w.scan->step(opt_.guard.scan_chunk_keys)) return;
+    // Snapshot complete: answer the owner.
+    Conn* c = w.conns[static_cast<size_t>(w.scan_fd)].get();
+    std::unique_ptr<SnapshotScan> done = std::move(w.scan);
+    w.scan_fd = -1;
+    scratch.clear();
+    encode_range_response(scratch, done->ts(), done->items());
+    w.frames.fetch_add(1, std::memory_order_relaxed);
+    w.batches.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (obs::kEnabled)
+      op_hist(Op::kRange).record(tid, obs_now_ns() - w.scan_start_ns);
+    c->paused = false;
+    bool alive = flush(w, *c, &scratch);
+    if (alive) alive = within_pending_cap(w, *c);
+    // Next waiter BEFORE resuming the owner: a connection streaming
+    // whole-keyspace scans queues its next one behind everyone else's.
+    promote_waiter(w);
+    if (alive && (c->kicked || !c->in.empty())) {
+      c->kicked = false;
+      alive = service(w, tid, *c, scratch, rq_out, wake_ns, budget);
+    }
+    if (!alive) drop_conn(w, *c);
+  }
+
+  /// False when the connection's unflushed backlog exceeds the cap — an
+  /// unrecoverably slow reader the server disconnects rather than OOMs
+  /// behind.
+  bool within_pending_cap(Worker& w, Conn& c) {
+    const size_t cap = opt_.guard.max_conn_pending;
+    if (cap == 0 || c.pending.size() - c.pending_off <= cap) return true;
+    w.reaped_slow.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Fire due connection deadlines with lazy revalidation: the wheel
+  /// only wakes us; real activity is re-checked here and merely-slow
+  /// connections are re-armed for the remainder. Paused (scan-owning)
+  /// connections are never reaped — the server is the one delaying them.
+  void advance_timers(Worker& w, uint64_t now_ms) {
+    w.wheel.advance(now_ms, [&](int fd, uint32_t gen, TimerWheel::Kind k) {
+      Conn* c = static_cast<size_t>(fd) < w.conns.size()
+                    ? w.conns[static_cast<size_t>(fd)].get()
+                    : nullptr;
+      if (c == nullptr || c->gen != gen) return;  // closed / fd reused
+      const bool shielded = c->paused || c->scan_queued;
+      if (k == TimerWheel::Kind::kIdle) {
+        const uint32_t limit = opt_.guard.idle_timeout_ms;
+        if (limit == 0) return;
+        const uint64_t idle = now_ms - c->last_activity_ms;
+        if (idle >= limit && !shielded) {
+          w.reaped_idle.fetch_add(1, std::memory_order_relaxed);
+          drop_conn(w, *c);
+          return;
+        }
+        w.wheel.schedule(now_ms, idle >= limit ? limit : limit - idle, fd,
+                         gen, k);
+      } else {  // kWriteStall
+        const uint32_t limit = opt_.guard.write_stall_ms;
+        if (limit == 0 || c->pending_since_ms == 0) return;
+        const uint64_t stuck = now_ms - c->pending_since_ms;
+        if (stuck >= limit && !shielded) {
+          w.reaped_stall.fetch_add(1, std::memory_order_relaxed);
+          drop_conn(w, *c);
+          return;
+        }
+        w.wheel.schedule(now_ms, stuck >= limit ? limit : limit - stuck, fd,
+                         gen, k);
+      }
+    });
+  }
+
+  /// stop() drain: finish held scans inline (their snapshots are already
+  /// pinned; the owners get replies), execute whatever every connection
+  /// already sent, then flush pending responses until drained or the
+  /// drain deadline passes. The old fixed 100-spin retry silently
+  /// dropped tail responses to slow clients; the deadline makes the
+  /// bound explicit and the drops observable (bref_net_stop_dropped).
+  void drain_and_close(Worker& w, int tid, std::vector<uint8_t>& scratch,
+                       RangeSnapshot& rq_out, uint64_t wake_ns) {
+    const uint64_t deadline =
+        steady_ms() + opt_.guard.drain_deadline_ms;
+    for (auto& cp : w.conns) {
+      if (!cp || cp->paused) continue;  // parked backlogs run below
+      service(w, tid, *cp, scratch, rq_out, wake_ns, nullptr);
+    }
+    while ((w.scan != nullptr || !w.scan_waiters.empty()) &&
+           steady_ms() < deadline)
+      pump_scan(w, tid, scratch, rq_out, wake_ns, nullptr);
+    for (;;) {
+      bool any = false;
+      for (auto& cp : w.conns) {
+        if (!cp || !has_pending(*cp)) continue;
+        if (!flush(w, *cp, nullptr)) {
+          cp->pending.clear();  // dead peer: nothing left deliverable
+          cp->pending_off = 0;
+        } else if (has_pending(*cp)) {
+          any = true;
+        }
+      }
+      if (!any || steady_ms() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (auto& cp : w.conns) {
+      if (!cp) continue;
+      if (has_pending(*cp) || cp->paused || cp->scan_queued)
+        stop_dropped_.fetch_add(1, std::memory_order_relaxed);
+      closed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    w.scan.reset();
+    w.scan_fd = -1;
+    w.scan_waiters.clear();
+    w.conns.clear();
   }
 
   static bool has_pending(const Conn& c) {
@@ -696,16 +1046,19 @@ class Server {
   /// Read to EAGAIN, execute every complete frame, flush. False = close.
   /// `wake_ns` is the epoll wakeup that surfaced this connection (0 when
   /// obs is compiled out) — the zero point for stage attribution.
+  /// `budget` is the wave's admission budget (nullptr = unlimited, used
+  /// by the stop() drain); frames past it are shed with kErrOverloaded.
   bool service(Worker& w, int tid, Conn& c, std::vector<uint8_t>& scratch,
-               RangeSnapshot& rq_out, uint64_t wake_ns) {
+               RangeSnapshot& rq_out, uint64_t wake_ns, WaveBudget* budget) {
     bool peer_closed = false;
     char buf[64 * 1024];
     for (;;) {
-      const ssize_t r = ::read(c.fd, buf, sizeof buf);
+      const ssize_t r = fault::recv(c.fd, buf, sizeof buf, 0);
       if (r > 0) {
         c.in.insert(c.in.end(), buf, buf + r);
         w.bytes_in.fetch_add(static_cast<uint64_t>(r),
                               std::memory_order_relaxed);
+        c.last_activity_ms = steady_ms();
         continue;
       }
       if (r == 0) {
@@ -721,6 +1074,7 @@ class Server {
     scratch.clear();
     size_t off = 0;
     uint64_t executed = 0;
+    bool pause = false;  // a chunked scan started; park the rest
     // Spans sampled this batch, parked until the flush stamps them.
     obs::TraceSpan spans[8];
     int nspans = 0;
@@ -740,7 +1094,34 @@ class Server {
         c.closing = true;  // framing lost; close after the flush
         break;
       }
-      execute(w, tid, c, f, scratch, rq_out);
+      // Load shedding: past the wave budget every non-exempt frame is
+      // answered kErrOverloaded WITHOUT executing (retrying one is
+      // always safe), with the retry-after hint in the body. Sheds are
+      // deliberately cheap — 9 reply bytes, no set access — so a deep
+      // pipeline burst costs the wave almost nothing.
+      if (budget != nullptr && budget->spent() &&
+          !exempt_from_shedding(f.op())) {
+        encode_overloaded(scratch, opt_.guard.retry_after_ms);
+        w.shed.fetch_add(1, std::memory_order_relaxed);
+        budget->exhausted = true;
+        off += advance;
+        continue;
+      }
+      const size_t scratch_before = scratch.size();
+      if (execute(w, tid, c, f, scratch, rq_out) ==
+          ExecResult::kStartScan) {
+        // Frame consumed, but its response arrives when the scan
+        // completes (pump_scan counts it then). Stop parsing: response
+        // order must match request order, so everything behind the
+        // RANGE parks with the connection.
+        off += advance;
+        pause = true;
+        break;
+      }
+      if (budget != nullptr) {
+        budget->charge_frame();
+        budget->charge_bytes(scratch.size() - scratch_before);
+      }
       if constexpr (obs::kEnabled) {
         const uint64_t now_ns = obs_now_ns();
         op_hist(f.op()).record(tid, now_ns - prev_ns);
@@ -777,6 +1158,8 @@ class Server {
       }
     }
     if (!flushed) return false;
+    if (!within_pending_cap(w, c)) return false;  // slow-reader cap
+    if (pause) c.paused = true;
     if (c.closing && !has_pending(c)) return false;
     return !peer_closed;
   }
@@ -801,12 +1184,18 @@ class Server {
     }
   }
 
-  /// Execute one request frame; append the response to `out`.
-  void execute(Worker& w, int tid, Conn& c, const FrameView& f,
-               std::vector<uint8_t>& out, RangeSnapshot& rq_out) {
+  /// How a frame's execution resolved: response appended now, or a
+  /// chunked scan was started/queued and the response arrives later.
+  enum class ExecResult : uint8_t { kDone, kStartScan };
+
+  /// Execute one request frame; append the response to `out` (kDone), or
+  /// park the connection behind a chunked scan (kStartScan).
+  ExecResult execute(Worker& w, int tid, Conn& c, const FrameView& f,
+                     std::vector<uint8_t>& out, RangeSnapshot& rq_out) {
     auto err = [&](Status st) {
       encode_status(out, st);
       w.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      return ExecResult::kDone;
     };
     switch (f.op()) {
       case Op::kGet: {
@@ -816,7 +1205,7 @@ class Server {
           encode_val_response(out, v);
         else
           encode_status(out, Status::kNo);
-        return;
+        return ExecResult::kDone;
       }
       case Op::kInsert: {
         if (f.body_len != 16) return err(Status::kErrMalformed);
@@ -824,31 +1213,39 @@ class Server {
                                         get_i64(f.body + 8))
                                ? Status::kOk
                                : Status::kNo);
-        return;
+        return ExecResult::kDone;
       }
       case Op::kRemove: {
         if (f.body_len != 8) return err(Status::kErrMalformed);
         encode_status(
             out, set_->remove(tid, get_i64(f.body)) ? Status::kOk
                                                     : Status::kNo);
-        return;
+        return ExecResult::kDone;
       }
       case Op::kRange: {
         if (f.body_len != 16) return err(Status::kErrMalformed);
-        set_->range_query(tid, get_i64(f.body), get_i64(f.body + 8), rq_out);
+        const KeyT lo = get_i64(f.body), hi = get_i64(f.body + 8);
+        // Wide scans run chunked behind the wave when a coordinated
+        // snapshot path exists; the inline path keeps serving narrow
+        // ranges (and every range when chunking is unavailable).
+        if (chunkable(lo, hi) && !c.closing) {
+          start_or_queue_scan(w, c, lo, hi);
+          return ExecResult::kStartScan;
+        }
+        set_->range_query(tid, lo, hi, rq_out);
         encode_range_response(out,
                               rq_out.has_timestamp()
                                   ? rq_out.timestamp()
                                   : RangeSnapshot::kNoTimestamp,
                               rq_out.items());
-        return;
+        return ExecResult::kDone;
       }
       case Op::kTxnBegin: {
         if (c.in_txn) return err(Status::kErrTxnState);
         c.in_txn = true;
         c.txn.clear();
         encode_status(out, Status::kOk);
-        return;
+        return ExecResult::kDone;
       }
       case Op::kTxnOp: {
         if (!c.in_txn) return err(Status::kErrTxnState);
@@ -863,7 +1260,7 @@ class Server {
         c.txn.push_back({inner, get_i64(f.body + 1),
                          inner == Op::kInsert ? get_i64(f.body + 9) : 0});
         encode_status(out, Status::kOk);
-        return;
+        return ExecResult::kDone;
       }
       case Op::kTxnCommit: {
         if (!c.in_txn) return err(Status::kErrTxnState);
@@ -888,7 +1285,7 @@ class Server {
         c.in_txn = false;
         c.txn.clear();
         w.txns_committed.fetch_add(1, std::memory_order_relaxed);
-        return;
+        return ExecResult::kDone;
       }
       case Op::kTxnAbort: {
         if (!c.in_txn) return err(Status::kErrTxnState);
@@ -896,69 +1293,76 @@ class Server {
         c.txn.clear();
         w.txns_aborted.fetch_add(1, std::memory_order_relaxed);
         encode_status(out, Status::kOk);
-        return;
+        return ExecResult::kDone;
       }
       case Op::kPing:
         encode_status(out, Status::kOk);
-        return;
+        return ExecResult::kDone;
       case Op::kStats:
         encode_text_response(out, stats_json());
-        return;
+        return ExecResult::kDone;
       case Op::kMetrics:
         encode_text_response(out, obs::registry().prometheus());
-        return;
+        return ExecResult::kDone;
       case Op::kTraceDump: {
         if (f.body_len == 4) {  // set the global sampling rate, ack
           obs::trace_sample_every().store(get_u32(f.body),
                                           std::memory_order_relaxed);
           encode_status(out, Status::kOk);
-          return;
+          return ExecResult::kDone;
         }
         if (f.body_len != 0) return err(Status::kErrMalformed);
         encode_text_response(out, trace_dump_json());
-        return;
+        return ExecResult::kDone;
       }
     }
-    err(Status::kErrMalformed);  // unknown opcode; framing is intact
+    return err(Status::kErrMalformed);  // unknown opcode; framing intact
   }
 
-  /// One writev per connection per wave: leftover bytes from an earlier
-  /// short write + this wave's scratch. Remainder (if any) is kept in
-  /// c.pending and EPOLLOUT armed. False = fatal write error.
+  /// Normally one writev per connection per wave: leftover bytes from an
+  /// earlier short write + this wave's scratch. Remainder (if any) is
+  /// kept in c.pending and EPOLLOUT armed. False = fatal write error.
+  ///
+  /// EINTR and short writes that are NOT a kernel EAGAIN are retried in
+  /// place: after either, the socket is still writable, so under EPOLLET
+  /// no new EPOLLOUT edge would ever fire for the deferred bytes — they
+  /// would sit in c.pending until the write-stall reaper killed a
+  /// perfectly healthy connection. Only a real EAGAIN (socket genuinely
+  /// unwritable — a future edge is guaranteed) defers to EPOLLOUT.
   bool flush(Worker& w, Conn& c, std::vector<uint8_t>* scratch) {
-    iovec iov[2];
-    int iovcnt = 0;
-    if (has_pending(c)) {
-      iov[iovcnt].iov_base = c.pending.data() + c.pending_off;
-      iov[iovcnt].iov_len = c.pending.size() - c.pending_off;
-      ++iovcnt;
-    }
-    if (scratch != nullptr && !scratch->empty()) {
-      iov[iovcnt].iov_base = scratch->data();
-      iov[iovcnt].iov_len = scratch->size();
-      ++iovcnt;
-    }
-    size_t scratch_sent = scratch != nullptr ? scratch->size() : 0;
-    if (iovcnt > 0) {
-      const ssize_t sent = ::writev(c.fd, iov, iovcnt);
-      if (sent < 0) {
-        if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
-          return false;
-        scratch_sent = 0;
-      } else {
-        w.bytes_out.fetch_add(static_cast<uint64_t>(sent),
-                              std::memory_order_relaxed);
-        size_t s = static_cast<size_t>(sent);
-        const size_t pend = c.pending.size() - c.pending_off;
-        const size_t from_pending = s < pend ? s : pend;
-        c.pending_off += from_pending;
-        s -= from_pending;
-        scratch_sent = s;  // bytes of scratch that made it out
+    size_t scratch_sent = 0;  // bytes of scratch handed to the kernel
+    for (;;) {
+      iovec iov[2];
+      int iovcnt = 0;
+      if (has_pending(c)) {
+        iov[iovcnt].iov_base = c.pending.data() + c.pending_off;
+        iov[iovcnt].iov_len = c.pending.size() - c.pending_off;
+        ++iovcnt;
       }
-    }
-    if (c.pending_off >= c.pending.size()) {
-      c.pending.clear();
-      c.pending_off = 0;
+      if (scratch != nullptr && scratch_sent < scratch->size()) {
+        iov[iovcnt].iov_base = scratch->data() + scratch_sent;
+        iov[iovcnt].iov_len = scratch->size() - scratch_sent;
+        ++iovcnt;
+      }
+      if (iovcnt == 0) break;  // everything out
+      const ssize_t sent = fault::writev(c.fd, iov, iovcnt);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) return false;
+        break;  // genuinely unwritable; EPOLLOUT will fire
+      }
+      w.bytes_out.fetch_add(static_cast<uint64_t>(sent),
+                            std::memory_order_relaxed);
+      size_t s = static_cast<size_t>(sent);
+      const size_t pend = c.pending.size() - c.pending_off;
+      const size_t from_pending = s < pend ? s : pend;
+      c.pending_off += from_pending;
+      s -= from_pending;
+      scratch_sent += s;
+      if (c.pending_off >= c.pending.size()) {
+        c.pending.clear();
+        c.pending_off = 0;
+      }
     }
     if (scratch != nullptr && scratch_sent < scratch->size())
       c.pending.insert(c.pending.end(), scratch->begin() + scratch_sent,
@@ -972,10 +1376,28 @@ class Server {
       ::epoll_ctl(w.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
       c.epollout = want_out;
     }
+    // Write-stall deadline: stamp when bytes first back up; clear when
+    // the backlog drains. The wheel fires later and re-checks the stamp.
+    if (want_out) {
+      if (c.pending_since_ms == 0) {
+        c.pending_since_ms = steady_ms();
+        if (opt_.guard.write_stall_ms > 0)
+          w.wheel.schedule(c.pending_since_ms, opt_.guard.write_stall_ms,
+                           c.fd, c.gen, TimerWheel::Kind::kWriteStall);
+      }
+    } else {
+      c.pending_since_ms = 0;
+    }
     return true;
   }
 
   ServerOptions opt_;
+  // Chunked-scan coordination for the unsharded path: the server owns
+  // the clock an adopted coordinated-capable plain set redirects onto.
+  // Declared before plain_ so it outlives the set pointing at it (the
+  // same ordering ShardedSet documents for its gts_).
+  GlobalTimestamp guard_clock_;
+  bool plain_scan_ok_ = false;
   std::unique_ptr<AnyOrderedSet> plain_;
   std::unique_ptr<ShardedSet> sharded_;
   AnyOrderedSet* set_ = nullptr;
@@ -990,9 +1412,11 @@ class Server {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> stop_dropped_{0};  // survives worker teardown
   // Registered by start() after workers_ is built, removed by stop()
   // before it is torn down (their callbacks iterate workers_ unlocked).
   obs::GaugeSet::Source obs_srcs_[kServerSeries];
+  obs::GaugeSet::Source obs_guard_srcs_[kGuardSeries];
 };
 
 }  // namespace bref::net

@@ -1,0 +1,227 @@
+#pragma once
+// Deterministic fault injection for the wire path's syscalls.
+//
+// The server and client never call recv/send/writev/accept4 directly;
+// they go through the thin wrappers in bref::net::fault below. With no
+// injector installed (the default, and the only state production code
+// ever sees) each wrapper is a branch on a relaxed atomic load and the
+// real syscall — nothing else. Tests install a seeded FaultInjector via
+// FaultScope, and every wrapped call then rolls against the plan's
+// per-mille probabilities to inject, deterministically from the seed and
+// a global call sequence:
+//
+//   * EINTR        — fail before any I/O (the retry loops' diet)
+//   * short I/O    — perform the real transfer, but truncated to a
+//                    random 1..7 bytes (recv/send; writev degrades to a
+//                    short send of its first iovec's prefix)
+//   * ECONNRESET   — fail as if the peer vanished mid-stream
+//   * EMFILE       — accept4 only: the fd table is "full"
+//
+// "Deterministic" means: a fixed seed fixes the decision sequence. Under
+// multiple threads the interleaving of rolls still varies run to run, so
+// chaos tests assert properties (linearizable survivors, clean errors,
+// bounded time), not exact fault placements.
+//
+// Lossy vs lossless faults: EINTR, short I/O and EMFILE never lose
+// bytes — a workload under them must complete with unchanged semantics,
+// so its RANGEs can feed the linearizability checker. ECONNRESET makes
+// op outcomes unknowable (the op may or may not have executed), so
+// reset-injecting tests assert survival and clean client errors only.
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/uio.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+
+namespace bref::net::testing {
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  // Injection probabilities in per-mille (0..1000) of wrapped calls.
+  uint32_t eintr_permille = 0;     // recv/send/writev
+  uint32_t short_io_permille = 0;  // recv/send/writev
+  uint32_t reset_permille = 0;     // recv/send/writev
+  uint32_t emfile_permille = 0;    // accept4
+};
+
+class FaultInjector {
+ public:
+  enum class Action : uint8_t { kNone, kEintr, kShort, kReset };
+
+  explicit FaultInjector(const FaultPlan& p) noexcept : plan_(p) {}
+
+  Action decide_io(int fd) noexcept {
+    uint64_t x = roll(fd) % 1000;
+    if (x < plan_.eintr_permille) return count(eintr_), Action::kEintr;
+    x -= plan_.eintr_permille;
+    if (x < plan_.short_io_permille) return count(short_io_), Action::kShort;
+    x -= plan_.short_io_permille;
+    if (x < plan_.reset_permille) return count(resets_), Action::kReset;
+    return Action::kNone;
+  }
+
+  bool decide_emfile(int fd) noexcept {
+    if (roll(fd) % 1000 >= plan_.emfile_permille) return false;
+    count(emfiles_);
+    return true;
+  }
+
+  /// Truncated transfer size for a short-I/O fault: 1..min(n, 7).
+  size_t short_len(int fd, size_t n) noexcept {
+    const size_t cap = n < 7 ? n : 7;
+    return cap <= 1 ? 1 : 1 + roll(fd) % cap;
+  }
+
+  uint64_t injected() const noexcept {
+    return eintr_.load(std::memory_order_relaxed) +
+           short_io_.load(std::memory_order_relaxed) +
+           resets_.load(std::memory_order_relaxed) +
+           emfiles_.load(std::memory_order_relaxed);
+  }
+  uint64_t eintr_injected() const noexcept {
+    return eintr_.load(std::memory_order_relaxed);
+  }
+  uint64_t short_io_injected() const noexcept {
+    return short_io_.load(std::memory_order_relaxed);
+  }
+  uint64_t resets_injected() const noexcept {
+    return resets_.load(std::memory_order_relaxed);
+  }
+  uint64_t emfiles_injected() const noexcept {
+    return emfiles_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t roll(int fd) noexcept {  // splitmix64 over seed ^ fd ^ sequence
+    const uint64_t n = seq_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t z = plan_.seed ^ (static_cast<uint64_t>(fd) << 40) ^
+                 (n * 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  static void count(std::atomic<uint64_t>& c) noexcept {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const FaultPlan plan_;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> eintr_{0}, short_io_{0}, resets_{0}, emfiles_{0};
+};
+
+/// The process-global injector slot the wrappers consult. Null (the
+/// default) = passthrough.
+inline std::atomic<FaultInjector*>& injector_slot() noexcept {
+  static std::atomic<FaultInjector*> g{nullptr};
+  return g;
+}
+
+/// RAII install/uninstall. One scope at a time; nesting replaces (tests
+/// run scopes sequentially). Uninstall happens before the injector is
+/// destroyed, so in-flight wrapped calls racing the destructor are the
+/// test's responsibility — quiesce (stop servers/clients) before the
+/// scope ends, or leak the scope past them.
+class FaultScope {
+ public:
+  explicit FaultScope(const FaultPlan& p) : inj_(p) {
+    injector_slot().store(&inj_, std::memory_order_release);
+  }
+  ~FaultScope() { injector_slot().store(nullptr, std::memory_order_release); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  FaultInjector& injector() noexcept { return inj_; }
+
+ private:
+  FaultInjector inj_;
+};
+
+}  // namespace bref::net::testing
+
+namespace bref::net::fault {
+
+/// recv(2), possibly faulted. Socket-only (short faults re-issue recv).
+inline ssize_t recv(int fd, void* buf, size_t n, int flags) noexcept {
+  auto* inj = testing::injector_slot().load(std::memory_order_acquire);
+  if (inj != nullptr && n > 0) {
+    switch (inj->decide_io(fd)) {
+      case testing::FaultInjector::Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case testing::FaultInjector::Action::kReset:
+        errno = ECONNRESET;
+        return -1;
+      case testing::FaultInjector::Action::kShort:
+        n = inj->short_len(fd, n);
+        break;
+      case testing::FaultInjector::Action::kNone:
+        break;
+    }
+  }
+  return ::recv(fd, buf, n, flags);
+}
+
+/// send(2), possibly faulted.
+inline ssize_t send(int fd, const void* buf, size_t n, int flags) noexcept {
+  auto* inj = testing::injector_slot().load(std::memory_order_acquire);
+  if (inj != nullptr && n > 0) {
+    switch (inj->decide_io(fd)) {
+      case testing::FaultInjector::Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case testing::FaultInjector::Action::kReset:
+        errno = ECONNRESET;
+        return -1;
+      case testing::FaultInjector::Action::kShort:
+        n = inj->short_len(fd, n);
+        break;
+      case testing::FaultInjector::Action::kNone:
+        break;
+    }
+  }
+  return ::send(fd, buf, n, flags);
+}
+
+/// writev(2) via sendmsg(MSG_NOSIGNAL), possibly faulted. A short fault
+/// degrades to a short send of the first iovec's prefix — semantically a
+/// legal short writev. MSG_NOSIGNAL matters: a peer that disappears with
+/// bytes in flight must surface as EPIPE, not a process-killing SIGPIPE
+/// (plain writev has no per-call way to suppress it).
+inline ssize_t writev(int fd, const struct iovec* iov, int iovcnt) noexcept {
+  auto* inj = testing::injector_slot().load(std::memory_order_acquire);
+  if (inj != nullptr && iovcnt > 0 && iov[0].iov_len > 0) {
+    switch (inj->decide_io(fd)) {
+      case testing::FaultInjector::Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case testing::FaultInjector::Action::kReset:
+        errno = ECONNRESET;
+        return -1;
+      case testing::FaultInjector::Action::kShort:
+        return ::send(fd, iov[0].iov_base,
+                      inj->short_len(fd, iov[0].iov_len), MSG_NOSIGNAL);
+      case testing::FaultInjector::Action::kNone:
+        break;
+    }
+  }
+  msghdr mh{};
+  mh.msg_iov = const_cast<struct iovec*>(iov);
+  mh.msg_iovlen = static_cast<size_t>(iovcnt);
+  return ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+}
+
+/// accept4(2), possibly answering EMFILE without accepting.
+inline int accept4(int fd, struct sockaddr* addr, socklen_t* len,
+                   int flags) noexcept {
+  auto* inj = testing::injector_slot().load(std::memory_order_acquire);
+  if (inj != nullptr && inj->decide_emfile(fd)) {
+    errno = EMFILE;
+    return -1;
+  }
+  return ::accept4(fd, addr, len, flags);
+}
+
+}  // namespace bref::net::fault

@@ -349,13 +349,20 @@ class MetricsRegistry {
 
   /// The same snapshot as one JSON object: {"counters": {...}, "gauges":
   /// {...}, "histograms": {"name{labels}": {count, sum, p50, p99, p999}}}.
+  /// Series names carry Prometheus label syntax (route="single"), whose
+  /// quotes must be escaped to keep the enclosing document valid JSON.
   std::string json() const {
     std::lock_guard<Spinlock> g(lock_);
     std::vector<const Entry*> sorted = sorted_entries();
     std::string counters, gauges, hists;
     char buf[256];
     for (const Entry* e : sorted) {
-      const std::string key = "\"" + series_name(*e) + "\": ";
+      std::string key = "\"";
+      for (const char c : series_name(*e)) {
+        if (c == '"' || c == '\\') key += '\\';
+        key += c;
+      }
+      key += "\": ";
       if (e->kind == MetricKind::kHistogram) {
         const HistogramSnapshot h = e->histogram->snapshot();
         std::snprintf(buf, sizeof buf,

@@ -314,6 +314,50 @@ class ShardedSet final : public AnyOrderedSet {
   /// The shared clock every shard's updates advance (coordinated mode).
   GlobalTimestamp& coordination_clock() noexcept { return gts_; }
 
+  /// One shard's slice of an externally-driven coordinated scan: the set,
+  /// its RQ tracker, and the key interval the partition assigns it
+  /// (clamped to [lo, hi]). Callers replicate coordinated_collect()'s
+  /// protocol — pin+announce every part, ONE clock read, publish, then
+  /// range_query_at per part — but may slice the collection step into
+  /// bounded chunks (range_query_at is restart-free against a held
+  /// announce+pin, so the timestamp stays one clock read no matter how
+  /// many slices the walk is cut into). See net/guard.h.
+  struct ScanPart {
+    AnyOrderedSet* set = nullptr;
+    RqTracker* tracker = nullptr;
+    KeyT lo = 0;  // first key of [lo, hi] this shard can hold
+    KeyT hi = 0;  // last key (inclusive)
+  };
+
+  /// The shards [lo, hi] overlaps, in key order, with per-part key bounds.
+  /// Empty when this set is not coordinated (no shared clock to scan at)
+  /// or the interval is empty.
+  std::vector<ScanPart> scan_plan(KeyT lo, KeyT hi) {
+    std::vector<ScanPart> plan;
+    if (!coordinated_ || lo > hi) return plan;
+    const size_t a = shard_index(lo);
+    const size_t b = shard_index(hi);
+    plan.reserve(b - a + 1);
+    for (size_t i = a; i <= b; ++i) {
+      ScanPart p;
+      p.set = shards_[i].get();
+      p.tracker = trackers_[i];
+      p.lo = i == a ? lo : unbias(lo_b_ + i * width_);
+      p.hi = i == b ? hi : unbias(lo_b_ + (i + 1) * width_ - 1);
+      plan.push_back(p);
+    }
+    return plan;
+  }
+
+  /// Account a coordinated scan driven externally via scan_plan() (one
+  /// clock read), so the routing counters stay truthful about how many
+  /// single-timestamp snapshots were taken and by which path.
+  void note_external_scan(int tid) {
+    auto& st = *stats_[tid];
+    bump(st.coordinated_rqs);
+    bump(st.timestamps_acquired);
+  }
+
   ShardedSetStats stats() const {
     ShardedSetStats t;
     for (int i = 0; i < kMaxThreads; ++i) {
@@ -332,6 +376,9 @@ class ShardedSet final : public AnyOrderedSet {
   /// never overflows signed math).
   static uint64_t biased(KeyT k) noexcept {
     return static_cast<uint64_t>(k) ^ (uint64_t{1} << 63);
+  }
+  static KeyT unbias(uint64_t b) noexcept {
+    return static_cast<KeyT>(b ^ (uint64_t{1} << 63));
   }
 
   /// Per-thread slot: each thread bumps only its own, so relaxed

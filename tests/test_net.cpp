@@ -588,4 +588,64 @@ TEST(Linearizability, LoopbackMixedWorkloadAuditsCleanWithTimestamps) {
   srv.stop();
 }
 
+// ---- client robustness (ISSUE 8 regressions) -------------------------------
+
+// A peer dying mid-pipeline must never block collect() forever: every
+// read site is deadline-bounded and fails with a typed NetError (or the
+// batch completes, if the server's stop() drain delivered everything).
+TEST(ClientRobustness, ServerDeathMidPipelineReturnsWithinDeadline) {
+  Server srv(small_opts());
+  srv.start();
+  ClientOptions copt;
+  copt.op_deadline_ms = 4'000;
+  copt.recv_timeout_ms = 200;
+  Client c(srv.port(), copt);
+  ASSERT_TRUE(c.ping());
+  Pipeline p(c);
+  for (int i = 0; i < 20'000; ++i) p.insert(i, i);
+  p.flush();
+  std::thread killer([&] { srv.stop(); });
+  const uint64_t t0 = Client::now_ms();
+  try {
+    p.collect();
+  } catch (const NetError& e) {
+    EXPECT_TRUE(e.kind() == NetErrorKind::kEof ||
+                e.kind() == NetErrorKind::kReset ||
+                e.kind() == NetErrorKind::kTimeout)
+        << net::to_string(e.kind());
+  }
+  EXPECT_LT(Client::now_ms() - t0, 10'000u);
+  killer.join();
+}
+
+// A peer that accepts the connection but never answers (black hole) must
+// surface as kTimeout at the op deadline, not an indefinite recv block.
+TEST(ClientRobustness, BlackHolePeerTimesOutInsteadOfHanging) {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t alen = sizeof addr;
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen);
+
+  ClientOptions copt;
+  copt.op_deadline_ms = 600;
+  copt.recv_timeout_ms = 100;
+  Client c(ntohs(addr.sin_port), copt);
+  const uint64_t t0 = Client::now_ms();
+  try {
+    c.get(1);
+    FAIL() << "expected kTimeout against a black-hole peer";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.kind(), NetErrorKind::kTimeout) << net::to_string(e.kind());
+  }
+  const uint64_t took = Client::now_ms() - t0;
+  EXPECT_GE(took, 500u);    // honored the deadline...
+  EXPECT_LT(took, 5'000u);  // ...and did not sit past it
+  ::close(lfd);
+}
+
 }  // namespace

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Merge fig7_server guard-scenario JSON and enforce the ISSUE 8 gates.
+
+Usage:
+    guard_gate.py --overload overload.json --scan scan.json --out BENCH_8.json
+
+Inputs are fig7_server --json documents from `--scenario overload` (records
+"overload-1x" / "overload-5x") and `--scenario scan` (records "scan-off" /
+"scan-on"). The script writes one merged document with a "gates" object and
+exits nonzero if any gate fails:
+
+  * shed engaged:   overload-5x shed > 0 (admission control actually fired)
+  * goodput holds:  overload-5x goodput >= 0.8x overload-1x goodput
+                    (shedding degrades gracefully instead of collapsing)
+  * accepted tail:  overload-5x p99-of-accepted <= 3x overload-1x p99
+  * scan isolation: scan-on point p99 <= 2x scan-off point p99
+                    (a whole-keyspace chunked RANGE stream no longer
+                    multiplies the point tail)
+
+The two tail-ratio gates carry an absolute floor (2 ms for overload, 1 ms
+for scan): on a fast runner the unloaded baseline p99 can be tens of
+microseconds, where a 2-3x ratio is scheduler noise rather than a guard
+regression. A sub-floor absolute tail means the guard did its job
+regardless of the ratio; above the floor the ratio must hold.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def result(doc, prefix):
+    for r in doc.get("results", []):
+        if r.get("mix", "").startswith(prefix):
+            return r
+    sys.exit(f"guard_gate: no '{prefix}*' record in input")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--overload", required=True)
+    ap.add_argument("--scan", required=True)
+    ap.add_argument("--out", required=True)
+    args = ap.parse_args()
+
+    ov, sc = load(args.overload), load(args.scan)
+    o1 = result(ov, "overload-1x")
+    o5 = result(ov, "overload-5x")
+    s0 = result(sc, "scan-off")
+    s1 = result(sc, "scan-on")
+
+    gates = {
+        "overload_shed": {
+            "shed": o5["shed"],
+            "shed_pct": o5["shed_pct"],
+            "pass": o5["shed"] > 0,
+        },
+        "overload_goodput": {
+            "goodput_1x": o1["goodput_rate"],
+            "goodput_5x": o5["goodput_rate"],
+            "min_ratio": 0.8,
+            "ratio": o5["goodput_rate"] / max(o1["goodput_rate"], 1.0),
+            "pass": o5["goodput_rate"] >= 0.8 * o1["goodput_rate"],
+        },
+        "overload_p99_of_accepted": {
+            "p99_us_1x": o1["p99_us"],
+            "p99_us_5x": o5["p99_us"],
+            "max_ratio": 3.0,
+            "floor_us": 2000.0,
+            "ratio": o5["p99_us"] / max(o1["p99_us"], 1e-9),
+            "pass": o5["p99_us"] <= max(3.0 * o1["p99_us"], 2000.0),
+        },
+        "scan_isolation": {
+            "p99_us_off": s0["p99_us"],
+            "p99_us_on": s1["p99_us"],
+            "bg_scans": s1["bg_scans"],
+            "chunked_rqs": s1["server"]["guard"]["chunked_rqs"]
+            if "guard" in s1.get("server", {})
+            else None,
+            "max_ratio": 2.0,
+            "floor_us": 1000.0,
+            "ratio": s1["p99_us"] / max(s0["p99_us"], 1e-9),
+            "pass": s1["p99_us"] <= max(2.0 * s0["p99_us"], 1000.0)
+            and s1["bg_scans"] > 0,
+        },
+    }
+
+    merged = {
+        "schema": ov.get("schema", 1),
+        "bench": "fig7_server",
+        "config": ov.get("config", {}),
+        "scan_config": sc.get("config", {}),
+        "results": ov.get("results", []) + sc.get("results", []),
+        "gates": gates,
+    }
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+
+    ok = True
+    for name, g in gates.items():
+        status = "PASS" if g["pass"] else "FAIL"
+        ok = ok and g["pass"]
+        detail = {k: v for k, v in g.items() if k != "pass"}
+        print(f"guard_gate: {status} {name}: {detail}")
+    if not ok:
+        sys.exit(1)
+    print(f"guard_gate: all gates pass -> {args.out}")
+
+
+if __name__ == "__main__":
+    main()
