@@ -56,9 +56,13 @@ double measure_reclaiming(const std::string& name, int threads,
   for (int run = 0; run < trials; ++run) {
     auto ds = ImplRegistry::instance().create(name, SetOptions{.reclaim = true});
     prefill(*ds, cfg.key_range);
-    MaintenanceService svc(
-        *ds, MaintenanceOptions{.interval = std::chrono::milliseconds(delay_ms),
-                                .adaptive = false});
+    // d=0 used to mean "hot-loop back-to-back passes"; interval 0 now
+    // means "sleep until signalled", so express d=0 as a wake per retire —
+    // same reclamation latency, none of the idle spin.
+    MaintenanceOptions mo{.interval = std::chrono::milliseconds(delay_ms),
+                          .adaptive = false};
+    if (delay_ms == 0) mo.backlog_wake = 1;
+    MaintenanceService svc(*ds, mo);
     svc.start();
     mops.push_back(run_mixed_trial(*ds, threads, cfg).mops);
     svc.stop();

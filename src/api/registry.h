@@ -115,6 +115,18 @@ class AnySetAdapter final : public AnyOrderedSet {
     if constexpr (requires(DS& d) { d.ebr(); })
       if (epoch_guarded()) ds_.ebr().unpin(tid);
   }
+  // Split pin, mapped onto Ebr's prepare/confirm halves so the shard
+  // coordinator can batch the announce stores of many shards (see
+  // set_interface.h). Gated by the same epoch_guarded() predicate as the
+  // fused form, so the halves can never disagree with rq_unpin.
+  void rq_pin_prepare(int tid) override {
+    if constexpr (requires(DS& d) { d.ebr(); })
+      if (epoch_guarded()) ds_.ebr().pin_prepare(tid);
+  }
+  void rq_pin_confirm(int tid) override {
+    if constexpr (requires(DS& d) { d.ebr(); })
+      if (epoch_guarded()) ds_.ebr().pin_confirm(tid);
+  }
   size_t range_query_at(int tid, timestamp_t ts, KeyT lo, KeyT hi,
                         std::vector<std::pair<KeyT, ValT>>& out) override {
     if constexpr (HasRangeQueryAt<DS>::value) {
@@ -149,6 +161,18 @@ class AnySetAdapter final : public AnyOrderedSet {
     } else {
       return 0;
     }
+  }
+  void set_maintenance_signal(MaintenanceSignal* s) override {
+    // Prefer the DS's own hook (EBR-RQ: the provider bumps on every limbo
+    // park — the backlog maintenance_backlog() actually reports); fall
+    // back to the Ebr retire path (the bundled families: one retire per
+    // physical remove, the producer of prunable entries and limbo nodes).
+    if constexpr (requires(DS& d) { d.set_maintenance_signal(s); })
+      ds_.set_maintenance_signal(s);
+    else if constexpr (requires(DS& d) { d.ebr(); })
+      ds_.ebr().set_maintenance_signal(s);
+    else
+      (void)s;
   }
 
   DS& underlying() { return ds_; }

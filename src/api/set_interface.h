@@ -15,6 +15,7 @@
 #include "api/capabilities.h"
 #include "api/range_snapshot.h"
 #include "api/types.h"
+#include "core/maintenance_signal.h"
 #include "core/rq_tracker.h"
 
 namespace bref {
@@ -83,6 +84,15 @@ class AnyOrderedSet {
   /// when the instance does not reclaim.
   virtual void rq_pin(int tid) { (void)tid; }
   virtual void rq_unpin(int tid) { (void)tid; }
+  /// Split halves of rq_pin for a coordinator pinning MANY instances: it
+  /// calls rq_pin_prepare on every shard (the announce stores, issued
+  /// back-to-back), then rq_pin_confirm on every shard (the validation
+  /// loads), and only then reads the shared clock. prepare+confirm
+  /// back-to-back is equivalent to rq_pin; the defaults map prepare onto
+  /// the fused form so implementations unaware of the split stay correct.
+  /// The pin is not established until rq_pin_confirm returns.
+  virtual void rq_pin_prepare(int tid) { rq_pin(tid); }
+  virtual void rq_pin_confirm(int tid) { (void)tid; }
   /// Collect [lo, hi] at the announced snapshot timestamp `ts`, APPENDING
   /// to `out` (the coordinator concatenates shards in key order). The
   /// caller must hold an announce of `ts` in rq_tracker_hook() AND an
@@ -105,6 +115,12 @@ class AnyOrderedSet {
   /// Nodes currently parked awaiting maintenance (EBR-RQ limbo; 0 for
   /// techniques without such a backlog). Approximate under concurrency.
   virtual size_t maintenance_backlog() const { return 0; }
+  /// Attach (nullptr: detach) a backlog signal: the implementation's
+  /// retire/park paths bump it so a maintenance worker can sleep until
+  /// `backlog_wake` items are pending instead of interval-polling
+  /// (maintenance.h). The signal must outlive any operation that can
+  /// observe it; techniques with no background work ignore the call.
+  virtual void set_maintenance_signal(MaintenanceSignal* s) { (void)s; }
 
   // Identity.
   virtual const char* technique() const = 0;   // "Bundle", "RLU", ...

@@ -55,9 +55,11 @@
 #include <cstdint>
 #include <mutex>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "common/cacheline.h"
+#include "common/numa.h"
 #include "common/spinlock.h"
 #include "common/thread_registry.h"
 #include "obs/metrics.h"
@@ -77,6 +79,20 @@ namespace bref {
 
 /// Owner tag for entries handed out by the malloc bypass.
 inline constexpr int32_t kPoolMalloced = -1;
+
+/// Arena slots per pool, including arena 0 (the default). 64 named arenas
+/// is comfortably past any shard count this repo sweeps; exhaustion
+/// degrades to the default arena, never fails.
+inline constexpr int kMaxArenas = 64;
+
+/// Owner tag encoding: an entry allocated by thread `tid` under arena `a`
+/// is stamped `a * kMaxThreads + tid`, so release() can route it home to
+/// the exact (arena, thread) free list that owns its slab no matter which
+/// thread or arena context frees it. Arena 0 keeps the historical tag ==
+/// tid.
+inline constexpr int32_t pool_owner_tag(int arena, int tid) noexcept {
+  return static_cast<int32_t>(arena) * kMaxThreads + tid;
+}
 
 /// Aggregated counters for one pool (or, via EntryPoolRegistry::totals(),
 /// every pool in the process). `hits` are acquires served without touching
@@ -116,6 +132,7 @@ struct EntryPoolStats {
 class EntryPoolRegistry {
  public:
   using StatsFn = EntryPoolStats (*)();
+  using ArenaStatsFn = EntryPoolStats (*)(int);
   using EnableFn = void (*)(bool);
 
   static EntryPoolRegistry& instance() {
@@ -123,9 +140,9 @@ class EntryPoolRegistry {
     return reg;
   }
 
-  void register_pool(StatsFn stats, EnableFn enable) {
+  void register_pool(StatsFn stats, ArenaStatsFn arena_stats, EnableFn enable) {
     std::lock_guard<Spinlock> g(lock_);
-    pools_.push_back({stats, enable});
+    pools_.push_back({stats, arena_stats, enable});
   }
 
   /// Sum of every pool's counters (pools are never unregistered).
@@ -133,6 +150,15 @@ class EntryPoolRegistry {
     std::lock_guard<Spinlock> g(lock_);
     EntryPoolStats s;
     for (const auto& p : pools_) s += p.stats();
+    return s;
+  }
+
+  /// Sum of every pool's counters for one arena (the per-arena obs gauges
+  /// in ArenaRegistry read this).
+  EntryPoolStats arena_totals(int arena) const {
+    std::lock_guard<Spinlock> g(lock_);
+    EntryPoolStats s;
+    for (const auto& p : pools_) s += p.arena_stats(arena);
     return s;
   }
 
@@ -181,12 +207,136 @@ class EntryPoolRegistry {
 
   struct PoolRef {
     StatsFn stats;
+    ArenaStatsFn arena_stats;
     EnableFn enable;
   };
   mutable Spinlock lock_;
   bool default_enabled_ = true;
   std::vector<PoolRef> pools_;
   obs::MetricsRegistry::Handle obs_handles_[4];
+};
+
+/// Process-wide directory of named slab arenas. An arena is a partition of
+/// every EntryPool's per-thread slots: entries acquired while an arena is
+/// current (ArenaScope) come from slabs owned by that (arena, thread)
+/// slot, are stamped with the encoded owner tag, and recycle back to the
+/// same slot through the existing MPSC inboxes no matter who frees them.
+/// The ShardedSet names one arena per shard index ("shard0", "shard1",
+/// ...), so a shard's entries live in shard-owned slabs — first-touch
+/// placed by the acquiring thread and, when the arena carries a NUMA node,
+/// mbind-preferred onto it (common/numa.h).
+///
+/// Arenas are find-or-create by name and never destroyed (ids are stable
+/// process-wide, like the pools themselves), so repeated ShardedSet
+/// construction reuses "shard<i>" rather than leaking table slots. Each
+/// arena registers two obs gauges at creation: slab count and the recycle-
+/// locality hit ratio (acquires served from the arena's own free lists /
+/// inboxes over all its acquires).
+class ArenaRegistry {
+ public:
+  static ArenaRegistry& instance() {
+    static auto* reg = new ArenaRegistry();
+    return *reg;
+  }
+
+  /// Find-or-create by name; `numa_node >= 0` asks slabs to prefer that
+  /// node (recorded on first creation; later callers inherit it). Returns
+  /// the arena id, or 0 (the default arena) when the table is full.
+  int acquire(const std::string& name, int numa_node = -1) {
+    std::lock_guard<Spinlock> g(lock_);
+    for (int i = 0; i < count_; ++i)
+      if (names_[i] == name) return i;
+    if (count_ >= kMaxArenas) return 0;
+    const int id = count_++;
+    names_[id] = name;
+    nodes_[id] = numa_node;
+    register_gauges(id);
+    return id;
+  }
+
+  /// Preferred NUMA node for `arena`'s slabs; -1 = unbound.
+  int numa_node(int arena) const {
+    std::lock_guard<Spinlock> g(lock_);
+    return arena >= 0 && arena < count_ ? nodes_[arena] : -1;
+  }
+
+  std::string name(int arena) const {
+    std::lock_guard<Spinlock> g(lock_);
+    return arena >= 0 && arena < count_ ? names_[arena] : std::string();
+  }
+
+  int count() const {
+    std::lock_guard<Spinlock> g(lock_);
+    return count_;
+  }
+
+  ArenaRegistry(const ArenaRegistry&) = delete;
+  ArenaRegistry& operator=(const ArenaRegistry&) = delete;
+
+ private:
+  ArenaRegistry() {
+    names_[0] = "default";
+    nodes_[0] = -1;
+    count_ = 1;
+    register_gauges(0);
+  }
+
+  void register_gauges(int id) {
+    using obs::MetricKind;
+    const std::string label = "arena=\"" + names_[id] + "\"";
+    slab_handles_[id] = obs::registry().add_callback(
+        MetricKind::kGauge, "bref_entry_pool_arena_slabs",
+        "Slabs allocated under this arena (sum over pools)", label, [id] {
+          return static_cast<double>(
+              EntryPoolRegistry::instance().arena_totals(id).slabs);
+        });
+    ratio_handles_[id] = obs::registry().add_callback(
+        MetricKind::kGauge, "bref_entry_pool_arena_hit_ratio",
+        "Share of this arena's acquires served from its own free lists / "
+        "recycle inboxes (locality: no allocator, no foreign slab)",
+        label, [id] {
+          const EntryPoolStats s =
+              EntryPoolRegistry::instance().arena_totals(id);
+          const uint64_t total = s.hits + s.misses;
+          return total == 0 ? 1.0
+                            : static_cast<double>(s.hits) /
+                                  static_cast<double>(total);
+        });
+  }
+
+  mutable Spinlock lock_;
+  int count_ = 0;
+  std::string names_[kMaxArenas];
+  int nodes_[kMaxArenas] = {};
+  obs::MetricsRegistry::Handle slab_handles_[kMaxArenas];
+  obs::MetricsRegistry::Handle ratio_handles_[kMaxArenas];
+};
+
+namespace detail {
+/// The calling thread's current arena; 0 (default) unless an ArenaScope is
+/// live. Thread-local so shard routing can set it around delegation
+/// without threading a parameter through every structure's update path.
+inline thread_local int tls_arena = 0;
+}  // namespace detail
+
+inline int current_arena() noexcept { return detail::tls_arena; }
+
+/// RAII arena selection: every EntryPool::acquire on this thread inside
+/// the scope allocates from `arena`'s slots. Scopes nest (the previous
+/// arena is restored); release() ignores the scope entirely — entries
+/// always route home by their owner tag.
+class ArenaScope {
+ public:
+  explicit ArenaScope(int arena) noexcept : prev_(detail::tls_arena) {
+    detail::tls_arena =
+        arena >= 0 && arena < kMaxArenas ? arena : 0;
+  }
+  ~ArenaScope() { detail::tls_arena = prev_; }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  int prev_;
 };
 
 template <typename T>
@@ -212,18 +362,19 @@ class EntryPool {
     return *pool;
   }
 
-  /// Pop an entry for thread `tid`. The returned entry's fields (other
-  /// than pool_tid) are unspecified; the caller initializes them before
-  /// publication.
+  /// Pop an entry for thread `tid`, from the current arena's slots (the
+  /// default arena unless an ArenaScope is live). The returned entry's
+  /// fields (other than pool_tid) are unspecified; the caller initializes
+  /// them before publication.
   T* acquire(int tid) {
     assert(tid >= 0 && tid < kMaxThreads);
+    const int arena = current_arena();
+    PerThread& pt = slot(arena, tid);
     if (!enabled_.load(std::memory_order_relaxed)) {
-      PerThread& pt = *slots_[tid];
       bump(pt.misses);
       bump(pt.malloced);
       return new T(kPoolMalloced);
     }
-    PerThread& pt = *slots_[tid];
     T* e = pt.free_head;
     if (e == nullptr) {
       // Acquire pairs with the release CAS in release_pooled: everything
@@ -232,7 +383,7 @@ class EntryPool {
       e = pt.inbox.exchange(nullptr, std::memory_order_acquire);
     }
     if (e == nullptr) {
-      e = new_slab(pt, tid);
+      e = new_slab(pt, arena, tid);
       bump(pt.misses);
     } else {
       bump(pt.hits);
@@ -264,8 +415,20 @@ class EntryPool {
 
   EntryPoolStats stats() const {
     EntryPoolStats s;
+    for (int a = 0; a < kMaxArenas; ++a) s += arena_stats(a);
+    return s;
+  }
+
+  /// Counters for one arena's slots of this pool (never-created arenas
+  /// read as zero without materializing them).
+  EntryPoolStats arena_stats(int arena) const {
+    EntryPoolStats s;
+    if (arena < 0 || arena >= kMaxArenas) return s;
+    const ArenaSlots* as =
+        arena == 0 ? &base_ : extra_[arena].load(std::memory_order_acquire);
+    if (as == nullptr) return s;
     for (int i = 0; i < kMaxThreads; ++i) {
-      const PerThread& pt = *slots_[i];
+      const PerThread& pt = *as->slots[i];
       s.hits += pt.hits.load(std::memory_order_relaxed);
       s.misses += pt.misses.load(std::memory_order_relaxed);
       s.recycled += pt.recycled.load(std::memory_order_relaxed);
@@ -291,11 +454,20 @@ class EntryPool {
     std::atomic<uint64_t> malloced{0};
   };
 
+  /// Per-arena block of per-thread slots, materialized lazily the first
+  /// time a thread acquires under that arena (and never freed: the tag on
+  /// a live entry must stay routable for the process lifetime, like the
+  /// pool itself).
+  struct ArenaSlots {
+    CachePadded<PerThread> slots[kMaxThreads];
+  };
+
   EntryPool() {
     enabled_.store(EntryPoolRegistry::instance().pooling_default(),
                    std::memory_order_relaxed);
     EntryPoolRegistry::instance().register_pool(
         [] { return instance().stats(); },
+        [](int arena) { return instance().arena_stats(arena); },
         [](bool on) { instance().set_pooling_enabled(on); });
   }
 
@@ -314,8 +486,31 @@ class EntryPool {
       return e->next;
   }
 
+  /// The (arena, tid) slot block, creating the arena's block on first use.
+  /// Lock-free fast path: one acquire load when the block exists.
+  PerThread& slot(int arena, int tid) {
+    if (arena == 0) return *base_.slots[tid];
+    ArenaSlots* as = extra_[arena].load(std::memory_order_acquire);
+    if (as == nullptr) {
+      auto* fresh = new ArenaSlots();
+      ArenaSlots* expect = nullptr;
+      if (extra_[arena].compare_exchange_strong(expect, fresh,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        as = fresh;
+      } else {
+        delete fresh;
+        as = expect;
+      }
+    }
+    return *as->slots[tid];
+  }
+
   void release_pooled(T* e) {
-    PerThread& pt = *slots_[e->pool_tid];
+    // Decode the owner tag (pool_owner_tag): the slot the entry's slab
+    // belongs to, independent of the releasing thread's arena scope.
+    const int32_t tag = e->pool_tid;
+    PerThread& pt = slot(tag / kMaxThreads, tag % kMaxThreads);
     poison(e);
     T* head = pt.inbox.load(std::memory_order_relaxed);
     do {
@@ -328,12 +523,19 @@ class EntryPool {
     pt.recycled.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Allocate and link one slab into tid's free list; returns the head.
-  T* new_slab(PerThread& pt, int tid) {
+  /// Allocate and link one slab into (arena, tid)'s free list; returns the
+  /// head. Placement: the mbind preference (when the arena carries a NUMA
+  /// node) is applied BEFORE the construction loop below first-touches
+  /// every entry on the acquiring thread, so the pages land on the arena's
+  /// node either way the kernel honors.
+  T* new_slab(PerThread& pt, int arena, int tid) {
     T* slab = static_cast<T*>(::operator new(
         kSlabEntries * sizeof(T), std::align_val_t(alignof(T))));
+    numa_bind_memory(slab, kSlabEntries * sizeof(T),
+                     ArenaRegistry::instance().numa_node(arena));
+    const int32_t tag = pool_owner_tag(arena, tid);
     for (size_t i = 0; i < kSlabEntries; ++i) {
-      T* e = ::new (static_cast<void*>(slab + i)) T(static_cast<int32_t>(tid));
+      T* e = ::new (static_cast<void*>(slab + i)) T(tag);
       link_of(e).store(i + 1 < kSlabEntries ? slab + i + 1 : nullptr,
                        std::memory_order_relaxed);
     }
@@ -364,7 +566,8 @@ class EntryPool {
   std::atomic<bool> enabled_{true};
   Spinlock slabs_lock_;
   std::vector<T*> slab_list_;  // retained for reachability; never freed
-  CachePadded<PerThread> slots_[kMaxThreads];
+  ArenaSlots base_;            // arena 0: the default (unscoped) slots
+  std::atomic<ArenaSlots*> extra_[kMaxArenas] = {};  // lazily materialized
 };
 
 }  // namespace bref

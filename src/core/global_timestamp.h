@@ -36,7 +36,10 @@ class GlobalTimestamp {
       : relax_threshold_(relax_threshold) {}
 
   /// Current value; used by range queries to fix their snapshot (Alg. 3
-  /// line 4) and by relaxed-mode updates.
+  /// line 4) and by relaxed-mode updates. seq_cst: the coordinated
+  /// cross-shard protocol (sharded_set.h) orders ALL of its PENDING
+  /// announce stores and epoch pins before this single load — the one
+  /// total order is what lets one read() serve every shard's snapshot.
   timestamp_t read() const noexcept {
     return ts_->load(std::memory_order_seq_cst);
   }

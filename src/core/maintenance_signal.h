@@ -1,0 +1,61 @@
+#pragma once
+// Backlog-driven maintenance signal — the producer half of the contract
+// that retires interval polling (src/shard/maintenance.h).
+//
+// One signal per maintenance worker. Producers (the retire/park paths in
+// epoch/ebr.h and ds/*/rq_provider.h) call on_produce() once per item that
+// will eventually need a maintenance pass; the worker sleeps until the
+// pending count crosses `threshold` (MaintenanceOptions::backlog_wake).
+// This turns the limbo bound from probabilistic (a poll happens to land
+// soon enough) into hard: a pass is triggered within one threshold
+// crossing, and an idle shard generates zero wakeups.
+//
+// Cost discipline on the hot path: one relaxed load when no threshold is
+// configured; one relaxed fetch_add plus one relaxed flag load when one
+// is. The condition-variable notify — the only expensive part — fires at
+// most once per crossing: `armed` is set by the worker just before it
+// sleeps and cleared by the one producer that wins the exchange, so a
+// burst of produces between two passes costs a single notify.
+//
+// Lost-wakeup safety is the *worker's* job, not this struct's: the worker
+// arms and re-checks due() under the service mutex, and notify() (supplied
+// by the service) takes that mutex before notifying, so a crossing can
+// never slip between the worker's predicate check and its wait.
+
+#include <atomic>
+#include <cstddef>
+
+namespace bref {
+
+struct MaintenanceSignal {
+  std::atomic<size_t> pending{0};  // produced since the worker last drained
+  std::atomic<bool> armed{false};  // worker sleeps; first crossing notifies
+  std::atomic<size_t> threshold{0};  // backlog_wake; 0 = signalling off
+  void (*notify)(void*) = nullptr;   // set by the service before attach
+  void* arg = nullptr;
+
+  /// Producer side: account `n` items that will need maintenance. Called
+  /// from retire/park hot paths — see the cost discipline above.
+  void on_produce(size_t n = 1) noexcept {
+    const size_t thr = threshold.load(std::memory_order_relaxed);
+    if (thr == 0) return;
+    const size_t p = pending.fetch_add(n, std::memory_order_relaxed) + n;
+    if (p >= thr && armed.load(std::memory_order_relaxed) &&
+        armed.exchange(false, std::memory_order_relaxed) && notify != nullptr)
+      notify(arg);
+  }
+
+  /// Worker side: true when the pending count has crossed the threshold.
+  bool due() const noexcept {
+    const size_t thr = threshold.load(std::memory_order_relaxed);
+    return thr != 0 && pending.load(std::memory_order_relaxed) >= thr;
+  }
+
+  /// Worker side: reset the pending count at the start of a pass (produces
+  /// that land during the pass count toward the next crossing).
+  size_t drain() noexcept {
+    return pending.exchange(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace bref

@@ -44,6 +44,22 @@ class RqTracker {
     slots_[tid]->store(kAnnouncePending, std::memory_order_seq_cst);
   }
 
+  /// Bulk form of announce_pending for a coordinated query overlapping
+  /// many shards: note every tracker's thread high-water mark first (the
+  /// loads), then issue the PENDING stores back-to-back — one cache-line
+  /// write per shard with no interleaved loads between them, so the
+  /// stores stream through the write buffer instead of each waiting out a
+  /// read round-trip. Each store carries exactly announce_pending()'s
+  /// per-shard ordering guarantee; batching reorders nothing a concurrent
+  /// cleaner could distinguish (it observes one slot, not the batch).
+  static void announce_pending_all(int tid, RqTracker* const* trackers,
+                                   size_t n) noexcept {
+    for (size_t i = 0; i < n; ++i) trackers[i]->hwm_.note(tid);
+    for (size_t i = 0; i < n; ++i)
+      trackers[i]->slots_[tid]->store(kAnnouncePending,
+                                      std::memory_order_seq_cst);
+  }
+
   /// Second half: publish the fixed snapshot timestamp. Returns `ts`.
   timestamp_t publish(int tid, timestamp_t ts) noexcept {
     slots_[tid]->store(ts, std::memory_order_seq_cst);

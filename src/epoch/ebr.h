@@ -31,6 +31,7 @@
 
 #include "common/cacheline.h"
 #include "common/thread_registry.h"
+#include "core/maintenance_signal.h"
 #include "obs/metrics.h"
 
 namespace bref {
@@ -75,16 +76,35 @@ class Ebr {
   /// Enter an epoch-protected region. After pin() returns, no object retired
   /// in the announced epoch or later is freed until this thread unpins.
   void pin(int tid) {
+    pin_prepare(tid);
+    pin_confirm(tid);
+  }
+
+  /// First half of pin(), split out so a coordinator pinning MANY Ebr
+  /// instances (the sharded cross-shard range query) can issue every
+  /// instance's announce store back-to-back before paying any validation
+  /// loads: one epoch read plus one announce store, nothing else. The pin
+  /// is NOT established until pin_confirm() returns — no shared pointer
+  /// may be read in between.
+  void pin_prepare(int tid) {
     hwm_.note(tid);
+    slots_[tid]->announce.store(global_epoch_.load(std::memory_order_acquire),
+                                std::memory_order_seq_cst);
+  }
+
+  /// Second half: close the announce/advance race. The announce must be
+  /// visible before any shared pointer is read, and the epoch must not
+  /// have advanced past it — re-read until the announced value sticks,
+  /// then run the usual per-pin epoch bookkeeping (bag drain, advance
+  /// cadence).
+  void pin_confirm(int tid) {
     Slot& s = *slots_[tid];
-    uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    uint64_t e = s.announce.load(std::memory_order_relaxed);
     for (;;) {
-      // The announce must be visible before we read any shared pointers;
-      // re-reading the epoch closes the announce/advance race.
-      s.announce.store(e, std::memory_order_seq_cst);
       uint64_t e2 = global_epoch_.load(std::memory_order_seq_cst);
       if (e2 == e) break;
       e = e2;
+      s.announce.store(e, std::memory_order_seq_cst);
     }
     if (e != s.local_epoch) on_new_epoch(s, e);
     if (++s.pin_count % kAdvanceEvery == 0) try_advance(e);
@@ -126,6 +146,16 @@ class Ebr {
     // another thread.
     s.retired_count.store(s.retired_count.load(std::memory_order_relaxed) + 1,
                           std::memory_order_relaxed);
+    if (MaintenanceSignal* sig = msig_.load(std::memory_order_relaxed))
+      sig->on_produce();
+  }
+
+  /// Attach (nullptr: detach) the backlog signal the retire path bumps —
+  /// the producer half of backlog-driven maintenance (maintenance.h). The
+  /// signal must outlive every retire that can observe it; the service
+  /// detaches before destroying it.
+  void set_maintenance_signal(MaintenanceSignal* s) noexcept {
+    msig_.store(s, std::memory_order_release);
   }
 
   template <typename T>
@@ -258,6 +288,7 @@ class Ebr {
 
   std::atomic<uint64_t> global_epoch_{0};
   std::atomic<uint64_t> freed_count_{0};
+  std::atomic<MaintenanceSignal*> msig_{nullptr};
   TidHwm hwm_;
   CachePadded<Slot> slots_[kMaxThreads];
   // Last members: destroyed FIRST, so the gauge callbacks (which read the

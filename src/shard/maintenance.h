@@ -16,6 +16,18 @@
 // `max_interval` and any productive pass snaps it back — idle shards cost
 // ~zero CPU while hot shards are serviced at the base rate.
 //
+// Backlog-driven wakeups (`backlog_wake`): each worker owns a
+// MaintenanceSignal attached to its target's retire/park path. Producers
+// count retired items and notify the service's cv_ when `backlog_wake`
+// items accumulate, so the limbo bound is HARD (work starts within one
+// scheduler hop of the threshold, not at the next poll tick) and an idle
+// shard costs zero wakeups. With `interval == 0` the signal is the only
+// wake source: the worker blocks until notified instead of polling.
+// Lost-wakeup safety: the worker arms the signal while holding mu_ and
+// re-checks `due()` inside the wait predicate; notify() takes mu_ before
+// cv_.notify_all(), so a producer crossing the threshold after the arm
+// cannot slip between the worker's check and its sleep.
+//
 // Worker thread ids: by default start() claims a registry-tracked id from
 // the TOP of the id space (ThreadRegistry::try_acquire_high) per worker,
 // released by stop(). High ids stay clear of benchmark drivers that pin
@@ -70,6 +82,22 @@ inline obs::GaugeSet& maintenance_backlog_gauge(size_t shard) {
   return *(*gauges)[shard];
 }
 
+/// Wakeup-cause counters, one series per reason: `bref_maintenance_
+/// wakeups_total{reason="backlog"|"timer"}`. Backlog wakeups are passes
+/// the producers' signal started; timer wakeups are interval expiries.
+/// An idle service with backlog_wake set should show both flat.
+inline obs::GaugeSet& maintenance_wakeups_counter(bool backlog) {
+  static auto* by_backlog = new obs::GaugeSet(
+      obs::GaugeSet::Agg::kSum, "bref_maintenance_wakeups_total",
+      "Maintenance worker wakeups by cause", "reason=\"backlog\"",
+      obs::MetricKind::kCounter);
+  static auto* by_timer = new obs::GaugeSet(
+      obs::GaugeSet::Agg::kSum, "bref_maintenance_wakeups_total",
+      "Maintenance worker wakeups by cause", "reason=\"timer\"",
+      obs::MetricKind::kCounter);
+  return backlog ? *by_backlog : *by_timer;
+}
+
 struct MaintenanceOptions {
   /// Base pause between passes (0 = back-to-back, Table 1's d=0).
   std::chrono::milliseconds interval{2};
@@ -86,6 +114,10 @@ struct MaintenanceOptions {
   size_t backlog_warn = 0;
   /// Minimum spacing between warnings per worker.
   std::chrono::milliseconds backlog_warn_interval{5000};
+  /// Wake a worker as soon as this many items were retired/parked on its
+  /// target since the last pass (0 disables the signal: pure interval
+  /// polling). With interval == 0 this is the ONLY wake source.
+  size_t backlog_wake = 0;
 };
 
 struct ShardMaintenanceStats {
@@ -94,6 +126,8 @@ struct ShardMaintenanceStats {
   uint64_t limbo_flushed = 0;
   uint64_t idle_backoffs = 0;
   uint64_t backlog = 0;  // reclaimables behind the worker, last pass
+  uint64_t backlog_wakeups = 0;  // passes triggered by the backlog signal
+  uint64_t timer_wakeups = 0;    // passes triggered by interval expiry
 };
 
 class MaintenanceService {
@@ -142,6 +176,19 @@ class MaintenanceService {
       }
     }
     stop_.store(false, std::memory_order_relaxed);
+    if (opt_.backlog_wake != 0) {
+      for (auto& w : workers_) {
+        w->signal.pending.store(0, std::memory_order_relaxed);
+        w->signal.armed.store(false, std::memory_order_relaxed);
+        w->signal.threshold.store(opt_.backlog_wake,
+                                  std::memory_order_relaxed);
+        w->signal.notify = [](void* p) {
+          static_cast<MaintenanceService*>(p)->wake();
+        };
+        w->signal.arg = this;
+        w->target->set_maintenance_signal(&w->signal);
+      }
+    }
     for (size_t i = 0; i < workers_.size(); ++i) {
       Worker& w = *workers_[i];
       w.thread = std::thread([this, &w, i] { run(w, i); });
@@ -159,6 +206,11 @@ class MaintenanceService {
     cv_.notify_all();
     for (auto& w : workers_)
       if (w->thread.joinable()) w->thread.join();
+    // Detach the signals so producers stop bumping dead thresholds. The
+    // Worker (and its signal) outlives this to service dtor, so a racing
+    // producer that loaded the pointer before the detach stays safe.
+    if (opt_.backlog_wake != 0)
+      for (auto& w : workers_) w->target->set_maintenance_signal(nullptr);
     if (!opt_.pooled_tids) release_tids();
     running_ = false;
   }
@@ -178,6 +230,8 @@ class MaintenanceService {
     s.limbo_flushed = w.flushed->load(std::memory_order_relaxed);
     s.idle_backoffs = w.idle_backoffs->load(std::memory_order_relaxed);
     s.backlog = w.backlog->load(std::memory_order_relaxed);
+    s.backlog_wakeups = w.backlog_wakeups->load(std::memory_order_relaxed);
+    s.timer_wakeups = w.timer_wakeups->load(std::memory_order_relaxed);
     return s;
   }
   ShardMaintenanceStats total() const {
@@ -189,6 +243,8 @@ class MaintenanceService {
       t.limbo_flushed += s.limbo_flushed;
       t.idle_backoffs += s.idle_backoffs;
       t.backlog += s.backlog;
+      t.backlog_wakeups += s.backlog_wakeups;
+      t.timer_wakeups += s.timer_wakeups;
     }
     return t;
   }
@@ -204,8 +260,13 @@ class MaintenanceService {
     CachePadded<std::atomic<uint64_t>> flushed{};
     CachePadded<std::atomic<uint64_t>> idle_backoffs{};
     CachePadded<std::atomic<uint64_t>> backlog{};
+    CachePadded<std::atomic<uint64_t>> backlog_wakeups{};
+    CachePadded<std::atomic<uint64_t>> timer_wakeups{};
+    MaintenanceSignal signal;  // producers' backlog counter (backlog_wake)
     Clock::time_point last_warn{};  // worker-thread private
     obs::GaugeSet::Source backlog_src;  // reads `backlog` above only
+    obs::GaugeSet::Source wake_backlog_src;
+    obs::GaugeSet::Source wake_timer_src;
   };
 
   void register_gauges() {
@@ -215,7 +276,24 @@ class MaintenanceService {
         return static_cast<double>(
             w->backlog->load(std::memory_order_relaxed));
       });
+      w->wake_backlog_src = maintenance_wakeups_counter(true).add([w] {
+        return static_cast<double>(
+            w->backlog_wakeups->load(std::memory_order_relaxed));
+      });
+      w->wake_timer_src = maintenance_wakeups_counter(false).add([w] {
+        return static_cast<double>(
+            w->timer_wakeups->load(std::memory_order_relaxed));
+      });
     }
+  }
+
+  /// Producers' notify target. The empty critical section pairs with the
+  /// worker arming its signal under mu_: either the worker sees the
+  /// crossing in its due() predicate, or this notify happens after the
+  /// worker parked and wakes it.
+  void wake() {
+    { std::lock_guard<std::mutex> lk(mu_); }
+    cv_.notify_all();
   }
 
   void release_tids() noexcept {
@@ -228,13 +306,29 @@ class MaintenanceService {
   void run(Worker& w, size_t shard) {
     const int tid = opt_.pooled_tids ? SessionPool::thread_tid() : w.tid;
     auto interval = opt_.interval;
+    const bool timed = opt_.interval.count() > 0;
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
-      if (interval.count() > 0)
-        cv_.wait_for(lk, interval,
-                     [this] { return stop_.load(std::memory_order_relaxed); });
+      const auto due = [this, &w] {
+        return stop_.load(std::memory_order_relaxed) || w.signal.due();
+      };
+      if (!due()) {
+        // Arm under mu_; on_produce()'s notify path locks mu_ before
+        // cv_.notify_all(), so a threshold crossing after this store
+        // cannot fire before we are parked in the wait (see header).
+        w.signal.armed.store(true, std::memory_order_relaxed);
+        if (timed)
+          cv_.wait_for(lk, interval, due);
+        else
+          cv_.wait(lk, due);  // interval==0: block until notified
+        w.signal.armed.store(false, std::memory_order_relaxed);
+      }
       if (stop_.load(std::memory_order_relaxed)) return;
+      const bool backlog_wake = w.signal.due();
+      w.signal.drain();
       lk.unlock();
+      (backlog_wake ? w.backlog_wakeups : w.timer_wakeups)
+          ->fetch_add(1, std::memory_order_relaxed);
       const MaintenanceWork work = w.target->maintain(tid);
       w.passes->fetch_add(1, std::memory_order_relaxed);
       w.pruned->fetch_add(work.bundle_entries_pruned,
@@ -257,11 +351,9 @@ class MaintenanceService {
                            w.passes->load(std::memory_order_relaxed)));
         }
       }
-      if (opt_.adaptive) {
+      if (opt_.adaptive && timed) {
         if (work.reclaimed() == 0) {
-          interval = std::min(
-              interval.count() > 0 ? interval * 2 : opt_.max_interval,
-              opt_.max_interval);
+          interval = std::min(interval * 2, opt_.max_interval);
           w.idle_backoffs->fetch_add(1, std::memory_order_relaxed);
         } else {
           interval = opt_.interval;

@@ -57,7 +57,9 @@
 #include "api/session.h"
 #include "api/set_interface.h"
 #include "common/cacheline.h"
+#include "common/numa.h"
 #include "common/thread_registry.h"
+#include "core/entry_pool.h"
 #include "core/global_timestamp.h"
 #include "core/rq_tracker.h"
 #include "obs/metrics.h"
@@ -84,12 +86,19 @@ struct ShardedSetStats {
   uint64_t coordinated_rqs = 0;    // multi-shard, one shared timestamp
   uint64_t fallback_rqs = 0;       // multi-shard, per-shard merge
   uint64_t timestamps_acquired = 0;  // shared-clock reads by coordinated RQs
+  /// Epoch pins + PENDING announces taken by coordinated RQs — exactly the
+  /// shards each query's span overlaps, never all of them. The elision
+  /// invariant is `coordinated_shards_pinned <= coordinated_rqs * nshards`
+  /// with equality only for whole-keyspace scans; single-shard queries
+  /// contribute ZERO (they devolve to the unsharded fast path).
+  uint64_t coordinated_shards_pinned = 0;
 
   ShardedSetStats& operator+=(const ShardedSetStats& o) {
     single_shard_rqs += o.single_shard_rqs;
     coordinated_rqs += o.coordinated_rqs;
     fallback_rqs += o.fallback_rqs;
     timestamps_acquired += o.timestamps_acquired;
+    coordinated_shards_pinned += o.coordinated_shards_pinned;
     return *this;
   }
 };
@@ -157,6 +166,16 @@ class ShardedSet final : public AnyOrderedSet {
     pools_.reserve(nshards_);
     for (size_t i = 0; i < nshards_; ++i)
       pools_.emplace_back(std::make_unique<SessionPool>(*shards_[i]));
+    // One entry-pool arena per shard index, find-or-create by name so
+    // every ShardedSet in the process shares "shard<i>" (arenas, like the
+    // pools underneath, are process-lifetime). On multi-node machines the
+    // arenas round-robin the nodes so a shard's slabs stay on one socket.
+    arena_ids_.resize(nshards_, 0);
+    const int nodes = numa_node_count();
+    for (size_t i = 0; i < nshards_; ++i)
+      arena_ids_[i] = ArenaRegistry::instance().acquire(
+          "shard" + std::to_string(i),
+          nodes > 1 ? static_cast<int>(i % static_cast<size_t>(nodes)) : -1);
     obs_srcs_[0] = sharded_routing_counter(0).add(
         [this] { return static_cast<double>(stats().single_shard_rqs); });
     obs_srcs_[1] = sharded_routing_counter(1).add(
@@ -168,11 +187,18 @@ class ShardedSet final : public AnyOrderedSet {
   }
 
   // -- point operations: single-shard fast path ---------------------------
+  // Updates run under the owning shard's arena scope, so every entry/node
+  // they allocate comes from (and recycles to) that shard's slabs.
+  // contains() allocates nothing and skips the scope.
   bool insert(int tid, KeyT key, ValT val) override {
-    return shards_[shard_index(key)]->insert(tid, key, val);
+    const size_t s = shard_index(key);
+    ArenaScope arena(arena_ids_[s]);
+    return shards_[s]->insert(tid, key, val);
   }
   bool remove(int tid, KeyT key) override {
-    return shards_[shard_index(key)]->remove(tid, key);
+    const size_t s = shard_index(key);
+    ArenaScope arena(arena_ids_[s]);
+    return shards_[s]->remove(tid, key);
   }
   bool contains(int tid, KeyT key, ValT* out) override {
     return shards_[shard_index(key)]->contains(tid, key, out);
@@ -278,6 +304,12 @@ class ShardedSet final : public AnyOrderedSet {
     for (const auto& s : shards_) n += s->maintenance_backlog();
     return n;
   }
+  /// One signal fanned out to every shard's producers (for a single
+  /// worker maintaining the whole sharded set; the per-shard service
+  /// attaches one signal per maintenance_targets() entry instead).
+  void set_maintenance_signal(MaintenanceSignal* s) override {
+    for (auto& sh : shards_) sh->set_maintenance_signal(s);
+  }
   /// Per-shard maintenance targets (MaintenanceService spawns one worker
   /// per entry).
   std::vector<AnyOrderedSet*> maintenance_targets() {
@@ -299,6 +331,11 @@ class ShardedSet final : public AnyOrderedSet {
   /// check_invariants() pins, so direct shard access must respect the
   /// partition.
   SessionPool& shard_pool(size_t i) { return *pools_[i]; }
+  /// The entry-pool arena shard `i`'s updates allocate under (for callers
+  /// driving shards directly — bulk loaders via shard_pool(i) should wrap
+  /// their inserts in ArenaScope(shard_arena(i)) to keep the placement
+  /// discipline the routed path gets automatically).
+  int shard_arena(size_t i) const noexcept { return arena_ids_[i]; }
 
   /// The shard owning `key` (total over KeyT: out-of-bounds keys clamp to
   /// the first/last shard).
@@ -367,6 +404,8 @@ class ShardedSet final : public AnyOrderedSet {
       t.fallback_rqs += s.fallback_rqs.load(std::memory_order_relaxed);
       t.timestamps_acquired +=
           s.timestamps_acquired.load(std::memory_order_relaxed);
+      t.coordinated_shards_pinned +=
+          s.coordinated_shards_pinned.load(std::memory_order_relaxed);
     }
     return t;
   }
@@ -388,27 +427,48 @@ class ShardedSet final : public AnyOrderedSet {
     std::atomic<uint64_t> coordinated_rqs{0};
     std::atomic<uint64_t> fallback_rqs{0};
     std::atomic<uint64_t> timestamps_acquired{0};
+    std::atomic<uint64_t> coordinated_shards_pinned{0};
   };
 
   static void bump(std::atomic<uint64_t>& c) noexcept {
     c.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// The single-timestamp protocol (header comment). Returns T, the one
-  /// shared-clock value every overlapping shard was snapshot at. Ordering
-  /// within: every shard's epoch pin AND tracker announce precede the
-  /// clock read — the pin so a node removed after T must have been
-  /// retired under our pin (never freed mid-walk), the announce so a
-  /// cleaner that missed it read its prune bound before we read T (both
-  /// are the single-structure range query's own orderings, taken per
-  /// shard).
+  /// The single-timestamp protocol (header comment), in its batched
+  /// two-phase form. Returns T, the one shared-clock value every
+  /// overlapping shard was snapshot at.
+  ///
+  /// Announce phase, overlapped across shards instead of sequential
+  /// pin->announce per shard:
+  ///   1a. every shard's epoch-pin announce store (rq_pin_prepare — one
+  ///       store each, no validation loads);
+  ///   1b. every tracker's PENDING store (announce_pending_all — one
+  ///       cache-line write each, back-to-back, no interleaved loads);
+  ///   1c. every pin's validation (rq_pin_confirm — the announce/advance
+  ///       re-read loops, all the round-trip latency in one pass).
+  /// Then the ONE clock read, one publish pass, and collection.
+  ///
+  /// Why reordering the per-shard steps preserves §6's argument
+  /// (DESIGN.md §9): both safety properties are per shard and only
+  /// require shard i's pin AND its PENDING announce to precede the clock
+  /// read. A concurrent cleaner observes one slot, not the batch, so
+  /// interleaving shard j's stores between shard i's prepare and confirm
+  /// is indistinguishable from scheduler timing under the old loop. The
+  /// pin is established when confirm returns — before the clock read —
+  /// and no shared pointer is read between prepare and confirm.
+  ///
+  /// Elision: only shards in [a, b] — the span [lo, hi] provably overlaps
+  /// under the contiguous partition (shard_index is monotone) — pay any
+  /// coordination; shards outside it are never touched, and a == b never
+  /// reaches here (the callers devolve single-shard queries to the
+  /// unsharded fast path: zero pins, zero announces, zero shared-clock
+  /// reads). coordinated_shards_pinned makes the invariant observable.
   timestamp_t coordinated_collect(int tid, size_t a, size_t b, KeyT lo,
                                   KeyT hi,
                                   std::vector<std::pair<KeyT, ValT>>& out) {
-    for (size_t i = a; i <= b; ++i) {
-      shards_[i]->rq_pin(tid);
-      trackers_[i]->announce_pending(tid);
-    }
+    for (size_t i = a; i <= b; ++i) shards_[i]->rq_pin_prepare(tid);
+    RqTracker::announce_pending_all(tid, &trackers_[a], b - a + 1);
+    for (size_t i = a; i <= b; ++i) shards_[i]->rq_pin_confirm(tid);
     const timestamp_t ts = gts_.read();  // the ONE timestamp acquisition
     for (size_t i = a; i <= b; ++i) trackers_[i]->publish(tid, ts);
     for (size_t i = a; i <= b; ++i) {
@@ -419,6 +479,8 @@ class ShardedSet final : public AnyOrderedSet {
     auto& st = *stats_[tid];
     bump(st.coordinated_rqs);
     bump(st.timestamps_acquired);
+    st.coordinated_shards_pinned.fetch_add(b - a + 1,
+                                           std::memory_order_relaxed);
     return ts;
   }
 
@@ -447,6 +509,7 @@ class ShardedSet final : public AnyOrderedSet {
   std::vector<std::unique_ptr<AnyOrderedSet>> shards_;
   std::vector<RqTracker*> trackers_;
   std::vector<std::unique_ptr<SessionPool>> pools_;
+  std::vector<int> arena_ids_;
   mutable CachePadded<std::vector<std::pair<KeyT, ValT>>>
       scratch_[kMaxThreads];
   mutable CachePadded<StatSlot> stats_[kMaxThreads] = {};

@@ -174,5 +174,67 @@ TEST(EntryPool, RecycledEntriesNeverReachableByActiveReaders) {
   EXPECT_TRUE(sl.check_invariants());
 }
 
+// ---------------------------------------------------------------------------
+// Named slab arenas (ISSUE 9): shard-local placement with home routing.
+// ---------------------------------------------------------------------------
+
+TEST(EntryPoolArena, RegistryFindsOrCreatesByName) {
+  auto& reg = ArenaRegistry::instance();
+  const int a = reg.acquire("test-arena-reuse");
+  ASSERT_GT(a, 0);  // arena 0 is the unnamed default
+  EXPECT_EQ(reg.acquire("test-arena-reuse"), a);  // same name -> same arena
+  const int b = reg.acquire("test-arena-other");
+  EXPECT_NE(b, a);
+  EXPECT_EQ(reg.name(a), "test-arena-reuse");
+  // Out of scope, the thread is back on the default arena; bogus ids clamp.
+  EXPECT_EQ(current_arena(), 0);
+  {
+    ArenaScope bad(kMaxArenas + 5);
+    EXPECT_EQ(current_arena(), 0);
+  }
+}
+
+TEST(EntryPoolArena, ScopedAcquireTagsOwnerAndRoutesReleaseHome) {
+  auto& pool = EntryPool<FakeEntry>::instance();
+  pool.set_pooling_enabled(true);
+  const int arena = ArenaRegistry::instance().acquire("test-arena-route");
+  ASSERT_GT(arena, 0);
+  FakeEntry* e = nullptr;
+  {
+    ArenaScope scope(arena);
+    EXPECT_EQ(current_arena(), arena);
+    e = pool.acquire(7);
+    // The owner tag encodes (arena, tid); arena 0 keeps tag == tid so the
+    // pre-arena layout (and every old assertion on pool_tid) still holds.
+    ASSERT_EQ(e->pool_tid, pool_owner_tag(arena, 7));
+  }
+  EXPECT_EQ(current_arena(), 0);
+  // Release from another thread with NO scope: the entry's own tag — not
+  // the releasing thread's arena — must route it to the home slot.
+  std::thread([e] { EntryPool<FakeEntry>::release(e); }).join();
+  {
+    ArenaScope scope(arena);
+    bool resurfaced = false;
+    std::vector<FakeEntry*> held;
+    for (size_t i = 0; i < EntryPool<FakeEntry>::kSlabEntries + 2; ++i) {
+      FakeEntry* got = pool.acquire(7);
+      EXPECT_EQ(got->pool_tid, pool_owner_tag(arena, 7));
+      held.push_back(got);
+      if (got == e) {
+        resurfaced = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(resurfaced);
+    for (FakeEntry* h : held) EntryPool<FakeEntry>::release(h);
+  }
+  // Per-arena accounting: the arena allocated at least one slab of its
+  // own, and the global roll-up covers it.
+  const EntryPoolStats as = pool.arena_stats(arena);
+  EXPECT_GE(as.slabs, 1u);
+  EXPECT_GT(as.hits + as.misses, 0u);
+  EXPECT_GE(pool.stats().slabs, as.slabs);
+}
+
 }  // namespace
 }  // namespace bref

@@ -199,6 +199,28 @@ TEST(CoordinatedRq, CrossShardQueryAcquiresExactlyOneTimestamp) {
   // not one per overlapping shard.
   EXPECT_EQ(st.timestamps_acquired, static_cast<uint64_t>(kQueries));
   EXPECT_EQ(st.fallback_rqs, 0u);
+  // Full-span queries pin (and announce in) every shard exactly once.
+  EXPECT_EQ(st.coordinated_shards_pinned, static_cast<uint64_t>(4 * kQueries));
+}
+
+TEST(CoordinatedRq, PinElisionPaysCoordinationOnlyForOverlappingShards) {
+  // ISSUE 9 pin-elision: shards provably missing the query range pay no
+  // announce store and no epoch pin. [0,100] over 4 shards -> width 25.
+  ShardedSet s("Bundle-list", small_range(4, 0, 100));
+  ThreadSession sess(s, 0);
+  for (KeyT k = 1; k <= 99; ++k) sess.insert(k, k);
+  RangeSnapshot snap;
+  // Straddles exactly the shard 1 / shard 2 boundary: 2 of 4 shards.
+  EXPECT_EQ(sess.range_query(30, 60, snap), 31u);
+  ShardedSetStats st = s.stats();
+  EXPECT_EQ(st.coordinated_rqs, 1u);
+  EXPECT_EQ(st.coordinated_shards_pinned, 2u)
+      << "shards outside [lo,hi] must not be pinned or announced in";
+  // Three shards: [30, 80] covers indices 1..3.
+  EXPECT_EQ(sess.range_query(30, 80, snap), 51u);
+  st = s.stats();
+  EXPECT_EQ(st.coordinated_rqs, 2u);
+  EXPECT_EQ(st.coordinated_shards_pinned, 5u);
 }
 
 TEST(CoordinatedRq, SingleShardFastPathDelegatesWholeQuery) {
@@ -211,6 +233,11 @@ TEST(CoordinatedRq, SingleShardFastPathDelegatesWholeQuery) {
   const ShardedSetStats st = s.stats();
   EXPECT_EQ(st.single_shard_rqs, 1u);
   EXPECT_EQ(st.coordinated_rqs, 0u);
+  // The ISSUE 9 zero-coordination assertion: a single-shard-resident RQ
+  // devolves to exactly the unsharded fast path — no shared-clock
+  // acquisition, no cross-shard announce, no extra epoch pins.
+  EXPECT_EQ(st.timestamps_acquired, 0u);
+  EXPECT_EQ(st.coordinated_shards_pinned, 0u);
 }
 
 TEST(CoordinatedRq, TimestampsOrderSnapshotsAgainstUpdatesAcrossShards) {
@@ -300,6 +327,82 @@ TEST(CoordinatedRq, ChurnHistoriesPassTimestampedWingGongAudit) {
   EXPECT_GT(ds.stats().coordinated_rqs, 0u);
   EXPECT_EQ(ds.stats().fallback_rqs, 0u);
   EXPECT_EQ(ds.stats().timestamps_acquired, ds.stats().coordinated_rqs);
+}
+
+// The ISSUE 9 audit variant: 8-thread churn whose range queries mix all
+// three routing classes — single-shard (zero-coordination fast path),
+// partial-span (batched announce over a pin-elided subset), and full-span.
+// Every stamped snapshot, regardless of how many shards coordinated, must
+// linearize in @ts order on the one shared clock.
+TEST(CoordinatedRq, MixedSpanChurnAuditExercisesBatchedAnnounceAndElision) {
+  constexpr int kThreads = 8;
+  ShardedSet ds("Bundle-list", small_range(4, 0, 8));
+  ASSERT_TRUE(ds.coordinated());
+  for (int burst = 0; burst < 10; ++burst) {
+    validation::History pre;
+    for (auto& [k, v] : ds.to_vector()) {
+      validation::Op op;
+      op.kind = validation::OpKind::kInsert;
+      op.key = k;
+      op.val = v;
+      op.result = true;
+      op.invoke_ns = 2 * pre.size();
+      op.response_ns = 2 * pre.size() + 1;
+      pre.push_back(op);
+    }
+    std::vector<validation::ThreadLog> logs;
+    for (int t = 0; t < kThreads; ++t) logs.emplace_back(t);
+    testutil::run_threads(kThreads, [&](int t) {
+      ThreadSession s(ds, t);
+      Xoshiro256 rng(burst * 977 + t + 1);
+      RangeSnapshot out;
+      for (int i = 0; i < 3; ++i) {
+        const KeyT k = 1 + static_cast<KeyT>(rng.next_range(7));
+        const uint64_t t0 = validation::now_ns();
+        switch (rng.next_range(5)) {
+          case 0: {
+            const bool r = s.insert(k, burst * 100 + t * 10 + i);
+            logs[t].record_point(validation::OpKind::kInsert, k,
+                                 burst * 100 + t * 10 + i, r, t0,
+                                 validation::now_ns());
+            break;
+          }
+          case 1: {
+            const bool r = s.remove(k);
+            logs[t].record_point(validation::OpKind::kRemove, k, 0, r, t0,
+                                 validation::now_ns());
+            break;
+          }
+          case 2:  // keys 0-1 live in shard 0 -> single-shard fast path
+            s.range_query(0, 1, out);
+            logs[t].record_rq(out, t0, validation::now_ns());
+            break;
+          case 3:  // keys 2-5 span shards 1-2 -> elided batched announce
+            s.range_query(2, 5, out);
+            logs[t].record_rq(out, t0, validation::now_ns());
+            break;
+          default:  // full span -> all four shards coordinate
+            s.range_query(1, 8, out);
+            logs[t].record_rq(out, t0, validation::now_ns());
+            break;
+        }
+      }
+    });
+    validation::History h = validation::merge(logs);
+    h.insert(h.end(), pre.begin(), pre.end());
+    auto verdict = validation::check_linearizable_with_ts(h);
+    ASSERT_TRUE(verdict.linearizable)
+        << "burst " << burst << ": " << verdict.message;
+  }
+  const ShardedSetStats st = ds.stats();
+  EXPECT_GT(st.single_shard_rqs, 0u);
+  EXPECT_GT(st.coordinated_rqs, 0u);
+  EXPECT_EQ(st.fallback_rqs, 0u);
+  EXPECT_EQ(st.timestamps_acquired, st.coordinated_rqs);
+  // Elision engaged: strictly fewer pins than coordinated_rqs * nshards
+  // (the 2-shard spans), never fewer than 2 per coordinated query.
+  EXPECT_LT(st.coordinated_shards_pinned, 4 * st.coordinated_rqs);
+  EXPECT_GE(st.coordinated_shards_pinned, 2 * st.coordinated_rqs);
 }
 
 // ---------------------------------------------------------------------------
@@ -461,6 +564,77 @@ TEST(Maintenance, AdaptiveRateBacksOffWhenIdle) {
   std::this_thread::sleep_for(std::chrono::milliseconds(120));
   svc.stop();
   EXPECT_GT(svc.total().idle_backoffs, 0u);
+}
+
+TEST(Maintenance, BacklogWakeBoundsLimboHardWithoutPolling) {
+  // ISSUE 9 hard-bound regression: interval polling disabled (interval 0),
+  // backlog-driven wakeups only. The EBR-RQ park path signals the service
+  // at backlog_wake items, so total limbo must stay near the threshold —
+  // far below the ~kPruneEvery-per-(thread, shard) saw-tooth the inline
+  // cadence alone would allow (2 threads x 4 shards x 127 > 1000).
+  constexpr size_t kWake = 16;
+  constexpr size_t kHardBound = 256;  // threshold + generous scheduler slack
+  ShardedSet s("EBR-RQ-list", small_range(4, 0, 400));
+  MaintenanceService svc(
+      s, MaintenanceOptions{.interval = std::chrono::milliseconds(0),
+                            .backlog_wake = kWake});
+  svc.start();
+  std::atomic<size_t> max_backlog{0};
+  testutil::run_threads(2, [&](int tid) {
+    ThreadSession sess(s, tid);
+    Xoshiro256 rng(59 + tid);
+    for (int i = 0; i < 8000; ++i) {
+      const KeyT k = 1 + static_cast<KeyT>(rng.next_range(399));
+      if (rng.next_range(2) == 0)
+        sess.insert(k, k);
+      else
+        sess.remove(k);  // parks in limbo -> bumps the signal
+      if (i % 8 == 0) {
+        const size_t b = s.maintenance_backlog();
+        size_t prev = max_backlog.load(std::memory_order_relaxed);
+        while (b > prev && !max_backlog.compare_exchange_weak(
+                               prev, b, std::memory_order_relaxed)) {
+        }
+      }
+      // On an oversubscribed runner, give the worker a chance to take the
+      // CPU once signalled; real deployments have a core for it.
+      if (i % 16 == 0) std::this_thread::yield();
+    }
+  });
+  // The sub-threshold tail needs no wakeup; anything at/over the
+  // threshold must drain without a flush from us.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(3);
+  while (s.maintenance_backlog() > kWake + 64 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  svc.stop();
+  EXPECT_LE(max_backlog.load(), kHardBound)
+      << "limbo outran the backlog signal";
+  EXPECT_LE(s.maintenance_backlog(), kWake + 64);
+  const ShardMaintenanceStats t = svc.total();
+  EXPECT_GT(t.passes, 0u);
+  EXPECT_GT(t.backlog_wakeups, 0u);
+  EXPECT_EQ(t.timer_wakeups, 0u) << "interval 0 must never tick a timer";
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Maintenance, IntervalZeroIdleServiceTakesZeroPasses) {
+  // The satellite-1 regression: interval == 0 used to skip the wait and
+  // hot-loop maintain(); it now means "block until signalled", so an idle
+  // service takes zero passes and zero wakeups of either kind.
+  ShardedSet s("Bundle-list",
+               small_range(2, 0, 100, SetOptions{.reclaim = true}));
+  MaintenanceService svc(
+      s, MaintenanceOptions{.interval = std::chrono::milliseconds(0),
+                            .backlog_wake = 8});
+  svc.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  svc.stop();
+  const ShardMaintenanceStats t = svc.total();
+  EXPECT_EQ(t.passes, 0u) << "idle interval-0 worker must not spin";
+  EXPECT_EQ(t.backlog_wakeups, 0u);
+  EXPECT_EQ(t.timer_wakeups, 0u);
 }
 
 TEST(Maintenance, TypeErasedMaintainHookSumsShardDuties) {

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Merge a fig6_sharded sweep and enforce the ISSUE 9 gates.
+
+Usage:
+    shard_gate.py --fig6 fig6.json --out BENCH_9.json [--min-ratio 0.95]
+                  [--hi-ratio 1.5] [--hi-shards 8] [--hi-threads 16]
+
+Input is a fig6_sharded --json document. Sharded records (impl
+"Sharded<K>-<impl>") carry "speedup_vs_unsharded" against the unsharded
+baseline re-measured at the same (threads, zipf) point, plus
+"crossover_threads" per K. The script writes one document with a "gates"
+object and exits nonzero if any gate fails:
+
+  * no_regression: sharding must pay for itself EVERYWHERE — every sweep
+    point (all K, threads, zipf) holds speedup >= --min-ratio. The default
+    0.95 leaves room for run-to-run noise; the intent is "sharded never
+    loses", the ISSUE 9 inversion (0.8x at 8 shards / 2 threads) fails it.
+  * scaling_win: at >= --hi-shards shards and >= --hi-threads threads the
+    speedup must reach --hi-ratio (default 1.5x) — sharding must not just
+    break even but win where the paper says contention splits K ways.
+    Marked "skipped" (passing) when the sweep has no such point, e.g. CI
+    runners with too few cores to drive 16 threads honestly.
+
+The merged doc also summarizes per-(K, mix) crossover thread counts so the
+perf trajectory shows WHERE sharding starts winning, not just that it does.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SHARDED = re.compile(r"^Sharded(\d+)-")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--fig6", required=True)
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--min-ratio", type=float, default=0.95)
+    ap.add_argument("--hi-ratio", type=float, default=1.5)
+    ap.add_argument("--hi-shards", type=int, default=8)
+    ap.add_argument("--hi-threads", type=int, default=16)
+    args = ap.parse_args()
+
+    doc = load(args.fig6)
+    cells = []
+    for r in doc.get("results", []):
+        m = SHARDED.match(r.get("impl", ""))
+        if not m or "speedup_vs_unsharded" not in r:
+            continue
+        cells.append(
+            {
+                "impl": r["impl"],
+                "shards": int(m.group(1)),
+                "threads": r["threads"],
+                "mix": r.get("mix", ""),
+                "mops": r["mops"],
+                "baseline_mops": r.get("baseline_mops"),
+                "speedup": r["speedup_vs_unsharded"],
+                "crossover_threads": r.get("crossover_threads"),
+            }
+        )
+    if not cells:
+        sys.exit("shard_gate: no sharded records with speedup_vs_unsharded")
+
+    worst = min(cells, key=lambda c: c["speedup"])
+    no_regression = {
+        "min_ratio": args.min_ratio,
+        "worst_speedup": worst["speedup"],
+        "worst_point": {
+            "shards": worst["shards"],
+            "threads": worst["threads"],
+            "mix": worst["mix"],
+        },
+        "points": len(cells),
+        "pass": worst["speedup"] >= args.min_ratio,
+    }
+
+    hi = [
+        c
+        for c in cells
+        if c["shards"] >= args.hi_shards and c["threads"] >= args.hi_threads
+    ]
+    if hi:
+        best = max(hi, key=lambda c: c["speedup"])
+        scaling_win = {
+            "hi_ratio": args.hi_ratio,
+            "hi_shards": args.hi_shards,
+            "hi_threads": args.hi_threads,
+            "best_speedup": best["speedup"],
+            "best_point": {
+                "shards": best["shards"],
+                "threads": best["threads"],
+                "mix": best["mix"],
+            },
+            "pass": best["speedup"] >= args.hi_ratio,
+        }
+    else:
+        scaling_win = {
+            "hi_ratio": args.hi_ratio,
+            "hi_shards": args.hi_shards,
+            "hi_threads": args.hi_threads,
+            "skipped": "no sweep point at >= %d shards and >= %d threads"
+            % (args.hi_shards, args.hi_threads),
+            "pass": True,
+        }
+
+    crossover = {}
+    for c in cells:
+        key = "K=%d %s" % (c["shards"], c["mix"])
+        if key not in crossover:
+            crossover[key] = c["crossover_threads"]
+
+    merged = {
+        "schema": doc.get("schema", 1),
+        "bench": "fig6_sharded",
+        "config": doc.get("config", {}),
+        "results": doc.get("results", []),
+        "crossover_threads": crossover,
+        "gates": {"no_regression": no_regression, "scaling_win": scaling_win},
+    }
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+
+    ok = True
+    for name, g in merged["gates"].items():
+        status = "SKIP" if "skipped" in g else ("PASS" if g["pass"] else "FAIL")
+        ok = ok and g["pass"]
+        detail = {k: v for k, v in g.items() if k != "pass"}
+        print(f"shard_gate: {status} {name}: {detail}")
+    print(f"shard_gate: crossover {crossover}")
+    if not ok:
+        sys.exit(1)
+    print(f"shard_gate: all gates pass -> {args.out}")
+
+
+if __name__ == "__main__":
+    main()
