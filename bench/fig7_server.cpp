@@ -42,6 +42,28 @@
 //   --wave-budget N       sets GuardOptions::max_wave_frames (admission
 //                         budget per worker wave; 0 disables shedding).
 //
+// Tracing scenarios (ISSUE 10):
+//
+//   --scenario trace      point mix with tracing fully disabled
+//                         ("trace-off": no client stamps, server capture
+//                         disarmed) then fully on ("trace-on": every
+//                         request frame carries a trace context, server
+//                         runs the default tail-biased capture policy).
+//                         The gate (tools/trace_gate.py) holds the p99
+//                         overhead of trace-on at <= 3% at matched
+//                         achieved rate.
+//   --trace on|off        whether the OTHER scenarios stamp + capture
+//                         (default on). Every traced run's JSON record
+//                         carries "trace": {"slowest": [...]} — the 10
+//                         slowest requests of the scenario with their full
+//                         per-stage span timelines (from TRACE_DUMP; the
+//                         all-time board guarantees the true tail is
+//                         there). tools/trace2chrome converts the dump to
+//                         chrome://tracing JSON.
+//   --trace-every N       reservoir rate while tracing (default 128).
+//   --trace-threshold-us N  commit threshold while tracing (default 1000;
+//                         every request slower than this is captured).
+//
 // --json records one entry per scenario; "threads" is the connection
 // count, extra carries the offered/achieved rates, shed/goodput, the
 // mid-run live connection count, the server-side queue/execute/flush p99
@@ -54,9 +76,11 @@
 #include <fcntl.h>
 #include <poll.h>
 
+#include <algorithm>
 #include <barrier>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <string>
@@ -97,6 +121,7 @@ struct DriverConfig {
   double zipf_theta = 0.99;
   uint64_t seed = 1;
   Scenario mix = kMixed;
+  bool trace = true;  // stamp a trace context on every request frame
 };
 
 /// One scheduled-but-unanswered request frame. Responses arrive in frame
@@ -120,11 +145,20 @@ struct Conn {
     ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
   }
 
+  /// Connection-unique trace ids (the per-conn seed is already unique);
+  /// never 0 ("no context").
+  uint64_t next_trace_id() {
+    if (trace_base == 0) trace_base = (rng.next_u64() | 1) << 20;
+    return trace_base + ++trace_seq;
+  }
+
   net::Client client;
   Xoshiro256 rng;
   ZipfGenerator zipf;
   uint64_t interval;
   uint64_t next_due;
+  uint64_t trace_base = 0;
+  uint64_t trace_seq = 0;
   std::vector<uint8_t> out;  // encoded-but-unsent request bytes
   size_t out_off = 0;
   std::vector<uint8_t> in;   // partial response bytes
@@ -152,8 +186,18 @@ void schedule_unit(Conn& c, const DriverConfig& cfg, uint64_t sched_ns) {
   const Scenario& mix = cfg.mix;
   const uint64_t dice = c.rng.next_range(100);
   const KeyT k = 1 + static_cast<KeyT>(c.zipf.next());
+  // Traced runs stamp a trace context onto every frame right after
+  // encoding it (while the frame is still the buffer tail) — the
+  // tracing-on side of the overhead gate pays the full wire cost.
+  const size_t unit_off = c.out.size();
+  size_t frame_off = unit_off;
+  auto stamp = [&] {
+    if (cfg.trace) net::stamp_trace_context(c.out, frame_off, c.next_trace_id());
+    frame_off = c.out.size();
+  };
   if (dice < static_cast<uint64_t>(mix.txn_pct)) {
     net::encode_txn_begin(c.out);
+    stamp();
     c.inflight.push_back({net::Op::kTxnBegin, sched_ns, false});
     for (int i = 0; i < cfg.txn_ops; ++i) {
       const KeyT tk = 1 + static_cast<KeyT>(c.zipf.next());
@@ -168,12 +212,15 @@ void schedule_unit(Conn& c, const DriverConfig& cfg, uint64_t sched_ns) {
           net::encode_txn_op(c.out, net::Op::kGet, tk);
           break;
       }
+      stamp();
       c.inflight.push_back({net::Op::kTxnOp, sched_ns, false});
     }
     net::encode_txn_commit(c.out);
+    stamp();
     c.inflight.push_back({net::Op::kTxnCommit, sched_ns, true});
   } else if (dice < static_cast<uint64_t>(mix.txn_pct + mix.rq_pct)) {
     net::encode_range(c.out, k, k + cfg.rq_size - 1);
+    stamp();
     c.inflight.push_back({net::Op::kRange, sched_ns, true});
   } else if (dice <
              static_cast<uint64_t>(mix.txn_pct + mix.rq_pct + mix.u_pct)) {
@@ -186,8 +233,10 @@ void schedule_unit(Conn& c, const DriverConfig& cfg, uint64_t sched_ns) {
       net::encode_remove(c.out, k);
       c.inflight.push_back({net::Op::kRemove, sched_ns, true});
     }
+    stamp();
   } else {
     net::encode_get(c.out, k);
+    stamp();
     c.inflight.push_back({net::Op::kGet, sched_ns, true});
   }
 }
@@ -355,6 +404,46 @@ DriverResult drive(const DriverConfig& cfg, int thread_idx, int nconns,
   return res;
 }
 
+/// Extract the `n` slowest records (by total_ns) from a TRACE_DUMP JSON
+/// document as a JSON array, preserving each record verbatim. The dump's
+/// "records" array is already ring+board deduplicated, so a brace-depth
+/// scan over it is enough — no JSON parser needed for our own output.
+std::string slowest_traces_json(const std::string& dump, size_t n) {
+  std::vector<std::pair<uint64_t, std::string>> recs;
+  size_t pos = dump.find("\"records\": [");
+  if (pos == std::string::npos) return "[]";
+  pos += 12;
+  int depth = 0;
+  size_t obj_start = 0;
+  for (size_t i = pos; i < dump.size(); ++i) {
+    const char ch = dump[i];
+    if (ch == '{') {
+      if (depth == 0) obj_start = i;
+      ++depth;
+    } else if (ch == '}') {
+      if (depth > 0 && --depth == 0) {
+        std::string obj = dump.substr(obj_start, i - obj_start + 1);
+        uint64_t total = 0;
+        const size_t tp = obj.find("\"total_ns\": ");
+        if (tp != std::string::npos)
+          total = std::strtoull(obj.c_str() + tp + 12, nullptr, 10);
+        recs.emplace_back(total, std::move(obj));
+      }
+    } else if (ch == ']' && depth == 0) {
+      break;  // end of the records array
+    }
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (recs.size() > n) recs.resize(n);
+  std::string out = "[";
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += recs[i].second;
+  }
+  return out + "]";
+}
+
 /// Prefill every other key over the wire (pipelined) so the structure sits
 /// at half occupancy, as in the paper's setup.
 void prefill_wire(uint16_t port, KeyT key_range) {
@@ -390,6 +479,9 @@ int main(int argc, char** argv) {
   if (cfg.clients > cfg.conns) cfg.clients = cfg.conns;
 
   net::ServerOptions sopt;
+  // A fixed --port lets a live viewer (examples/bref_top) attach to the
+  // scenario server; the default ephemeral port keeps CI runs isolated.
+  sopt.port = static_cast<uint16_t>(args.get_long("--port", 0));
   sopt.workers = static_cast<int>(args.get_long("--workers", 4));
   sopt.shards = static_cast<size_t>(args.get_long("--shards", 4));
   sopt.impl = args.get_str("--impl", "Bundle-skiplist");
@@ -410,25 +502,36 @@ int main(int argc, char** argv) {
     const char* label;
     uint64_t rate;
     bool scanner;
+    bool trace;
   };
+  const bool trace_default = args.get_str("--trace", "on") != std::string("off");
+  const uint32_t trace_every =
+      static_cast<uint32_t>(args.get_long("--trace-every", 128));
+  const uint32_t trace_threshold_us =
+      static_cast<uint32_t>(args.get_long("--trace-threshold-us", 1000));
   const std::string which = args.get_str("--scenario", "all");
   std::vector<Run> runs;
   if (which == "point" || which == "all")
-    runs.push_back({kPoint, "point", cfg.rate, false});
+    runs.push_back({kPoint, "point", cfg.rate, false, trace_default});
   if (which == "mixed" || which == "all")
-    runs.push_back({kMixed, "mixed", cfg.rate, false});
+    runs.push_back({kMixed, "mixed", cfg.rate, false, trace_default});
   if (which == "overload") {
-    runs.push_back({kPoint, "overload-1x", cfg.rate, false});
-    runs.push_back({kPoint, "overload-5x", cfg.rate * 5, false});
+    runs.push_back({kPoint, "overload-1x", cfg.rate, false, trace_default});
+    runs.push_back({kPoint, "overload-5x", cfg.rate * 5, false, trace_default});
   }
   if (which == "scan") {
-    runs.push_back({kPoint, "scan-off", cfg.rate, false});
-    runs.push_back({kPoint, "scan-on", cfg.rate, true});
+    runs.push_back({kPoint, "scan-off", cfg.rate, false, trace_default});
+    runs.push_back({kPoint, "scan-on", cfg.rate, true, trace_default});
+  }
+  if (which == "trace") {
+    runs.push_back({kPoint, "trace-off", cfg.rate, false, false});
+    runs.push_back({kPoint, "trace-on", cfg.rate, false, true});
   }
   if (runs.empty()) {
-    std::fprintf(stderr,
-                 "unknown --scenario %s (point|mixed|all|overload|scan)\n",
-                 which.c_str());
+    std::fprintf(
+        stderr,
+        "unknown --scenario %s (point|mixed|all|overload|scan|trace)\n",
+        which.c_str());
     return 1;
   }
 
@@ -449,10 +552,21 @@ int main(int argc, char** argv) {
   for (const Run& run : runs) {
     cfg.mix = run.mix;
     cfg.rate = run.rate;
+    cfg.trace = run.trace;
     net::Server server(sopt);  // fresh server per scenario: clean stats
     server.start();
     cfg.port = server.port();
     prefill_wire(cfg.port, cfg.key_range);
+    {
+      // Traced runs use the configured capture policy; untraced runs
+      // disarm capture entirely (reservoir 0 + no threshold) so the
+      // trace-off side of the overhead gate does no clock reads at all.
+      net::Client pc(cfg.port);
+      if (run.trace)
+        pc.trace_config(trace_every, trace_threshold_us);
+      else
+        pc.trace_config(0, UINT32_MAX);
+    }
 
     // Stage-attribution brackets: the server's queue/execute/flush
     // histograms are process-global, so delta them across the scenario.
@@ -553,6 +667,18 @@ int main(int argc, char** argv) {
     }
 
     const std::string server_stats = server.stats_json();
+    // The 10 slowest requests of the scenario with their per-stage
+    // timelines — the all-time board inside the dump guarantees the true
+    // tail is present even after ring churn.
+    std::string trace_slowest = "[]";
+    if (run.trace) {
+      try {
+        net::Client tc(cfg.port);
+        trace_slowest = slowest_traces_json(tc.trace_dump(), 10);
+      } catch (const net::ClientError&) {
+        // Dump is best-effort; an empty "slowest" fails the gate loudly.
+      }
+    }
     server.stop();
 
     // shed_pct is over unit-ending replies: shed frames vs accepted
@@ -590,8 +716,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(total.errors),
         static_cast<unsigned long long>(total.stragglers), midrun_conns,
         stage_p99_us[0], stage_p99_us[1], stage_p99_us[2]);
-    JsonSink::instance().record(sopt.impl, mix_str, cfg.conns, m,
-                                extra_buf + server_stats);
+    std::string extra_json = extra_buf + server_stats;
+    extra_json += ", \"trace\": {\"enabled\": ";
+    extra_json += run.trace ? "true" : "false";
+    extra_json += ", \"slowest\": " + trace_slowest + "}";
+    JsonSink::instance().record(sopt.impl, mix_str, cfg.conns, m, extra_json);
     if (total.errors > 0) {
       std::fprintf(stderr, "fig7_server: %llu connection errors\n",
                    static_cast<unsigned long long>(total.errors));

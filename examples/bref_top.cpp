@@ -5,6 +5,11 @@
 // from their cumulative le-buckets — so new instrumentation shows up in
 // bref-top the moment a subsystem registers it.
 //
+// Two trace-aware panes (ISSUE 10): a per-stage tail panel breaking the
+// wire-path p99 into queue/execute/flush, and a rolling slowest-traces
+// board built by harvesting histogram exemplars from each scrape and
+// resolving new trace ids to full span timelines with TRACE_GET.
+//
 //   ./bref_top --port 7000 [--host 127.0.0.1] [--interval 1000] [--once]
 //
 // Start a server first, e.g.:  ./bench/fig7_server --duration 60000 ...
@@ -116,6 +121,62 @@ double human(double v, const char** unit) {
   return v;
 }
 
+// -- slowest-traces pane -----------------------------------------------
+//
+// The METRICS scrape carries histogram exemplars: each op-latency bucket
+// remembers the trace id of the last committed trace that landed in it.
+// bref-top harvests those ids each refresh, resolves new ones to full
+// span timelines with TRACE_GET, and keeps a rolling board of the
+// slowest — a live "why is the tail slow" view with no extra server
+// instrumentation.
+
+/// One resolved trace on the rolling board.
+struct SlowTrace {
+  uint64_t total_ns = 0;
+  std::string id_hex, op, stages;
+};
+
+/// Tools-grade field scrapers over the TRACE_GET JSON record. The record
+/// shape is ours (Server::trace_record_json), so a find() is honest.
+uint64_t json_u64(const std::string& j, const std::string& key, size_t from) {
+  const size_t p = j.find("\"" + key + "\": ", from);
+  if (p == std::string::npos) return 0;
+  return std::strtoull(j.c_str() + p + key.size() + 4, nullptr, 10);
+}
+
+std::string json_str(const std::string& j, const std::string& key) {
+  const size_t p = j.find("\"" + key + "\": \"");
+  if (p == std::string::npos) return "";
+  const size_t v = p + key.size() + 5;
+  const size_t e = j.find('"', v);
+  return e == std::string::npos ? "" : j.substr(v, e - v);
+}
+
+/// "queue 44.0 > execute 0.3 > flush 2.9" (durations in us, first 5
+/// stages then an ellipsis) from the record's spans array.
+std::string stage_summary(const std::string& rec) {
+  std::string out;
+  int n = 0;
+  size_t pos = 0;
+  while ((pos = rec.find("\"stage\": \"", pos)) != std::string::npos) {
+    pos += 10;
+    const size_t e = rec.find('"', pos);
+    if (e == std::string::npos) break;
+    if (++n > 5) {
+      out += " >...";
+      break;
+    }
+    const uint64_t dur = json_u64(rec, "dur_ns", e);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s%s %.1f", n > 1 ? " > " : "",
+                  rec.substr(pos, e - pos).c_str(),
+                  static_cast<double>(dur) / 1000.0);
+    out += buf;
+    pos = e;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,6 +203,7 @@ int main(int argc, char** argv) {
   try {
     Client c(host, static_cast<uint16_t>(port));
     std::map<std::string, double> prev_counters;
+    std::map<uint64_t, SlowTrace> slow;  // rolling slowest, by trace id
     auto prev_t = std::chrono::steady_clock::now();
     for (;;) {
       const std::string text = c.metrics();
@@ -182,6 +244,30 @@ int main(int argc, char** argv) {
         (ty == "counter" ? counters : gauges)[key_of(s, "")] = s.value;
       }
 
+      // Harvest exemplar trace ids from the scrape and resolve the new
+      // ones via TRACE_GET into the rolling slowest board.
+      for (const PromSeries& s : series) {
+        if (!s.has_exemplar) continue;
+        uint64_t id = 0;
+        for (const auto& [ln, lv] : s.exemplar_labels)
+          if (ln == "trace_id") id = std::strtoull(lv.c_str(), nullptr, 16);
+        if (id == 0 || slow.count(id)) continue;
+        const auto rec = c.trace_get(id);
+        if (!rec) continue;  // evicted between scrape and lookup
+        SlowTrace st;
+        st.total_ns = json_u64(*rec, "total_ns", 0);
+        st.id_hex = json_str(*rec, "trace_id");
+        st.op = json_str(*rec, "op");
+        st.stages = stage_summary(*rec);
+        slow.emplace(id, std::move(st));
+      }
+      while (slow.size() > 8) {  // keep only the 8 slowest
+        auto victim = slow.begin();
+        for (auto it2 = slow.begin(); it2 != slow.end(); ++it2)
+          if (it2->second.total_ns < victim->second.total_ns) victim = it2;
+        slow.erase(victim);
+      }
+
       if (!once) std::printf("\x1b[2J\x1b[H");
       std::printf("bref-top — %s:%d, every %dms\n\n", host.c_str(), port,
                   interval_ms);
@@ -205,6 +291,34 @@ int main(int argc, char** argv) {
         std::printf("%-52s %9.0f %9.2g %9.2g %9.2g\n", k.c_str(), h.count,
                     h.quantile(0.50), h.quantile(0.99), h.quantile(0.999));
       }
+      // Per-stage tail panel: where inside the wire path the p99 lives
+      // (queue = head-of-line wait, execute = structure work, flush =
+      // write-side backpressure), in microseconds.
+      std::printf("\n%-16s %11s %11s %11s\n", "STAGE", "p50us", "p99us",
+                  "p999us");
+      for (auto& [k, h] : hists) {
+        const std::string pfx = "bref_net_stage_seconds{stage=";
+        if (k.rfind(pfx, 0) != 0) continue;
+        const std::string stage = k.substr(pfx.size(), k.size() - pfx.size() - 1);
+        std::printf("%-16s %11.1f %11.1f %11.1f\n", stage.c_str(),
+                    h.quantile(0.50) * 1e6, h.quantile(0.99) * 1e6,
+                    h.quantile(0.999) * 1e6);
+      }
+      // Rolling slowest-traces pane: exemplar ids resolved via TRACE_GET.
+      std::printf("\n%-18s %-6s %10s  %s\n", "SLOWEST TRACE", "op",
+                  "totalus", "stages (us)");
+      std::vector<const SlowTrace*> board;
+      for (const auto& [id, st] : slow) board.push_back(&st);
+      std::sort(board.begin(), board.end(),
+                [](const SlowTrace* a, const SlowTrace* b) {
+                  return a->total_ns > b->total_ns;
+                });
+      for (const SlowTrace* st : board)
+        std::printf("%-18s %-6s %10.1f  %s\n", st->id_hex.c_str(),
+                    st->op.c_str(), static_cast<double>(st->total_ns) / 1000.0,
+                    st->stages.c_str());
+      if (board.empty())
+        std::printf("(none yet — tracing off, or no exemplars committed)\n");
       std::fflush(stdout);
       if (once) return 0;
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));

@@ -112,6 +112,12 @@ struct ClientOptions {
   uint32_t op_deadline_ms = 30'000;     // per-reply / per-op total budget
   uint32_t overload_retries = 8;        // sync ops only; 0 = never retry
   uint64_t backoff_seed = 0x9e3779b97f4a7c15ull;  // jitter determinism
+  /// Stamp a trace context (PROTOCOL.md §trace context) onto every
+  /// request, making each one traceable end-to-end; ids are reported via
+  /// last_trace_id() / Pipeline::trace_ids() and resolved with
+  /// trace_get(). Only enable against servers that speak this protocol
+  /// revision — an old server rejects flagged frames as oversized.
+  bool trace = false;
 };
 
 class Client {
@@ -148,13 +154,21 @@ class Client {
 
   ~Client() { close(); }
   Client(Client&& o) noexcept
-      : opt_(o.opt_), backoff_(o.backoff_), fd_(std::exchange(o.fd_, -1)) {}
+      : opt_(o.opt_),
+        backoff_(o.backoff_),
+        fd_(std::exchange(o.fd_, -1)),
+        trace_base_(o.trace_base_),
+        trace_seq_(o.trace_seq_),
+        last_trace_id_(o.last_trace_id_) {}
   Client& operator=(Client&& o) noexcept {
     if (this != &o) {
       close();
       opt_ = o.opt_;
       backoff_ = o.backoff_;
       fd_ = std::exchange(o.fd_, -1);
+      trace_base_ = o.trace_base_;
+      trace_seq_ = o.trace_seq_;
+      last_trace_id_ = o.last_trace_id_;
     }
     return *this;
   }
@@ -218,18 +232,48 @@ class Client {
     encode_metrics(buf_);
     return call(Op::kMetrics).text;
   }
-  /// The flight-recorder tail (JSON text; see Server::trace_dump_json).
+  /// The committed-trace dump (JSON text; see Server::trace_dump_json).
   std::string trace_dump() {
     buf_.clear();
     encode_trace_dump(buf_);
     return call(Op::kTraceDump).text;
   }
-  /// Set the global trace sampling rate (one span per `sample_every`
-  /// requests; 0 disables tracing).
+  /// Set the trace reservoir rate (commit ~one trace per `sample_every`
+  /// completions; 0 disables the reservoir).
   bool trace_rate(uint32_t sample_every) {
     buf_.clear();
     encode_trace_rate(buf_, sample_every);
     return call(Op::kTraceDump).status == Status::kOk;
+  }
+  /// Set the full capture policy: reservoir rate + latency threshold in
+  /// microseconds (0 = commit every completed trace, UINT32_MAX = no
+  /// threshold commits).
+  bool trace_config(uint32_t sample_every, uint32_t threshold_us) {
+    buf_.clear();
+    encode_trace_config(buf_, sample_every, threshold_us);
+    return call(Op::kTraceDump).status == Status::kOk;
+  }
+  /// Resolve a trace id to its committed span timeline (JSON), or
+  /// std::nullopt when the server no longer (or never) holds it.
+  std::optional<std::string> trace_get(uint64_t trace_id) {
+    buf_.clear();
+    encode_trace_get(buf_, trace_id);
+    Reply r = call(Op::kTraceGet);
+    if (r.status != Status::kOk) return std::nullopt;
+    return std::move(r.text);
+  }
+  /// The id stamped on the most recent traced request (0 when tracing is
+  /// off). With sync ops: the id of the op just issued.
+  uint64_t last_trace_id() const noexcept { return last_trace_id_; }
+  bool tracing() const noexcept { return opt_.trace; }
+
+  /// Stamp the next trace id onto the frame starting at `frame_off` in
+  /// `b` (Pipeline calls this per queued frame). Returns the id.
+  uint64_t stamp_trace(std::vector<uint8_t>& b, size_t frame_off) {
+    const uint64_t id = next_trace_id();
+    stamp_trace_context(b, frame_off, id);
+    last_trace_id_ = id;
+    return id;
   }
 
   // -- transactions --------------------------------------------------------
@@ -322,6 +366,10 @@ class Client {
   /// kErrOverloaded with jittered backoff floored at the server's
   /// retry-after hint, within op_deadline_ms and overload_retries.
   Reply call(Op req) {
+    // Sync ops encode exactly one frame at offset 0. An overload retry
+    // re-sends the stamped bytes, so the retried attempt keeps its id —
+    // one logical request, one trace.
+    if (opt_.trace) stamp_trace(buf_, 0);
     const uint64_t deadline = deadline_from_now();
     backoff_.reset();
     for (uint32_t attempt = 0;; ++attempt) {
@@ -407,9 +455,24 @@ class Client {
 
   static std::string errno_str() { return std::strerror(errno); }
 
+  /// Client-side trace ids: a per-connection base (start time mixed with
+  /// the object identity — unique enough to make exemplar lookups
+  /// unambiguous within a run) plus a sequence. Never returns 0 ("no
+  /// context").
+  uint64_t next_trace_id() {
+    if (trace_base_ == 0)
+      trace_base_ = (now_ms() ^ reinterpret_cast<uintptr_t>(this)) << 24;
+    uint64_t id = trace_base_ + ++trace_seq_;
+    if (id == 0) id = ++trace_seq_;
+    return id;
+  }
+
   ClientOptions opt_;
   JitteredBackoff backoff_;
   int fd_ = -1;
+  uint64_t trace_base_ = 0;
+  uint64_t trace_seq_ = 0;
+  uint64_t last_trace_id_ = 0;
   std::vector<uint8_t> buf_;    // request scratch
   std::vector<uint8_t> frame_;  // response scratch
 };
@@ -428,27 +491,38 @@ class Pipeline {
   explicit Pipeline(Client& c) : c_(&c) {}
 
   void get(KeyT key) {
+    const size_t off = buf_.size();
     encode_get(buf_, key);
-    ops_.push_back(Op::kGet);
+    queue(Op::kGet, off);
   }
   void insert(KeyT key, ValT val) {
+    const size_t off = buf_.size();
     encode_insert(buf_, key, val);
-    ops_.push_back(Op::kInsert);
+    queue(Op::kInsert, off);
   }
   void remove(KeyT key) {
+    const size_t off = buf_.size();
     encode_remove(buf_, key);
-    ops_.push_back(Op::kRemove);
+    queue(Op::kRemove, off);
   }
   void range(KeyT lo, KeyT hi) {
+    const size_t off = buf_.size();
     encode_range(buf_, lo, hi);
-    ops_.push_back(Op::kRange);
+    queue(Op::kRange, off);
   }
   void ping() {
+    const size_t off = buf_.size();
     encode_ping(buf_);
-    ops_.push_back(Op::kPing);
+    queue(Op::kPing, off);
   }
 
   size_t queued() const noexcept { return ops_.size(); }
+
+  /// Trace ids for the queued batch, parallel to request order (0 when
+  /// the client is not tracing). Copy before collect() — collecting
+  /// clears the batch. Correlate with collect()'s replies by index to
+  /// map a slow reply to its TRACE_GET-able id.
+  const std::vector<uint64_t>& trace_ids() const noexcept { return ids_; }
 
   /// Send every queued request in one write (does not read).
   void flush() {
@@ -465,13 +539,20 @@ class Pipeline {
     out.reserve(ops_.size());
     for (Op op : ops_) out.push_back(c_->read_reply(op, deadline));
     ops_.clear();
+    ids_.clear();
     return out;
   }
 
  private:
+  void queue(Op op, size_t frame_off) {
+    ops_.push_back(op);
+    ids_.push_back(c_->tracing() ? c_->stamp_trace(buf_, frame_off) : 0);
+  }
+
   Client* c_;
   std::vector<uint8_t> buf_;
   std::vector<Op> ops_;
+  std::vector<uint64_t> ids_;
 };
 
 }  // namespace bref::net

@@ -36,6 +36,7 @@
 #include "core/global_timestamp.h"
 #include "core/rq_tracker.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/sharded_set.h"
 
 namespace bref::net {
@@ -194,12 +195,20 @@ class SnapshotScan {
   SnapshotScan(std::vector<ShardedSet::ScanPart> parts,
                GlobalTimestamp& clock, int tid, KeyT lo, KeyT hi)
       : parts_(std::move(parts)), tid_(tid), pos_(lo), hi_(hi) {
+    // Same fan-out span the inline coordinated path stamps: the active
+    // request trace (if any) sees pin+announce through publish as one
+    // kShardPin span with the part count.
+    obs::TraceScratch* const tr = obs::current_trace();
+    const uint64_t pin_t0 = tr != nullptr ? obs::trace_now_ns() : 0;
     for (auto& p : parts_) {
       p.set->rq_pin(tid_);
       p.tracker->announce_pending(tid_);
     }
     ts_ = clock.read();  // the ONE timestamp acquisition
     for (auto& p : parts_) p.tracker->publish(tid_, ts_);
+    if (tr != nullptr)
+      tr->stamp(obs::TraceStage::kShardPin, pin_t0, obs::trace_now_ns(), 0,
+                static_cast<uint16_t>(parts_.size()));
   }
   ~SnapshotScan() { finish(); }
   SnapshotScan(const SnapshotScan&) = delete;
@@ -216,10 +225,19 @@ class SnapshotScan {
     const uint64_t remaining = biased(hi_) - biased(pos_);  // = width - 1
     if (chunk_keys > 0 && remaining >= chunk_keys)
       slice_hi = unbias(biased(pos_) + chunk_keys - 1);
+    obs::TraceScratch* const tr = obs::current_trace();
     for (auto& p : parts_)
-      if (p.lo <= slice_hi && p.hi >= pos_)
+      if (p.lo <= slice_hi && p.hi >= pos_) {
+        const uint64_t c0 = tr != nullptr ? obs::trace_now_ns() : 0;
         p.set->range_query_at(tid_, ts_, pos_ < p.lo ? p.lo : pos_,
                               slice_hi > p.hi ? p.hi : slice_hi, items_);
+        // Coalesced: a long chunked scan touches parts slice after slice;
+        // one growing span (aux16 = merged collects) instead of one span
+        // per part per slice, which would exhaust kTraceMaxSpans.
+        if (tr != nullptr)
+          tr->stamp_coalesce(obs::TraceStage::kShardCollect, c0,
+                             obs::trace_now_ns());
+      }
     if (slice_hi >= hi_) {
       finish();
       return true;

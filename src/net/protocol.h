@@ -46,7 +46,9 @@ enum class Op : uint8_t {
   kPing = 9,       // body: -                   -> kOk
   kStats = 10,     // body: -                   -> kOk + utf8 JSON text
   kMetrics = 11,   // body: -                   -> kOk + Prometheus text
-  kTraceDump = 12, // body: - | u32 sample_every-> kOk + utf8 JSON text | kOk
+  kTraceDump = 12, // body: - | u32 sample_every | u32 sample_every + u32
+                   //       threshold_us         -> kOk + utf8 JSON text | kOk
+  kTraceGet = 13,  // body: u64 trace_id         -> kOk + utf8 JSON text | kNo
 };
 
 enum class Status : uint8_t {
@@ -82,6 +84,27 @@ inline constexpr uint32_t kDefaultMaxFrame = 1u << 20;
 /// Frame length prefix size.
 inline constexpr size_t kLenBytes = 4;
 
+// -- trace context -----------------------------------------------------------
+//
+// A request frame may carry an 8-byte trace context between the length
+// word and the opcode byte, announced by the top bit of the length word:
+//
+//   traced request frame: u32 (len | kTraceFlagBit) | u64 trace_id | u8 op | body
+//
+// `len` still counts opcode+body only (the context is header, not
+// payload), so every length-derived rule (max_frame, body sizing) is
+// untouched. The scheme is wire-compatible in the direction that matters:
+// a client that never sets the bit speaks the PR 6 protocol byte-for-byte.
+// The bit is free because max_frame caps any legal length far below 2^31;
+// an old server that receives a flagged frame sees an impossible length
+// and rejects it exactly like any other oversized garbage — so clients
+// must only stamp trace contexts at servers that advertise this protocol
+// (see PROTOCOL.md). Responses never carry the flag.
+
+inline constexpr uint32_t kTraceFlagBit = 1u << 31;
+inline constexpr uint32_t kLenMask = kTraceFlagBit - 1;
+inline constexpr size_t kTraceCtxBytes = 8;
+
 // -- little-endian scalar packing -------------------------------------------
 
 inline void put_u32(std::vector<uint8_t>& b, uint32_t v) {
@@ -107,6 +130,25 @@ inline uint64_t get_u64(const uint8_t* p) {
 }
 inline int64_t get_i64(const uint8_t* p) {
   return static_cast<int64_t>(get_u64(p));
+}
+
+/// Retrofit a trace context onto the already-encoded frame starting at
+/// `frame_off` in `b` (sets the flag bit, splices the id after the length
+/// word). Call right after the encode_* helper while the frame is still
+/// the buffer tail and the splice is O(frame).
+inline void stamp_trace_context(std::vector<uint8_t>& b, size_t frame_off,
+                                uint64_t trace_id) {
+  if (trace_id == 0) return;  // 0 means "no context"; nothing to stamp
+  const uint32_t flagged = get_u32(b.data() + frame_off) | kTraceFlagBit;
+  b[frame_off + 0] = static_cast<uint8_t>(flagged);
+  b[frame_off + 1] = static_cast<uint8_t>(flagged >> 8);
+  b[frame_off + 2] = static_cast<uint8_t>(flagged >> 16);
+  b[frame_off + 3] = static_cast<uint8_t>(flagged >> 24);
+  uint8_t ctx[kTraceCtxBytes];
+  for (size_t i = 0; i < kTraceCtxBytes; ++i)
+    ctx[i] = static_cast<uint8_t>(trace_id >> (8 * i));
+  b.insert(b.begin() + static_cast<ptrdiff_t>(frame_off + kLenBytes), ctx,
+           ctx + kTraceCtxBytes);
 }
 
 // -- request encoding --------------------------------------------------------
@@ -171,6 +213,22 @@ inline void encode_trace_rate(std::vector<uint8_t>& b, uint32_t sample_every) {
   encode_header(b, Op::kTraceDump, 4);
   put_u32(b, sample_every);
 }
+/// 8-byte TRACE_DUMP body: set the reservoir rate AND the tail-commit
+/// threshold in one shot. `threshold_us` semantics: 0 commits every traced
+/// request, UINT32_MAX disables threshold commits, anything else is the
+/// latency floor in microseconds.
+inline void encode_trace_config(std::vector<uint8_t>& b, uint32_t sample_every,
+                                uint32_t threshold_us) {
+  encode_header(b, Op::kTraceDump, 8);
+  put_u32(b, sample_every);
+  put_u32(b, threshold_us);
+}
+/// Fetch one committed trace's span timeline by id (kNo when the id is
+/// unknown — never committed, or already evicted from the ring window).
+inline void encode_trace_get(std::vector<uint8_t>& b, uint64_t trace_id) {
+  encode_header(b, Op::kTraceGet, 8);
+  put_u64(b, trace_id);
+}
 
 // -- response encoding (server side) ----------------------------------------
 
@@ -220,6 +278,7 @@ struct FrameView {
   uint8_t tag = 0;
   const uint8_t* body = nullptr;
   size_t body_len = 0;
+  uint64_t trace_id = 0;  ///< nonzero iff the frame carried a trace context
 
   Op op() const { return static_cast<Op>(tag); }
   Status status() const { return static_cast<Status>(tag); }
@@ -238,14 +297,18 @@ inline SplitResult split_frame(const uint8_t* buf, size_t len, size_t off,
                                uint32_t max_frame, FrameView* out,
                                size_t* advance) {
   if (len - off < kLenBytes) return SplitResult::kNeedMore;
-  const uint32_t flen = get_u32(buf + off);
+  const uint32_t word = get_u32(buf + off);
+  const bool traced = (word & kTraceFlagBit) != 0;
+  const uint32_t flen = word & kLenMask;
   if (flen == 0) return SplitResult::kBadLength;
   if (flen > max_frame) return SplitResult::kOversized;
-  if (len - off < kLenBytes + flen) return SplitResult::kNeedMore;
-  out->tag = buf[off + kLenBytes];
-  out->body = buf + off + kLenBytes + 1;
+  const size_t hdr = kLenBytes + (traced ? kTraceCtxBytes : 0);
+  if (len - off < hdr + flen) return SplitResult::kNeedMore;
+  out->trace_id = traced ? get_u64(buf + off + kLenBytes) : 0;
+  out->tag = buf[off + hdr];
+  out->body = buf + off + hdr + 1;
   out->body_len = flen - 1;
-  *advance = kLenBytes + flen;
+  *advance = hdr + flen;
   return SplitResult::kFrame;
 }
 
@@ -319,6 +382,7 @@ inline bool decode_reply(Op req, const FrameView& f, Reply* r) {
     case Op::kStats:
     case Op::kMetrics:
     case Op::kTraceDump:  // rate-set acks are tag-only; text stays empty
+    case Op::kTraceGet:
       r->text.assign(reinterpret_cast<const char*>(f.body), f.body_len);
       return true;
     default:  // INSERT/REMOVE/PING/TXN_BEGIN/TXN_OP/TXN_ABORT: tag only

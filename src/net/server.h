@@ -103,6 +103,7 @@ inline const char* op_name(uint8_t op) {
     case Op::kStats: return "stats";
     case Op::kMetrics: return "metrics";
     case Op::kTraceDump: return "trace_dump";
+    case Op::kTraceGet: return "trace_get";
   }
   return "unknown";
 }
@@ -192,6 +193,34 @@ inline obs::GaugeSet& server_series(size_t i) {
 }
 inline constexpr size_t kServerSeries = 10;
 
+/// bref-trace series, aggregated over live servers like server_series().
+/// Index order matches Server::register_obs().
+inline obs::GaugeSet& trace_series(size_t i) {
+  using GS = obs::GaugeSet;
+  using MK = obs::MetricKind;
+  static auto* v = [] {
+    auto* u = new std::vector<GS*>();
+    auto add = [&](const char* n, const char* h, MK k) {
+      u->push_back(new GS(GS::Agg::kSum, n, h, "", k));
+    };
+    add("bref_trace_committed_total",
+        "Request traces committed to the per-worker rings (tail threshold "
+        "or reservoir)", MK::kCounter);
+    add("bref_trace_dropped_total",
+        "Committed trace records overwritten by ring-window churn",
+        MK::kCounter);
+    add("bref_trace_scratch_exhausted_total",
+        "Requests not traced because the worker's scratch-slot pool was full",
+        MK::kCounter);
+    add("bref_trace_scratch_in_use",
+        "Trace scratch slots currently held (live chunked scans when idle)",
+        MK::kGauge);
+    return u;
+  }();
+  return *(*v)[i];
+}
+inline constexpr size_t kTraceSeries = 4;
+
 struct ServerOptions {
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   uint16_t port = 0;
@@ -238,6 +267,11 @@ struct ServerStats {
   uint64_t reaped_slow_reader = 0;  // connections reaped: pending cap
   uint64_t stop_dropped = 0;  // conns closed at stop() with undelivered bytes
   uint64_t overloaded = 0;    // workers currently shedding (gauge)
+  // bref-trace (obs/trace.h):
+  uint64_t trace_committed = 0;          // records pushed to the rings
+  uint64_t trace_dropped = 0;            // ring-window evictions
+  uint64_t trace_scratch_exhausted = 0;  // requests untraced: pool full
+  uint64_t trace_scratch_in_use = 0;     // slots held right now (gauge)
 };
 
 class Server {
@@ -361,6 +395,7 @@ class Server {
     // snapshot reads, so no callback can observe workers_ mid-teardown.
     for (auto& s : obs_srcs_) s.reset();
     for (auto& s : obs_guard_srcs_) s.reset();
+    for (auto& s : obs_trace_srcs_) s.reset();
     stop_.store(true, std::memory_order_release);
     // Closing the listener wakes the acceptor's epoll_wait with EPOLLHUP
     // semantics; the eventfd write is belt and braces.
@@ -413,6 +448,11 @@ class Server {
           w->reaped_stall.load(std::memory_order_relaxed);
       s.reaped_slow_reader += w->reaped_slow.load(std::memory_order_relaxed);
       s.overloaded += w->overloaded.load(std::memory_order_relaxed) ? 1 : 0;
+      s.trace_committed += w->trace.committed();
+      s.trace_dropped += w->trace.dropped();
+      s.trace_scratch_exhausted +=
+          w->trace_scratch_exhausted.load(std::memory_order_relaxed);
+      s.trace_scratch_in_use += static_cast<uint64_t>(w->tslots.in_use());
     }
     // Server-level (not per-worker) so it stays readable after stop()
     // tears the workers down — it is precisely a shutdown statistic.
@@ -480,6 +520,18 @@ class Server {
                   static_cast<unsigned long long>(s.stop_dropped),
                   static_cast<unsigned long long>(s.overloaded));
     out += buf;
+    // Trace-slot accounting: the chaos suite asserts scratch_in_use
+    // returns to the number of live chunked scans (0 when idle) after
+    // fault storms and shed bursts — a leaked slot means some request
+    // path forgot its terminal span.
+    std::snprintf(buf, sizeof buf,
+                  ", \"trace\": {\"committed\": %llu, \"dropped\": %llu, "
+                  "\"scratch_exhausted\": %llu, \"scratch_in_use\": %llu}",
+                  static_cast<unsigned long long>(s.trace_committed),
+                  static_cast<unsigned long long>(s.trace_dropped),
+                  static_cast<unsigned long long>(s.trace_scratch_exhausted),
+                  static_cast<unsigned long long>(s.trace_scratch_in_use));
+    out += buf;
     if (sharded_) {
       const ShardedSetStats r = sharded_->stats();
       std::snprintf(buf, sizeof buf,
@@ -517,31 +569,77 @@ class Server {
     return out + "}";
   }
 
-  /// The TRACE_DUMP response body: every worker ring's tail, oldest first
-  /// per worker, plus the active sampling rate.
-  std::string trace_dump_json() const {
-    std::string out = "{\"sample_every\": " +
-                      std::to_string(obs::trace_sample_every().load(
-                          std::memory_order_relaxed)) +
-                      ", \"spans\": [";
-    char buf[192];
-    bool first = true;
-    for (const auto& w : workers_) {
-      uint64_t total = 0;
-      for (const obs::TraceSpan& sp : w->trace.dump(&total)) {
-        std::snprintf(
-            buf, sizeof buf,
-            "%s{\"worker\": %u, \"op\": \"%s\", \"shard\": %u, "
-            "\"end_ns\": %llu, \"queue_ns\": %u, \"exec_ns\": %u, "
-            "\"flush_ns\": %u}",
-            first ? "" : ", ", w->index, op_name(sp.op), sp.shard,
-            static_cast<unsigned long long>(sp.end_ns), sp.queue_ns,
-            sp.exec_ns, sp.flush_ns);
-        out += buf;
-        first = false;
-      }
+  /// One committed record as JSON — the TRACE_GET body, and one element
+  /// of TRACE_DUMP's "records". Ids render as 16-hex (the exemplar form),
+  /// stages by name; tools/trace2chrome consumes this shape.
+  static std::string trace_record_json(const obs::TraceRecord& r) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"trace_id\": \"%016llx\", \"op\": \"%s\", "
+                  "\"worker\": %u, \"start_ns\": %llu, \"total_ns\": %llu, "
+                  "\"flags\": %u, \"spans\": [",
+                  static_cast<unsigned long long>(r.trace_id), op_name(r.op),
+                  r.worker, static_cast<unsigned long long>(r.start_ns),
+                  static_cast<unsigned long long>(r.total_ns), r.flags);
+    std::string out = buf;
+    for (int i = 0; i < r.nspans; ++i) {
+      const obs::TraceStageSpan& s = r.spans[i];
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"stage\": \"%s\", \"start_ns\": %u, \"dur_ns\": %u, "
+                    "\"aux8\": %u, \"aux16\": %u}",
+                    i > 0 ? ", " : "", obs::trace_stage_name(s.stage),
+                    s.start_ns, s.dur_ns, s.aux8, s.aux16);
+      out += buf;
     }
     return out + "]}";
+  }
+
+  /// The TRACE_DUMP response body: every worker's committed records —
+  /// ring window plus slowest board, deduplicated — with the active
+  /// capture policy and drop accounting.
+  std::string trace_dump_json() const {
+    const uint64_t thr =
+        obs::trace_threshold_ns().load(std::memory_order_relaxed);
+    uint64_t committed = 0, dropped = 0;
+    std::vector<obs::TraceRecord> recs;
+    for (const auto& w : workers_) {
+      committed += w->trace.committed();
+      dropped += w->trace.dropped();
+      w->trace.snapshot(recs);
+      w->board.snapshot(recs);
+    }
+    std::string out =
+        "{\"sample_every\": " +
+        std::to_string(
+            obs::trace_sample_every().load(std::memory_order_relaxed)) +
+        ", \"threshold_ns\": " +
+        (thr == obs::kTraceThresholdOff ? std::string("-1")
+                                        : std::to_string(thr)) +
+        ", \"committed\": " + std::to_string(committed) +
+        ", \"dropped\": " + std::to_string(dropped) + ", \"records\": [";
+    bool first = true;
+    std::vector<uint64_t> seen;
+    seen.reserve(recs.size());
+    for (const obs::TraceRecord& r : recs) {
+      if (std::find(seen.begin(), seen.end(), r.trace_id) != seen.end())
+        continue;  // board entries also live in the ring until evicted
+      seen.push_back(r.trace_id);
+      if (!first) out += ", ";
+      out += trace_record_json(r);
+      first = false;
+    }
+    return out + "]}";
+  }
+
+  /// TRACE_GET lookup: boards first (the tail survives there even after
+  /// ring churn), then ring windows, newest first.
+  bool find_trace(uint64_t trace_id, obs::TraceRecord* out) const {
+    if (trace_id == 0) return false;
+    for (const auto& w : workers_)
+      if (w->board.find(trace_id, *out)) return true;
+    for (const auto& w : workers_)
+      if (w->trace.find(trace_id, *out)) return true;
+    return false;
   }
 
  private:
@@ -572,6 +670,11 @@ class Server {
     bool kicked = false;   // epoll events arrived while paused
     bool scan_queued = false;  // waiting for the worker's scan slot
     KeyT scan_lo = 0, scan_hi = 0;  // the queued/active scan's interval
+    // Trace scratch held across waves by this connection's chunked scan
+    // (null otherwise). Owned by the pinned worker's slot pool; every
+    // path that ends the scan — completion, drop, stop() — must
+    // terminate and release it (the chaos suite audits this).
+    obs::TraceScratch* trace = nullptr;
   };
 
   struct Worker {
@@ -607,9 +710,15 @@ class Server {
     std::atomic<uint64_t> shed{0}, chunked{0}, scan_slices{0};
     std::atomic<uint64_t> reaped_idle{0}, reaped_stall{0}, reaped_slow{0};
     std::atomic<bool> overloaded{false};  // last wave shed something
-    // Flight-recorder ring (obs/trace.h); written by the loop for sampled
-    // requests, drained by any worker executing TRACE_DUMP.
+    // bref-trace (obs/trace.h): scratch slots for in-flight request
+    // traces, the committed-record ring (recency window) and the slowest
+    // board (all-time tail). The loop is the only writer; any worker
+    // executing TRACE_DUMP/TRACE_GET reads via the slots' seqlocks.
+    obs::TraceSlots tslots;
     obs::TraceRing trace;
+    obs::TraceBoard board;
+    uint64_t trace_seq = 0;  // loop-private server-side trace-id source
+    std::atomic<uint64_t> trace_scratch_exhausted{0};
 
     ~Worker() {
       if (epoll_fd >= 0) ::close(epoll_fd);
@@ -652,6 +761,14 @@ class Server {
     greg(5, &Server::obs_reaped_slow);
     greg(6, &Server::obs_stop_dropped);
     greg(7, &Server::obs_overloaded);
+    auto treg = [this](size_t i, double (Server::*read)() const) {
+      obs_trace_srcs_[i] =
+          trace_series(i).add([this, read] { return (this->*read)(); });
+    };
+    treg(0, &Server::obs_trace_committed);
+    treg(1, &Server::obs_trace_dropped);
+    treg(2, &Server::obs_trace_exhausted);
+    treg(3, &Server::obs_trace_in_use);
   }
   double obs_connections() const { return static_cast<double>(connections()); }
   double obs_peak() const { return static_cast<double>(peak_connections()); }
@@ -694,6 +811,18 @@ class Server {
   }
   double obs_overloaded() const {
     return static_cast<double>(stats().overloaded);
+  }
+  double obs_trace_committed() const {
+    return static_cast<double>(stats().trace_committed);
+  }
+  double obs_trace_dropped() const {
+    return static_cast<double>(stats().trace_dropped);
+  }
+  double obs_trace_exhausted() const {
+    return static_cast<double>(stats().trace_scratch_exhausted);
+  }
+  double obs_trace_in_use() const {
+    return static_cast<double>(stats().trace_scratch_in_use);
   }
 
   static void wake(Worker& w) {
@@ -832,6 +961,10 @@ class Server {
 
   void drop_conn(Worker& w, Conn& c) {
     const int fd = c.fd;
+    if (c.trace != nullptr) {  // dying mid-scan: terminate, don't leak
+      trace_abort(w, c.trace);
+      c.trace = nullptr;
+    }
     if (w.scan_fd == fd) {  // abandon the owner's scan; pins released
       w.scan.reset();
       w.scan_fd = -1;
@@ -866,7 +999,8 @@ class Server {
   /// lets a shed-mid-transaction client always clean up).
   static bool exempt_from_shedding(Op op) {
     return op == Op::kPing || op == Op::kStats || op == Op::kMetrics ||
-           op == Op::kTraceDump || op == Op::kTxnAbort;
+           op == Op::kTraceDump || op == Op::kTraceGet ||
+           op == Op::kTxnAbort;
   }
 
   std::vector<ShardedSet::ScanPart> scan_plan(KeyT lo, KeyT hi) {
@@ -880,6 +1014,12 @@ class Server {
   }
 
   void begin_scan(Worker& w, Conn& c) {
+    // The pin/announce fan-out inside the SnapshotScan constructor stamps
+    // through the current-trace hook. On the inline path (RANGE frame in
+    // this wave) the hook is already set by service(); a promoted waiter
+    // re-arms it from the trace riding its connection.
+    obs::CurrentTraceScope scope(c.trace != nullptr ? c.trace
+                                                    : obs::current_trace());
     w.scan = std::make_unique<SnapshotScan>(
         scan_plan(c.scan_lo, c.scan_hi), scan_clock(), w.scan_session.tid(),
         c.scan_lo, c.scan_hi);
@@ -925,19 +1065,43 @@ class Server {
       if (w.scan == nullptr) return;
     }
     w.scan_slices.fetch_add(1, std::memory_order_relaxed);
-    if (!w.scan->step(opt_.guard.scan_chunk_keys)) return;
+    Conn* owner = w.conns[static_cast<size_t>(w.scan_fd)].get();
+    const uint64_t slice_t0 = obs_now_ns();
+    bool complete;
+    {
+      obs::CurrentTraceScope scope(owner != nullptr ? owner->trace : nullptr);
+      complete = w.scan->step(opt_.guard.scan_chunk_keys);
+    }
+    if constexpr (obs::kEnabled) {
+      // One coalesced scan_chunk span per scan: slices extend it and
+      // bump its aux16 slice count, so a 500-slice scan costs one span.
+      if (owner != nullptr && owner->trace != nullptr)
+        owner->trace->stamp_coalesce(obs::TraceStage::kScanChunk, slice_t0,
+                                     obs_now_ns());
+    }
+    if (!complete) return;
     // Snapshot complete: answer the owner.
-    Conn* c = w.conns[static_cast<size_t>(w.scan_fd)].get();
+    Conn* c = owner;
     std::unique_ptr<SnapshotScan> done = std::move(w.scan);
     w.scan_fd = -1;
     scratch.clear();
     encode_range_response(scratch, done->ts(), done->items());
     w.frames.fetch_add(1, std::memory_order_relaxed);
     w.batches.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t scan_hist_ns = obs_now_ns() - w.scan_start_ns;
     if constexpr (obs::kEnabled)
-      op_hist(Op::kRange).record(tid, obs_now_ns() - w.scan_start_ns);
+      op_hist(Op::kRange).record(tid, scan_hist_ns);
     c->paused = false;
+    const uint64_t flush_t0 = obs_now_ns();
     bool alive = flush(w, *c, &scratch);
+    if constexpr (obs::kEnabled) {
+      if (c->trace != nullptr) {
+        const uint64_t end_ns = obs_now_ns();
+        c->trace->stamp(obs::TraceStage::kFlush, flush_t0, end_ns);
+        trace_close(w, c->trace, end_ns, scan_hist_ns);
+        c->trace = nullptr;
+      }
+    }
     if (alive) alive = within_pending_cap(w, *c);
     // Next waiter BEFORE resuming the owner: a connection streaming
     // whole-keyspace scans queues its next one behind everyone else's.
@@ -1031,6 +1195,10 @@ class Server {
       if (!cp) continue;
       if (has_pending(*cp) || cp->paused || cp->scan_queued)
         stop_dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (cp->trace != nullptr) {  // scan straggler past the deadline
+        trace_abort(w, cp->trace);
+        cp->trace = nullptr;
+      }
       closed_.fetch_add(1, std::memory_order_relaxed);
     }
     w.scan.reset();
@@ -1041,6 +1209,58 @@ class Server {
 
   static bool has_pending(const Conn& c) {
     return c.pending.size() > c.pending_off;
+  }
+
+  // -- bref-trace plumbing -------------------------------------------------
+
+  /// Open a scratch trace for one frame. A client-stamped id wins;
+  /// otherwise the worker mints one (top byte = worker+1, so ids are
+  /// process-unique without coordination). nullptr = pool exhausted
+  /// (counted, request simply untraced) — never blocks, never allocates.
+  obs::TraceScratch* trace_open(Worker& w, const FrameView& f,
+                                uint64_t start_ns) {
+    obs::TraceScratch* t = w.tslots.acquire();
+    if (t == nullptr) {
+      w.trace_scratch_exhausted.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    uint64_t id = f.trace_id;
+    uint8_t flags = 0;
+    if (id != 0)
+      flags |= obs::kTraceClientStamped;
+    else
+      id = (static_cast<uint64_t>(w.index) + 1) << 56 | ++w.trace_seq;
+    t->open(id, f.tag, w.index, start_ns, flags);
+    return t;
+  }
+
+  /// Terminate a trace: total latency becomes known, the retroactive
+  /// keep/discard policy runs, and on commit the record lands in the ring
+  /// + slowest board and becomes the op histogram's exemplar for the
+  /// bucket `hist_ns` (the exact value op_hist recorded) fell in — that
+  /// is what keeps exemplar and histogram mutually consistent. Always
+  /// releases the slot.
+  void trace_close(Worker& w, obs::TraceScratch* t, uint64_t end_ns,
+                   uint64_t hist_ns) {
+    t->finish(end_ns);
+    const obs::TraceRecord& r = t->record();
+    if (obs::trace_should_commit(r.total_ns)) {
+      w.trace.push(r);
+      w.board.offer(r);
+      if (hist_ns > 0)
+        op_hist(static_cast<Op>(r.op)).set_exemplar(hist_ns, r.trace_id);
+    }
+    w.tslots.release(t);
+  }
+
+  /// Terminal path for a trace whose request never completes normally
+  /// (dead connection, stop()-drain straggler): stamp an error span so
+  /// the timeline says why it ended, then close. No exemplar.
+  void trace_abort(Worker& w, obs::TraceScratch* t) {
+    const uint64_t now_ns = obs_now_ns();
+    t->stamp(obs::TraceStage::kError, now_ns, now_ns);
+    t->add_flags(obs::kTraceError);
+    trace_close(w, t, now_ns, 0);
   }
 
   /// Read to EAGAIN, execute every complete frame, flush. False = close.
@@ -1075,9 +1295,14 @@ class Server {
     size_t off = 0;
     uint64_t executed = 0;
     bool pause = false;  // a chunked scan started; park the rest
-    // Spans sampled this batch, parked until the flush stamps them.
-    obs::TraceSpan spans[8];
-    int nspans = 0;
+    // Traces opened this batch, parked until the flush terminates them.
+    // Retroactive capture: every frame records (when armed, or when the
+    // client stamped a context), and the keep/discard decision runs in
+    // trace_close() once total latency is known.
+    obs::TraceScratch* traces[obs::TraceSlots::kSlots];
+    uint64_t trace_hist_ns[obs::TraceSlots::kSlots];
+    int ntraces = 0;
+    const bool armed = obs::trace_armed();
     const uint64_t exec_start_ns = obs_now_ns();
     uint64_t prev_ns = exec_start_ns;
     while (!c.closing) {
@@ -1094,26 +1319,57 @@ class Server {
         c.closing = true;  // framing lost; close after the flush
         break;
       }
+      const bool traced = obs::kEnabled && (armed || f.trace_id != 0);
       // Load shedding: past the wave budget every non-exempt frame is
       // answered kErrOverloaded WITHOUT executing (retrying one is
       // always safe), with the retry-after hint in the body. Sheds are
       // deliberately cheap — 9 reply bytes, no set access — so a deep
-      // pipeline burst costs the wave almost nothing.
+      // pipeline burst costs the wave almost nothing. A shed trace
+      // terminates right here with a shed span: the timeline's answer to
+      // "why was my request slow" is "it wasn't executed at all".
       if (budget != nullptr && budget->spent() &&
           !exempt_from_shedding(f.op())) {
         encode_overloaded(scratch, opt_.guard.retry_after_ms);
         w.shed.fetch_add(1, std::memory_order_relaxed);
         budget->exhausted = true;
+        if (traced) {
+          if (obs::TraceScratch* t = trace_open(w, f, wake_ns)) {
+            const uint64_t now_ns = obs_now_ns();
+            t->stamp(obs::TraceStage::kQueue, wake_ns, prev_ns);
+            t->stamp(obs::TraceStage::kAdmission, now_ns, now_ns, 0, 1);
+            t->stamp(obs::TraceStage::kShed, now_ns, now_ns);
+            t->add_flags(obs::kTraceShed);
+            trace_close(w, t, now_ns, 0);
+          }
+        }
         off += advance;
         continue;
       }
+      obs::TraceScratch* t = traced ? trace_open(w, f, wake_ns) : nullptr;
+      if (t != nullptr) {
+        t->stamp(obs::TraceStage::kQueue, wake_ns, prev_ns);
+        t->stamp(obs::TraceStage::kAdmission, prev_ns, prev_ns, 0, 0);
+      }
       const size_t scratch_before = scratch.size();
-      if (execute(w, tid, c, f, scratch, rq_out) ==
-          ExecResult::kStartScan) {
+      ExecResult er;
+      {
+        // Park the scratch in the thread-local hook: the shard fan-out
+        // (ShardedSet coordinated path) and the scan pin path
+        // (SnapshotScan) stamp their spans through it.
+        obs::CurrentTraceScope scope(t);
+        er = execute(w, tid, c, f, scratch, rq_out);
+      }
+      if (er == ExecResult::kStartScan) {
         // Frame consumed, but its response arrives when the scan
         // completes (pump_scan counts it then). Stop parsing: response
         // order must match request order, so everything behind the
-        // RANGE parks with the connection.
+        // RANGE parks with the connection. The trace rides the
+        // connection until the scan terminates it.
+        if (t != nullptr) {
+          t->stamp(obs::TraceStage::kExecute, prev_ns, obs_now_ns(), 0,
+                   span_shard(f));
+          c.trace = t;
+        }
         off += advance;
         pause = true;
         break;
@@ -1125,13 +1381,12 @@ class Server {
       if constexpr (obs::kEnabled) {
         const uint64_t now_ns = obs_now_ns();
         op_hist(f.op()).record(tid, now_ns - prev_ns);
-        if (nspans < 8 && obs::trace_should_sample()) {
-          obs::TraceSpan& sp = spans[nspans++];
-          sp.op = f.tag;
-          sp.worker = w.index;
-          sp.shard = span_shard(f);
-          sp.queue_ns = clamp32(exec_start_ns - wake_ns);
-          sp.exec_ns = clamp32(now_ns - prev_ns);
+        if (t != nullptr) {
+          t->stamp(obs::TraceStage::kExecute, prev_ns, now_ns, 0,
+                   span_shard(f));
+          traces[ntraces] = t;
+          trace_hist_ns[ntraces] = now_ns - prev_ns;
+          ++ntraces;
         }
         prev_ns = now_ns;
       }
@@ -1150,10 +1405,13 @@ class Server {
         stage_hist(0).record(tid, exec_start_ns - wake_ns);
         stage_hist(1).record(tid, prev_ns - exec_start_ns);
         stage_hist(2).record(tid, end_ns - prev_ns);
-        for (int i = 0; i < nspans; ++i) {
-          spans[i].flush_ns = clamp32(end_ns - prev_ns);
-          spans[i].end_ns = end_ns;
-          w.trace.push(spans[i]);
+        for (int i = 0; i < ntraces; ++i) {
+          traces[i]->stamp(obs::TraceStage::kFlush, prev_ns, end_ns);
+          if (!flushed) {
+            traces[i]->stamp(obs::TraceStage::kError, end_ns, end_ns);
+            traces[i]->add_flags(obs::kTraceError);
+          }
+          trace_close(w, traces[i], end_ns, trace_hist_ns[i]);
         }
       }
     }
@@ -1164,11 +1422,7 @@ class Server {
     return !peer_closed;
   }
 
-  static uint32_t clamp32(uint64_t ns) {
-    return ns > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(ns);
-  }
-
-  /// Shard a sampled frame's key routes to (0 when unsharded or keyless).
+  /// Shard a traced frame's key routes to (0 when unsharded or keyless).
   uint16_t span_shard(const FrameView& f) const {
     if (!sharded_) return 0;
     switch (f.op()) {
@@ -1311,8 +1565,28 @@ class Server {
           encode_status(out, Status::kOk);
           return ExecResult::kDone;
         }
+        if (f.body_len == 8) {  // set rate + tail-commit threshold, ack
+          obs::trace_sample_every().store(get_u32(f.body),
+                                          std::memory_order_relaxed);
+          const uint32_t us = get_u32(f.body + 4);
+          obs::trace_threshold_ns().store(
+              us == UINT32_MAX ? obs::kTraceThresholdOff
+                               : static_cast<uint64_t>(us) * 1000,
+              std::memory_order_relaxed);
+          encode_status(out, Status::kOk);
+          return ExecResult::kDone;
+        }
         if (f.body_len != 0) return err(Status::kErrMalformed);
         encode_text_response(out, trace_dump_json());
+        return ExecResult::kDone;
+      }
+      case Op::kTraceGet: {
+        if (f.body_len != 8) return err(Status::kErrMalformed);
+        obs::TraceRecord rec;
+        if (find_trace(get_u64(f.body), &rec))
+          encode_text_response(out, trace_record_json(rec));
+        else
+          encode_status(out, Status::kNo);  // never committed, or evicted
         return ExecResult::kDone;
       }
     }
@@ -1417,6 +1691,7 @@ class Server {
   // before it is torn down (their callbacks iterate workers_ unlocked).
   obs::GaugeSet::Source obs_srcs_[kServerSeries];
   obs::GaugeSet::Source obs_guard_srcs_[kGuardSeries];
+  obs::GaugeSet::Source obs_trace_srcs_[kTraceSeries];
 };
 
 }  // namespace bref::net

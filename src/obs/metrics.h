@@ -170,6 +170,8 @@ struct HistogramSnapshot {
 
 class Histogram {
  public:
+  ~Histogram() { delete exemplars_.load(std::memory_order_relaxed); }
+
   void record(int tid, uint64_t v) noexcept {
     if constexpr (!kEnabled) return;
     Slot& s = slots_[tid];
@@ -180,6 +182,41 @@ class Histogram {
   /// Unattributed variant (distinct name for the same reason as
   /// Counter::bump).
   void observe(uint64_t v) noexcept { record(slot_hint(), v); }
+
+  /// Exemplar: remember `trace_id` as the face of the bucket `v` lands in.
+  /// Called only when a trace COMMITS (rare — tail or reservoir), so the
+  /// lazy first-call allocation and the two relaxed stores are off the
+  /// record hot path. The (id, value) pair is advisory and may tear under
+  /// a concurrent exemplar for the same bucket; both halves are always
+  /// some committed trace's, which is all an exemplar promises.
+  void set_exemplar(uint64_t v, uint64_t trace_id) noexcept {
+    if constexpr (!kEnabled) return;
+    if (trace_id == 0) return;
+    Exemplars* e = exemplars_.load(std::memory_order_acquire);
+    if (e == nullptr) {
+      auto* fresh = new Exemplars();
+      if (exemplars_.compare_exchange_strong(e, fresh,
+                                             std::memory_order_acq_rel))
+        e = fresh;
+      else
+        delete fresh;  // lost the install race; e holds the winner
+    }
+    const int b = bucket_of(v);
+    e->id[b].store(trace_id, std::memory_order_relaxed);
+    e->value[b].store(v, std::memory_order_relaxed);
+  }
+
+  /// Read the exemplar for bucket `b` (raw recorded value + trace id);
+  /// false when that bucket never got one.
+  bool exemplar(int b, uint64_t* value, uint64_t* trace_id) const noexcept {
+    const Exemplars* e = exemplars_.load(std::memory_order_acquire);
+    if (e == nullptr) return false;
+    const uint64_t id = e->id[b].load(std::memory_order_relaxed);
+    if (id == 0) return false;
+    *trace_id = id;
+    *value = e->value[b].load(std::memory_order_relaxed);
+    return true;
+  }
 
   HistogramSnapshot snapshot() const noexcept {
     HistogramSnapshot out;
@@ -199,7 +236,12 @@ class Histogram {
     std::atomic<uint64_t> count{0};
     std::atomic<uint64_t> sum{0};
   };
+  struct Exemplars {
+    std::atomic<uint64_t> id[kHistBuckets] = {};     // 0 = no exemplar
+    std::atomic<uint64_t> value[kHistBuckets] = {};  // raw (unscaled) value
+  };
   Slot slots_[kMaxThreads] = {};
+  std::atomic<Exemplars*> exemplars_{nullptr};  // lazy: most hists never pay
 };
 
 // ---------------------------------------------------------------------------
@@ -330,7 +372,18 @@ class MetricsRegistry {
                      : (static_cast<double>(1ull << i) - 1.0) / e->scale;
           std::snprintf(buf, sizeof buf, "%.9g", le);
           out += e->name + "_bucket{" + label_prefix(*e) + "le=\"" + buf +
-                 "\"} " + std::to_string(cum) + "\n";
+                 "\"} " + std::to_string(cum);
+          // OpenMetrics-style exemplar: the last committed trace that
+          // landed in this bucket, so a tail bucket links straight to a
+          // span timeline (resolve the id via TRACE_GET).
+          uint64_t ev = 0, eid = 0;
+          if (e->histogram->exemplar(i, &ev, &eid)) {
+            std::snprintf(buf, sizeof buf, " # {trace_id=\"%016llx\"} %.9g",
+                          static_cast<unsigned long long>(eid),
+                          static_cast<double>(ev) / e->scale);
+            out += buf;
+          }
+          out += "\n";
         }
         out += e->name + "_bucket{" + label_prefix(*e) + "le=\"+Inf\"} " +
                std::to_string(h.count) + "\n";

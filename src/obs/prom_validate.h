@@ -14,7 +14,10 @@
 //   - a family's # TYPE appears at most once and precedes its samples;
 //   - histogram families expose _bucket/_sum/_count, buckets carry an
 //     `le` label, cumulative bucket counts are non-decreasing in le order
-//     and end with le="+Inf" matching _count.
+//     and end with le="+Inf" matching _count;
+//   - an exemplar suffix (`value # {trace_id="..."} exemplar_value [ts]`,
+//     the OpenMetrics syntax bref-trace emits on histogram buckets) has a
+//     well-formed label set and a parseable value.
 //
 // validate() returns false with a one-line error (line number + reason).
 
@@ -32,6 +35,10 @@ struct PromSeries {
   std::string name;                                  // full sample name
   std::vector<std::pair<std::string, std::string>> labels;
   double value = 0;
+  // Exemplar suffix (`# {labels} value`), when present on the sample line.
+  bool has_exemplar = false;
+  std::vector<std::pair<std::string, std::string>> exemplar_labels;
+  double exemplar_value = 0;
 };
 
 namespace prom_detail {
@@ -65,6 +72,64 @@ inline bool parse_value(std::string_view s, double& out) {
   char* end = nullptr;
   out = std::strtod(tmp.c_str(), &end);
   return end != nullptr && *end == '\0';
+}
+
+/// Parse a `{name="value",...}` label set (s must start at the '{'); used
+/// for both sample labels and exemplar labels. On failure sets `why`.
+inline bool parse_labelset(std::string_view& s,
+                           std::vector<std::pair<std::string, std::string>>& out,
+                           std::string& why) {
+  s.remove_prefix(1);  // the '{'
+  for (;;) {
+    skip_ws(s);
+    if (!s.empty() && s.front() == '}') { s.remove_prefix(1); return true; }
+    std::string lname;
+    if (!parse_name(s, lname, /*label=*/true)) {
+      why = "bad label name";
+      return false;
+    }
+    if (s.empty() || s.front() != '=') {
+      why = "label '" + lname + "' missing '='";
+      return false;
+    }
+    s.remove_prefix(1);
+    if (s.empty() || s.front() != '"') {
+      why = "label value must be double-quoted";
+      return false;
+    }
+    s.remove_prefix(1);
+    std::string lval;
+    bool closed = false;
+    while (!s.empty()) {
+      char c = s.front();
+      s.remove_prefix(1);
+      if (c == '\\') {
+        if (s.empty()) {
+          why = "dangling escape";
+          return false;
+        }
+        char e = s.front();
+        s.remove_prefix(1);
+        if (e != '\\' && e != '"' && e != 'n') {
+          why = "bad escape in label value";
+          return false;
+        }
+        lval.push_back(e == 'n' ? '\n' : e);
+      } else if (c == '"') {
+        closed = true;
+        break;
+      } else {
+        lval.push_back(c);
+      }
+    }
+    if (!closed) {
+      why = "unterminated label value";
+      return false;
+    }
+    out.emplace_back(std::move(lname), std::move(lval));
+    skip_ws(s);
+    if (!s.empty() && s.front() == ',') s.remove_prefix(1);
+  }
 }
 
 }  // namespace prom_detail
@@ -142,56 +207,45 @@ inline bool validate_prometheus(std::string_view text, std::string* err,
     if (!parse_name(s, ps.name, /*label=*/false))
       return fail(lineno, "bad metric name");
     if (!s.empty() && s.front() == '{') {
-      s.remove_prefix(1);
-      for (;;) {
-        skip_ws(s);
-        if (!s.empty() && s.front() == '}') { s.remove_prefix(1); break; }
-        std::string lname;
-        if (!parse_name(s, lname, /*label=*/true))
-          return fail(lineno, "bad label name");
-        if (s.empty() || s.front() != '=')
-          return fail(lineno, "label '" + lname + "' missing '='");
-        s.remove_prefix(1);
-        if (s.empty() || s.front() != '"')
-          return fail(lineno, "label value must be double-quoted");
-        s.remove_prefix(1);
-        std::string lval;
-        bool closed = false;
-        while (!s.empty()) {
-          char c = s.front();
-          s.remove_prefix(1);
-          if (c == '\\') {
-            if (s.empty()) return fail(lineno, "dangling escape");
-            char e = s.front();
-            s.remove_prefix(1);
-            if (e != '\\' && e != '"' && e != 'n')
-              return fail(lineno, "bad escape in label value");
-            lval.push_back(e == 'n' ? '\n' : e);
-          } else if (c == '"') {
-            closed = true;
-            break;
-          } else {
-            lval.push_back(c);
-          }
-        }
-        if (!closed) return fail(lineno, "unterminated label value");
-        ps.labels.emplace_back(std::move(lname), std::move(lval));
-        skip_ws(s);
-        if (!s.empty() && s.front() == ',') s.remove_prefix(1);
-      }
+      std::string why;
+      if (!parse_labelset(s, ps.labels, why)) return fail(lineno, why);
     }
     skip_ws(s);
-    // Value runs to next whitespace (an optional timestamp may follow).
+    // Value runs to next whitespace. What follows is either an optional
+    // timestamp or an exemplar suffix: `# {labels} value [ts]`.
     size_t vend = s.find_first_of(" \t");
     std::string_view vstr = s.substr(0, vend);
     if (!parse_value(vstr, ps.value))
       return fail(lineno, "bad sample value '" + std::string(vstr) + "'");
     if (vend != std::string_view::npos) {
-      std::string_view ts = s.substr(vend);
-      skip_ws(ts);
-      double ignored;
-      if (!ts.empty() && !parse_value(ts, ignored))
-        return fail(lineno, "bad timestamp");
+      std::string_view rest = s.substr(vend);
+      skip_ws(rest);
+      if (!rest.empty() && rest.front() == '#') {
+        rest.remove_prefix(1);
+        skip_ws(rest);
+        if (rest.empty() || rest.front() != '{')
+          return fail(lineno, "exemplar missing '{' label set");
+        std::string why;
+        if (!parse_labelset(rest, ps.exemplar_labels, why))
+          return fail(lineno, "exemplar: " + why);
+        skip_ws(rest);
+        size_t evend = rest.find_first_of(" \t");
+        std::string_view evstr = rest.substr(0, evend);
+        if (!parse_value(evstr, ps.exemplar_value))
+          return fail(lineno,
+                      "bad exemplar value '" + std::string(evstr) + "'");
+        ps.has_exemplar = true;
+        rest = evend == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(evend);
+        skip_ws(rest);
+        double ignored;
+        if (!rest.empty() && !parse_value(rest, ignored))
+          return fail(lineno, "bad exemplar timestamp");
+      } else if (!rest.empty()) {
+        double ignored;
+        if (!parse_value(rest, ignored))
+          return fail(lineno, "bad timestamp");
+      }
     }
 
     // Family = sample name minus a histogram suffix when that family is

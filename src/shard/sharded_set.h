@@ -63,6 +63,7 @@
 #include "core/global_timestamp.h"
 #include "core/rq_tracker.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bref {
 
@@ -466,15 +467,27 @@ class ShardedSet final : public AnyOrderedSet {
   timestamp_t coordinated_collect(int tid, size_t a, size_t b, KeyT lo,
                                   KeyT hi,
                                   std::vector<std::pair<KeyT, ValT>>& out) {
+    // An active request trace (thread-local, parked by the net worker
+    // before execute) gets the fan-out spans; untraced callers pay one
+    // thread-local load and zero clock reads.
+    obs::TraceScratch* const tr = obs::current_trace();
+    const uint64_t pin_t0 = tr != nullptr ? obs::trace_now_ns() : 0;
     for (size_t i = a; i <= b; ++i) shards_[i]->rq_pin_prepare(tid);
     RqTracker::announce_pending_all(tid, &trackers_[a], b - a + 1);
     for (size_t i = a; i <= b; ++i) shards_[i]->rq_pin_confirm(tid);
     const timestamp_t ts = gts_.read();  // the ONE timestamp acquisition
     for (size_t i = a; i <= b; ++i) trackers_[i]->publish(tid, ts);
+    if (tr != nullptr)
+      tr->stamp(obs::TraceStage::kShardPin, pin_t0, obs::trace_now_ns(), 0,
+                static_cast<uint16_t>(b - a + 1));
     for (size_t i = a; i <= b; ++i) {
+      const uint64_t c0 = tr != nullptr ? obs::trace_now_ns() : 0;
       shards_[i]->range_query_at(tid, ts, lo, hi, out);
       trackers_[i]->end(tid);
       shards_[i]->rq_unpin(tid);
+      if (tr != nullptr)
+        tr->stamp(obs::TraceStage::kShardCollect, c0, obs::trace_now_ns(),
+                  static_cast<uint8_t>(i < 255 ? i : 255), 0);
     }
     auto& st = *stats_[tid];
     bump(st.coordinated_rqs);

@@ -461,6 +461,7 @@ TEST(Observability, LiveConnectionsVisibleUnderLoad) {
 // instrumented layer: net (server), shard (router), epoch (EBR), core
 // (entry pool) — the CI validator's acceptance gate, as a unit test.
 TEST(Observability, MetricsOpCoversAllLayers) {
+  if (!obs::kEnabled) GTEST_SKIP() << "recording compiled out (BREF_OBS=OFF)";
   Server srv(small_opts(/*workers=*/2, /*shards=*/4));
   srv.start();
   Client c(srv.port());
@@ -485,21 +486,105 @@ TEST(Observability, MetricsOpCoversAllLayers) {
   srv.stop();
 }
 
-// TRACE_DUMP: rate-setting round trip, then a dump that carries spans
-// whose stage breakdown is consistent (end_ns set, stages recorded).
-TEST(Observability, TraceDumpCarriesSampledSpans) {
+// End-to-end bref-trace: a client-stamped request captured under a
+// commit-everything policy must resolve via TRACE_GET to a complete span
+// timeline — queue through flush, including the coordinated shard
+// fan-out and chunked-scan stages for a wide RANGE.
+TEST(Observability, TraceGetResolvesStampedRequestTimeline) {
+  if (!obs::kEnabled) GTEST_SKIP() << "recording compiled out (BREF_OBS=OFF)";
+  Server srv(small_opts(/*workers=*/2, /*shards=*/4));
+  srv.start();
+  ClientOptions co;
+  co.trace = true;
+  Client c("127.0.0.1", srv.port(), co);
+  ASSERT_TRUE(c.trace_config(/*sample_every=*/0, /*threshold_us=*/0));
+  for (KeyT k = 1; k <= 100; ++k) ASSERT_TRUE(c.insert(k, k));
+  // The whole keyspace: wider than scan_chunk_keys, so this runs as a
+  // chunked scan — pin fan-out, per-slice collects, pump iterations.
+  RangeSnapshot snap;
+  c.range(0, 1 << 16, snap);
+  const uint64_t id = c.last_trace_id();
+  ASSERT_NE(id, 0u);
+  std::optional<std::string> tl = c.trace_get(id);
+  ASSERT_TRUE(tl.has_value()) << "commit-all policy must keep the trace";
+  char idhex[32];
+  std::snprintf(idhex, sizeof idhex, "%016llx",
+                static_cast<unsigned long long>(id));
+  EXPECT_NE(tl->find(idhex), std::string::npos) << *tl;
+  for (const char* stage : {"\"queue\"", "\"admission\"", "\"execute\"",
+                            "\"shard_pin\"", "\"shard_collect\"",
+                            "\"scan_chunk\"", "\"flush\""})
+    EXPECT_NE(tl->find(stage), std::string::npos)
+        << stage << " missing in\n"
+        << *tl;
+  // Pipelined frames are stamped too: ids parallel the batch, every one
+  // resolvable (this also proves split_frame handles back-to-back
+  // flagged frames in one buffer).
+  Pipeline p(c);
+  for (KeyT k = 1; k <= 8; ++k) p.get(k);
+  const std::vector<uint64_t> ids = p.trace_ids();
+  ASSERT_EQ(ids.size(), 8u);
+  const std::vector<Reply> rs = p.collect();
+  ASSERT_EQ(rs.size(), 8u);
+  for (const Reply& r : rs) EXPECT_EQ(r.status, Status::kOk);
+  ASSERT_NE(ids.back(), 0u);
+  EXPECT_TRUE(c.trace_get(ids.back()).has_value());
+  // The dump carries the policy knobs and the committed records.
+  const std::string dump = c.trace_dump();
+  EXPECT_NE(dump.find("\"sample_every\": 0"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"threshold_ns\": 0"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"op\": \"range\""), std::string::npos) << dump;
+  ASSERT_TRUE(c.trace_config(128, 1000));  // restore defaults
+  srv.stop();
+}
+
+// The acceptance-criteria loop, as a unit test: exemplars on the per-op
+// latency histogram must carry trace ids that TRACE_GET resolves to
+// complete timelines.
+TEST(Observability, ExemplarsResolveToCommittedTimelines) {
+  if (!obs::kEnabled) GTEST_SKIP() << "recording compiled out (BREF_OBS=OFF)";
   Server srv(small_opts(/*workers=*/2));
   srv.start();
-  Client c(srv.port());
-  ASSERT_TRUE(c.trace_rate(1));  // sample everything
-  for (KeyT k = 1; k <= 300; ++k) c.insert(k, k);
-  const std::string dump = c.trace_dump();
-  EXPECT_NE(dump.find("\"sample_every\": 1"), std::string::npos) << dump;
-  EXPECT_NE(dump.find("\"op\": \"insert\""), std::string::npos) << dump;
-  EXPECT_NE(dump.find("\"queue_ns\""), std::string::npos);
-  EXPECT_NE(dump.find("\"exec_ns\""), std::string::npos);
-  EXPECT_NE(dump.find("\"flush_ns\""), std::string::npos);
-  ASSERT_TRUE(c.trace_rate(128));  // restore the default for other tests
+  ClientOptions co;
+  co.trace = true;
+  Client c("127.0.0.1", srv.port(), co);
+  ASSERT_TRUE(c.trace_config(/*sample_every=*/0, /*threshold_us=*/0));
+  for (KeyT k = 1; k <= 300; ++k) ASSERT_TRUE(c.insert(k, k));
+  const std::string text = c.metrics();
+  std::string err;
+  std::vector<bref::obs::PromSeries> series;
+  ASSERT_TRUE(bref::obs::validate_prometheus(text, &err, &series)) << err;
+  size_t with_exemplar = 0, resolved = 0;
+  for (const auto& s : series) {
+    if (!s.has_exemplar || s.name != "bref_net_op_seconds_bucket") continue;
+    ++with_exemplar;
+    ASSERT_EQ(s.exemplar_labels.size(), 1u);
+    ASSERT_EQ(s.exemplar_labels[0].first, "trace_id");
+    const uint64_t id =
+        std::stoull(s.exemplar_labels[0].second, nullptr, 16);
+    if (std::optional<std::string> tl = c.trace_get(id); tl.has_value()) {
+      EXPECT_NE(tl->find("\"spans\""), std::string::npos);
+      ++resolved;
+    }
+  }
+  ASSERT_GT(with_exemplar, 0u) << text;
+  // Stale exemplars from earlier servers in this process may no longer
+  // resolve; the ones this run committed must.
+  EXPECT_GT(resolved, 0u);
+  ASSERT_TRUE(c.trace_config(128, 1000));
+  srv.stop();
+}
+
+// Wire compatibility: a client that never stamps speaks the old framing
+// byte-for-byte, and TRACE_GET for an unknown id answers kNo.
+TEST(Observability, UntracedClientsAndUnknownTraceIdsBehave) {
+  Server srv(small_opts());
+  srv.start();
+  Client plain(srv.port());
+  ASSERT_TRUE(plain.ping());
+  ASSERT_TRUE(plain.insert(1, 1));
+  EXPECT_EQ(plain.last_trace_id(), 0u);
+  EXPECT_FALSE(plain.trace_get(0xdeadbeefdeadbeefull).has_value());
   srv.stop();
 }
 

@@ -11,7 +11,10 @@
 //   * graceful degradation: slow readers disconnected at the pending
 //     cap, idle connections reaped, overload shed with kErrOverloaded
 //     and recovered from, chunked whole-keyspace scans linearizable at
-//     ONE timestamp while point ops run, stop() drain deadline-bounded.
+//     ONE timestamp while point ops run, stop() drain deadline-bounded;
+//   * trace-slot accounting (ISSUE 10): per-request trace scratch slots
+//     all return to the pool after reset storms, shed bursts, and
+//     reaped-mid-scan connections — traces terminate, never leak.
 //
 // Seeds: BREF_CHAOS_SEED (env) re-seeds every FaultPlan, so CI can sweep
 // seeds without recompiling. Faults decide deterministically per seed,
@@ -409,6 +412,136 @@ TEST(Guard, ChunkedScansLinearizeWithConcurrentPointOps) {
       validation::check_linearizable_with_ts(validation::merge(logs));
   ASSERT_TRUE(verdict.linearizable) << verdict.message;
   EXPECT_GE(srv.stats().chunked_rqs, 12u);
+  srv.stop();
+}
+
+// ---- trace-slot accounting (ISSUE 10) --------------------------------------
+//
+// Every traced request holds a per-worker scratch slot from trace_open to
+// its terminal span (flush, shed, or error/disconnect). The invariant the
+// chaos suite guards: after any storm quiesces, scratch_in_use returns to
+// 0 — a leaked slot means some abort path forgot to close its trace.
+
+TEST(Trace, ScratchSlotsAllReturnAfterResetStorm) {
+  if (!obs::kEnabled) GTEST_SKIP() << "trace capture compiled out (BREF_OBS=OFF)";
+  Server srv(small_opts());
+  srv.start();
+  {
+    // Commit-all policy: every request that completes must travel the
+    // whole open -> stamp -> close path, maximizing slot churn.
+    Client cfg(srv.port());
+    ASSERT_TRUE(cfg.trace_config(0, 0));
+  }
+  std::atomic<uint64_t> ok{0}, net_errors{0};
+  {
+    FaultPlan plan;
+    plan.seed = chaos_seed() + 3;
+    plan.eintr_permille = 40;
+    plan.short_io_permille = 80;
+    plan.reset_permille = 25;  // connections die with traces mid-flight
+    FaultScope scope(plan);
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 6; ++t) {
+      ts.emplace_back([&, t] {
+        Xoshiro256 rng(chaos_seed() * 57 + t);
+        for (int i = 0; i < 40; ++i) {
+          try {
+            ClientOptions copt;
+            copt.op_deadline_ms = 3'000;
+            copt.trace = true;  // every frame carries a trace context
+            Client c(srv.port(), copt);
+            const KeyT k = static_cast<KeyT>(rng.next_range(1 << 10));
+            c.insert(k, t);
+            c.get(k);
+            RangeSnapshot out;
+            c.range(0, 256, out);  // multi-shard path under faults too
+            ok.fetch_add(1, std::memory_order_relaxed);
+          } catch (const NetError&) {
+            net_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& th : ts) th.join();
+    EXPECT_GT(ok.load(), 0u);
+    EXPECT_GT(net_errors.load(), 0u);  // resets actually tore traced conns
+    // Read stats while the workers still exist — stop() tears them (and
+    // their counters) down. Closure processing is async, so spin.
+    EXPECT_GT(srv.stats().trace_committed, 0u) << srv.stats_json();
+    EXPECT_TRUE(eventually(
+        [&] { return srv.stats().trace_scratch_in_use == 0; }))
+        << srv.stats_json();
+    srv.stop();  // quiesce before the scope uninstalls
+  }
+}
+
+TEST(Trace, ScratchSlotsAllReturnAfterShedBurst) {
+  if (!obs::kEnabled) GTEST_SKIP() << "trace capture compiled out (BREF_OBS=OFF)";
+  ServerOptions o = small_opts(/*workers=*/1);
+  o.guard.max_wave_frames = 8;  // deep traced pipelines must shed
+  Server srv(o);
+  srv.start();
+  {
+    Client cfg(srv.port());
+    ASSERT_TRUE(cfg.trace_config(0, 0));
+  }
+  ClientOptions copt;
+  copt.overload_retries = 0;
+  copt.trace = true;
+  Client c(srv.port(), copt);
+  Pipeline p(c);
+  for (int i = 0; i < 2000; ++i) p.insert(i, i);
+  const std::vector<Reply> rs = p.collect();
+  ASSERT_EQ(rs.size(), 2000u);
+  size_t shed = 0;
+  for (const Reply& r : rs)
+    if (r.overloaded()) ++shed;
+  EXPECT_GT(shed, 0u);  // shed traces took the kShed terminal span
+  // Quiesced: every slot back, whether its request executed or shed.
+  // (Exhaustion is expected here — 2000 in-flight traced frames vs a
+  // 64-slot pool — and must degrade to untraced requests, not failures.)
+  EXPECT_TRUE(eventually(
+      [&] { return srv.stats().trace_scratch_in_use == 0; }))
+      << srv.stats_json();
+  EXPECT_GT(srv.stats().trace_committed, 0u);
+  srv.stop();
+}
+
+TEST(Trace, ReapedScanConnectionsFreeTraceSlots) {
+  ServerOptions o = small_opts(/*workers=*/1);
+  o.key_hi = 1 << 12;
+  o.guard.max_conn_pending = 64 * 1024;
+  o.guard.scan_chunk_keys = 64;      // traced chunked scans hold slots
+  o.guard.max_wave_bytes = 64 << 20;
+  Server srv(o);
+  srv.start();
+  {
+    Client cfg(srv.port());
+    ASSERT_TRUE(cfg.trace_config(0, 0));
+    Client w(srv.port());
+    for (KeyT k = 0; k < 4000; ++k) w.insert(k, k);
+  }
+  // Traced whole-keyspace RANGEs from a reader that never reads: the
+  // pending cap reaps the connection while chunked scans (and their
+  // trace slots) are live; drop_conn must abort them.
+  Client slow(srv.port());
+  std::vector<uint8_t> reqs;
+  uint64_t id = 0x5105105105105100ull;
+  for (int i = 0; i < 400; ++i) {
+    const size_t off = reqs.size();
+    encode_range(reqs, 0, 4000);
+    stamp_trace_context(reqs, off, ++id);
+  }
+  try {
+    slow.write_all(reqs.data(), reqs.size());
+  } catch (const NetError&) {
+  }
+  EXPECT_TRUE(eventually(
+      [&] { return srv.stats().reaped_slow_reader >= 1; }))
+      << srv.stats_json();
+  EXPECT_TRUE(eventually(
+      [&] { return srv.stats().trace_scratch_in_use == 0; }))
+      << srv.stats_json();
   srv.stop();
 }
 

@@ -2,8 +2,10 @@
 // log₂-histogram bucket math checked against exact sorted-sample
 // quantiles, merge-on-read under an 8-thread recording storm (the TSan
 // job runs this suite), Prometheus text exposition validated by the
-// checked-in parser, GaugeSet instance churn, and the flight recorder's
-// ring wraparound + sampling countdown.
+// checked-in parser (including exemplar suffixes), GaugeSet instance
+// churn, and the bref-trace layer: scratch builders, slot-pool
+// accounting, the seqlock ring/board under a concurrent reader, the
+// tail-biased capture policy, and histogram exemplars.
 
 #include <gtest/gtest.h>
 
@@ -90,6 +92,7 @@ TEST(Histogram, EmptyQuantileIsZero) {
 // ---- merge-on-read under concurrency ---------------------------------------
 
 TEST(Registry, EightThreadRecordingMergesLosslessly) {
+  if (!obs::kEnabled) GTEST_SKIP() << "recording compiled out (BREF_OBS=OFF)";
   Counter& c = registry().counter("bref_test_merge_total", "test counter");
   Histogram& h =
       registry().histogram("bref_test_merge_seconds", "test histogram");
@@ -139,6 +142,7 @@ TEST(Registry, JsonSnapshotContainsRegisteredSeries) {
 // ---- Prometheus exposition --------------------------------------------------
 
 TEST(Prometheus, ExpositionValidatesAndCarriesSamples) {
+  if (!obs::kEnabled) GTEST_SKIP() << "recording compiled out (BREF_OBS=OFF)";
   registry()
       .counter("bref_test_prom_total", "prom test", "op=\"get\"")
       .bump(7);
@@ -211,66 +215,253 @@ TEST(GaugeSet, MaxAggregationPicksLargest) {
   EXPECT_EQ(gs.read(), 11.0);
 }
 
-// ---- flight recorder --------------------------------------------------------
+// ---- trace scratch builder --------------------------------------------------
 
-TEST(TraceRing, WraparoundKeepsNewestTailOldestFirst) {
-  TraceRing ring;
-  const uint64_t n = TraceRing::kCapacity + 904;
-  for (uint64_t i = 0; i < n; ++i) {
-    TraceSpan s;
-    s.end_ns = i;
-    ring.push(s);
-  }
-  uint64_t total = 0;
-  const std::vector<TraceSpan> out = ring.dump(&total);
-  EXPECT_EQ(total, n);
-  ASSERT_EQ(out.size(), TraceRing::kCapacity);
-  EXPECT_EQ(out.front().end_ns, n - TraceRing::kCapacity);
-  EXPECT_EQ(out.back().end_ns, n - 1);
-  for (size_t i = 1; i < out.size(); ++i)
-    ASSERT_EQ(out[i].end_ns, out[i - 1].end_ns + 1);
+TEST(TraceScratch, BuildsRecordWithRelativeSpans) {
+  TraceScratch t;
+  t.open(/*trace_id=*/0xabcd, /*op=*/3, /*worker=*/1, /*start_ns=*/1000,
+         /*flags=*/kTraceClientStamped);
+  t.stamp(TraceStage::kQueue, 1000, 1500);
+  t.stamp(TraceStage::kExecute, 1500, 2500, /*aux8=*/0, /*aux16=*/2);
+  t.finish(3000);
+  const TraceRecord& r = t.record();
+  EXPECT_EQ(r.trace_id, 0xabcdu);
+  EXPECT_EQ(r.start_ns, 1000u);
+  EXPECT_EQ(r.total_ns, 2000u);
+  EXPECT_EQ(r.flags, kTraceClientStamped);
+  ASSERT_EQ(r.nspans, 2);
+  EXPECT_EQ(r.spans[0].stage, static_cast<uint8_t>(TraceStage::kQueue));
+  EXPECT_EQ(r.spans[0].start_ns, 0u);
+  EXPECT_EQ(r.spans[0].dur_ns, 500u);
+  EXPECT_EQ(r.spans[1].start_ns, 500u);
+  EXPECT_EQ(r.spans[1].dur_ns, 1000u);
+  EXPECT_EQ(r.spans[1].aux16, 2);
 }
 
-TEST(TraceSampling, CountdownHonorsRateAndZeroDisables) {
+TEST(TraceScratch, OverflowSetsTruncatedInsteadOfWriting) {
+  TraceScratch t;
+  t.open(1, 0, 0, 0, 0);
+  for (int i = 0; i < kTraceMaxSpans + 5; ++i)
+    t.stamp(TraceStage::kExecute, i, i + 1);
+  const TraceRecord& r = t.record();
+  EXPECT_EQ(r.nspans, kTraceMaxSpans);
+  EXPECT_NE(r.flags & kTraceTruncated, 0);
+}
+
+TEST(TraceScratch, CoalesceExtendsLastSameStageSpan) {
+  TraceScratch t;
+  t.open(1, 0, 0, 100, 0);
+  // 200 scan-chunk slices must stay ONE span with a slice count.
+  for (int i = 0; i < 200; ++i)
+    t.stamp_coalesce(TraceStage::kScanChunk, 100 + i * 10, 110 + i * 10);
+  const TraceRecord& r = t.record();
+  ASSERT_EQ(r.nspans, 1);
+  EXPECT_EQ(r.spans[0].stage, static_cast<uint8_t>(TraceStage::kScanChunk));
+  EXPECT_EQ(r.spans[0].aux16, 200);
+  EXPECT_EQ(r.spans[0].dur_ns, 2000u);  // first start -> last end
+}
+
+// ---- scratch slot pool ------------------------------------------------------
+
+TEST(TraceSlots, AcquireExhaustReleaseAccounting) {
+  TraceSlots pool;
+  std::vector<TraceScratch*> held;
+  for (int i = 0; i < TraceSlots::kSlots; ++i) {
+    TraceScratch* s = pool.acquire();
+    ASSERT_NE(s, nullptr);
+    held.push_back(s);
+  }
+  EXPECT_EQ(pool.in_use(), TraceSlots::kSlots);
+  EXPECT_EQ(pool.acquire(), nullptr) << "exhausted pool must not block";
+  for (TraceScratch* s : held) pool.release(s);
+  EXPECT_EQ(pool.in_use(), 0) << "chaos-suite invariant: all slots return";
+  EXPECT_NE(pool.acquire(), nullptr);
+}
+
+// ---- committed ring + board -------------------------------------------------
+
+namespace {
+TraceRecord make_record(uint64_t id, uint64_t total_ns) {
+  TraceScratch t;
+  t.open(id, 0, 0, id * 3, 0);
+  t.stamp(TraceStage::kExecute, id * 3, id * 3 + total_ns);
+  t.finish(id * 3 + total_ns);
+  return t.record();
+}
+}  // namespace
+
+TEST(TraceRing, WindowKeepsNewestAndCountsEvictions) {
+  TraceRing ring;
+  const uint64_t n = TraceRing::kCapacity + 300;
+  for (uint64_t i = 1; i <= n; ++i) ring.push(make_record(i, i));
+  EXPECT_EQ(ring.committed(), n);
+  EXPECT_EQ(ring.dropped(), n - TraceRing::kCapacity);
+  std::vector<TraceRecord> out;
+  ring.snapshot(out);
+  ASSERT_EQ(out.size(), TraceRing::kCapacity);
+  EXPECT_EQ(out.front().trace_id, n - TraceRing::kCapacity + 1);
+  EXPECT_EQ(out.back().trace_id, n);
+  TraceRecord r;
+  EXPECT_TRUE(ring.find(n, r));
+  EXPECT_EQ(r.total_ns, n);
+  EXPECT_FALSE(ring.find(1, r)) << "evicted by the window";
+}
+
+TEST(TraceBoard, KeepsAllTimeSlowestAgainstChurn) {
+  TraceBoard board;
+  // One very slow early record, then a flood of fast ones.
+  board.offer(make_record(999, 1'000'000));
+  for (uint64_t i = 1; i <= 4096; ++i) board.offer(make_record(i, i % 100));
+  TraceRecord r;
+  EXPECT_TRUE(board.find(999, r)) << "the board is immune to ring churn";
+  EXPECT_EQ(r.total_ns, 1'000'000u);
+  std::vector<TraceRecord> out;
+  board.snapshot(out);
+  ASSERT_LE(out.size(), static_cast<size_t>(TraceBoard::kBoardSlots));
+  bool has_slowest = false;
+  for (const auto& rec : out) has_slowest |= rec.trace_id == 999;
+  EXPECT_TRUE(has_slowest);
+}
+
+// The seqlock contract: one producer pushing, concurrent readers must
+// never observe a torn record (every field derived from trace_id).
+TEST(TraceRing, SeqlockReadersNeverObserveTornRecords) {
+  TraceRing ring;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::vector<TraceRecord> out;
+    TraceRecord r;
+    while (!stop.load(std::memory_order_relaxed)) {
+      out.clear();
+      ring.snapshot(out);
+      for (const TraceRecord& rec : out) {
+        ASSERT_EQ(rec.start_ns, rec.trace_id * 3);
+        ASSERT_EQ(rec.total_ns, rec.trace_id * 7);
+        ASSERT_EQ(rec.nspans, 1);
+      }
+      ring.find(1, r);  // exercise the lookup path under churn too
+    }
+  });
+  for (uint64_t i = 1; i <= 200'000; ++i) ring.push(make_record(i, i * 7));
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(ring.committed(), 200'000u);
+}
+
+// ---- capture policy ---------------------------------------------------------
+
+TEST(TracePolicy, ReservoirHonorsRateAndZeroDisables) {
   const uint32_t old = trace_sample_every().load();
   trace_sample_every().store(10);
   // Drain whatever countdown this thread carried in, then count over a
-  // fresh window: exactly one sample per 10 decisions.
-  for (int i = 0; i < 11; ++i) trace_should_sample();
+  // fresh window: ~one commit per 10 completions.
+  for (int i = 0; i < 11; ++i) trace_reservoir_fires();
   int hits = 0;
-  for (int i = 0; i < 100; ++i) hits += trace_should_sample() ? 1 : 0;
+  for (int i = 0; i < 100; ++i) hits += trace_reservoir_fires() ? 1 : 0;
   EXPECT_GE(hits, 9);
   EXPECT_LE(hits, 11);
   trace_sample_every().store(0);
-  for (int i = 0; i < 100; ++i) EXPECT_FALSE(trace_should_sample());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(trace_reservoir_fires());
   trace_sample_every().store(old);
 }
 
-TEST(TraceRing, ConcurrentPushersNeverTearSpans) {
-  TraceRing ring;
-  constexpr int kThreads = 4;
-  std::vector<std::thread> ts;
-  for (int t = 0; t < kThreads; ++t) {
-    ts.emplace_back([&, t] {
-      for (uint64_t i = 0; i < 5000; ++i) {
-        TraceSpan s;
-        // op/worker carry the writer id; a torn span would mix them.
-        s.op = static_cast<uint8_t>(t);
-        s.worker = static_cast<uint8_t>(t);
-        s.end_ns = i;
-        ring.push(s);
-      }
-    });
+TEST(TracePolicy, ThresholdCommitsTheTailRegardlessOfSampling) {
+  const uint32_t old_every = trace_sample_every().load();
+  const uint64_t old_thr = trace_threshold_ns().load();
+  trace_sample_every().store(0);  // reservoir off: threshold decides alone
+  trace_threshold_ns().store(1'000'000);
+  EXPECT_TRUE(trace_should_commit(1'000'000));
+  EXPECT_TRUE(trace_should_commit(5'000'000));
+  EXPECT_FALSE(trace_should_commit(999'999));
+  trace_threshold_ns().store(0);  // 0 = commit everything
+  EXPECT_TRUE(trace_should_commit(1));
+  trace_threshold_ns().store(kTraceThresholdOff);
+  EXPECT_FALSE(trace_should_commit(~0ull)) << "off + no reservoir = never";
+  EXPECT_FALSE(trace_armed());
+  trace_sample_every().store(old_every);
+  trace_threshold_ns().store(old_thr);
+}
+
+// ---- thread-local stamping hook ---------------------------------------------
+
+TEST(TraceHook, StampsOnlyWhileScopeActive) {
+  if (!obs::kEnabled) GTEST_SKIP() << "recording compiled out (BREF_OBS=OFF)";
+  TraceScratch t;
+  t.open(7, 0, 0, 0, 0);
+  trace_stage(TraceStage::kShardPin, 0, 10);  // no scope: dropped
+  {
+    CurrentTraceScope scope(&t);
+    trace_stage(TraceStage::kShardPin, 0, 10, 0, 4);
+    {
+      CurrentTraceScope inner(nullptr);  // nested suppression
+      trace_stage(TraceStage::kShardCollect, 10, 20);
+    }
+    trace_stage(TraceStage::kShardCollect, 10, 30);
   }
-  std::atomic<bool> stop{false};
-  std::thread reader([&] {
-    while (!stop.load(std::memory_order_relaxed))
-      for (const TraceSpan& s : ring.dump()) ASSERT_EQ(s.op, s.worker);
-  });
-  for (auto& th : ts) th.join();
-  stop.store(true);
-  reader.join();
-  EXPECT_EQ(ring.pushed(), kThreads * 5000u);
+  trace_stage(TraceStage::kFlush, 30, 40);  // scope gone: dropped
+  const TraceRecord& r = t.record();
+  ASSERT_EQ(r.nspans, 2);
+  EXPECT_EQ(r.spans[0].stage, static_cast<uint8_t>(TraceStage::kShardPin));
+  EXPECT_EQ(r.spans[0].aux16, 4);
+  EXPECT_EQ(r.spans[1].stage, static_cast<uint8_t>(TraceStage::kShardCollect));
+}
+
+// ---- histogram exemplars ----------------------------------------------------
+
+TEST(Exemplars, BucketRemembersLastCommittedTrace) {
+  if (!obs::kEnabled) GTEST_SKIP() << "recording compiled out (BREF_OBS=OFF)";
+  Histogram& h = registry().histogram("bref_test_exemplar_seconds",
+                                      "exemplar test", "", 1e9);
+  h.observe(1500);
+  h.set_exemplar(1500, 0xdeadbeefull);
+  uint64_t value = 0, id = 0;
+  ASSERT_TRUE(h.exemplar(bucket_of(1500), &value, &id));
+  EXPECT_EQ(value, 1500u);
+  EXPECT_EQ(id, 0xdeadbeefull);
+  EXPECT_FALSE(h.exemplar(bucket_of(1ull << 40), &value, &id))
+      << "untouched bucket has no exemplar";
+  // Id 0 means "no trace" and must never install.
+  Histogram& h2 = registry().histogram("bref_test_exemplar2_seconds",
+                                       "exemplar test", "", 1e9);
+  h2.set_exemplar(1500, 0);
+  EXPECT_FALSE(h2.exemplar(bucket_of(1500), &value, &id));
+}
+
+TEST(Exemplars, ExpositionCarriesThemAndValidates) {
+  if (!obs::kEnabled) GTEST_SKIP() << "recording compiled out (BREF_OBS=OFF)";
+  Histogram& h = registry().histogram("bref_test_exemplar_prom_seconds",
+                                      "exemplar exposition test", "", 1e9);
+  h.observe(2000);
+  h.set_exemplar(2000, 0x1234ull);
+  const std::string text = registry().prometheus();
+  EXPECT_NE(text.find("# {trace_id=\"0000000000001234\"}"), std::string::npos);
+  std::string err;
+  std::vector<PromSeries> series;
+  ASSERT_TRUE(validate_prometheus(text, &err, &series)) << err;
+  bool saw = false;
+  for (const auto& s : series)
+    if (s.has_exemplar && s.name == "bref_test_exemplar_prom_seconds_bucket") {
+      saw = true;
+      ASSERT_EQ(s.exemplar_labels.size(), 1u);
+      EXPECT_EQ(s.exemplar_labels[0].first, "trace_id");
+      EXPECT_EQ(s.exemplar_labels[0].second, "0000000000001234");
+      EXPECT_NEAR(s.exemplar_value, 2000.0 / 1e9, 1e-12);
+    }
+  EXPECT_TRUE(saw);
+}
+
+TEST(Exemplars, ValidatorRejectsMalformedSuffixes) {
+  std::string err;
+  EXPECT_FALSE(validate_prometheus("m 1 # trace_id=\"x\" 2\n", &err))
+      << "exemplar labels must be braced";
+  EXPECT_FALSE(validate_prometheus("m 1 # {trace_id=x} 2\n", &err))
+      << "exemplar label values must be quoted";
+  EXPECT_FALSE(validate_prometheus("m 1 # {trace_id=\"x\"} nope\n", &err))
+      << "exemplar value must parse";
+  EXPECT_TRUE(validate_prometheus("m 1 # {trace_id=\"x\"} 2\n", &err)) << err;
+  EXPECT_TRUE(validate_prometheus("m 1 # {trace_id=\"x\"} 2 1700000000\n",
+                                  &err))
+      << err;
 }
 
 }  // namespace

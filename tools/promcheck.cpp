@@ -7,6 +7,13 @@
 //   promcheck [file] --require p...  additionally require >=1 sample whose
 //                                    name starts with each prefix
 //   promcheck [file] --summary      print per-family sample counts
+//   promcheck [file] --require-exemplars p...
+//                                    additionally require >=1 exemplar on a
+//                                    sample whose name starts with each
+//                                    prefix (bref-trace histogram buckets)
+//
+// Exemplar suffixes (`value # {trace_id="..."} v`) are validated as part
+// of the exposition; --summary reports the total seen.
 //
 // With no file argument (or "-"), reads stdin.
 
@@ -21,10 +28,15 @@
 int main(int argc, char** argv) {
   const char* path = nullptr;
   std::vector<std::string> required;
+  std::vector<std::string> required_exemplars;
   bool summary = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require") == 0) {
       for (++i; i < argc && argv[i][0] != '-'; ++i) required.push_back(argv[i]);
+      --i;
+    } else if (std::strcmp(argv[i], "--require-exemplars") == 0) {
+      for (++i; i < argc && argv[i][0] != '-'; ++i)
+        required_exemplars.push_back(argv[i]);
       --i;
     } else if (std::strcmp(argv[i], "--summary") == 0) {
       summary = true;
@@ -68,13 +80,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  for (const std::string& prefix : required_exemplars) {
+    bool found = false;
+    for (const auto& s : series)
+      if (s.has_exemplar &&
+          s.name.compare(0, prefix.size(), prefix) == 0) {
+        found = true;
+        break;
+      }
+    if (!found) {
+      std::fprintf(stderr, "promcheck: no exemplar with prefix '%s'\n",
+                   prefix.c_str());
+      rc = 1;
+    }
+  }
+
+  size_t nexemplars = 0;
+  for (const auto& s : series) nexemplars += s.has_exemplar ? 1 : 0;
   if (summary) {
     std::map<std::string, size_t> families;
     for (const auto& s : series) ++families[s.name];
     for (const auto& [name, count] : families)
       std::printf("%-48s %zu\n", name.c_str(), count);
+    std::printf("%-48s %zu\n", "(exemplars)", nexemplars);
   }
-  std::printf("promcheck: OK — %zu samples%s\n", series.size(),
+  std::printf("promcheck: OK — %zu samples, %zu exemplars%s\n", series.size(),
+              nexemplars,
               required.empty() ? "" : ", all required prefixes present");
   return rc;
 }

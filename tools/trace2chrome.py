@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Convert bref TRACE_DUMP / TRACE_GET JSON to chrome://tracing format.
+
+Usage:
+    trace2chrome.py dump.json [-o trace.json]
+    bref_client --trace-dump | trace2chrome.py - -o trace.json
+
+Input is either a TRACE_DUMP document ({"records": [...]}), a bare
+TRACE_GET record ({"trace_id": ..., "spans": [...]}), or a fig7_server
+--json/BENCH_10.json document (records are pulled from each result's
+"trace"."slowest" array). Output is the Chrome Trace Event JSON array
+format: load it at chrome://tracing or https://ui.perfetto.dev.
+
+Each request becomes one row (tid = trace id) under a per-worker process
+(pid = worker); stage spans are complete ("X") events placed at their
+absolute time, so concurrent requests line up on a shared wall-clock
+axis and queueing shows as horizontal whitespace before "execute".
+Span aux counters (shard fan-out width, scan-chunk pump iterations,
+bytes) ride in args. Chrome wants microseconds; we keep nanosecond
+resolution via fractional us.
+"""
+
+import argparse
+import json
+import sys
+
+# Stable colors per stage so timelines read at a glance.
+STAGE_COLOR = {
+    "queue": "thread_state_runnable",
+    "admission": "light_memory_dump",
+    "execute": "thread_state_running",
+    "shard_pin": "detailed_memory_dump",
+    "shard_collect": "thread_state_iowait",
+    "scan_chunk": "rail_animation",
+    "flush": "cq_build_passed",
+    "shed": "terrible",
+    "error": "terrible",
+}
+
+
+def iter_records(doc):
+    """Yield trace records from any of the accepted document shapes."""
+    if isinstance(doc, dict) and "records" in doc:  # TRACE_DUMP
+        yield from doc["records"]
+    elif isinstance(doc, dict) and "spans" in doc:  # bare TRACE_GET
+        yield doc
+    elif isinstance(doc, dict) and "results" in doc:  # fig7 / BENCH json
+        for r in doc["results"]:
+            yield from r.get("trace", {}).get("slowest", [])
+    else:
+        sys.exit("trace2chrome: unrecognized input document shape")
+
+
+def convert(doc):
+    events = []
+    pids = set()
+    for rec in iter_records(doc):
+        tid = int(rec["trace_id"], 16)
+        pid = rec.get("worker", 0)
+        base_us = rec.get("start_ns", 0) / 1000.0
+        if pid not in pids:
+            pids.add(pid)
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid,
+                "args": {"name": f"bref worker {pid}"},
+            })
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": f"req {rec['trace_id']} ({rec.get('op', '?')})"},
+        })
+        for span in rec.get("spans", []):
+            ev = {
+                "ph": "X",
+                "name": span["stage"],
+                "pid": pid,
+                "tid": tid,
+                "ts": base_us + span["start_ns"] / 1000.0,
+                "dur": span["dur_ns"] / 1000.0,
+                "args": {"aux8": span.get("aux8", 0),
+                         "aux16": span.get("aux16", 0)},
+            }
+            cname = STAGE_COLOR.get(span["stage"])
+            if cname:
+                ev["cname"] = cname
+            events.append(ev)
+        # One enclosing span for the whole request so collapsed rows
+        # still show the end-to-end extent.
+        events.append({
+            "ph": "X",
+            "name": f"request:{rec.get('op', '?')}",
+            "pid": pid,
+            "tid": tid,
+            "ts": base_us,
+            "dur": rec.get("total_ns", 0) / 1000.0,
+            "args": {"trace_id": rec["trace_id"],
+                     "flags": rec.get("flags", 0)},
+        })
+    return events
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("input", help="dump/record/bench JSON file, or - for stdin")
+    ap.add_argument("-o", "--out", default="-",
+                    help="output file (default stdout)")
+    args = ap.parse_args()
+
+    raw = sys.stdin.read() if args.input == "-" else open(args.input).read()
+    events = convert(json.loads(raw))
+    if not events:
+        sys.exit("trace2chrome: no trace records in input")
+    out = {"traceEvents": events, "displayTimeUnit": "ns"}
+    if args.out == "-":
+        json.dump(out, sys.stdout)
+        print()
+    else:
+        with open(args.out, "w") as f:
+            json.dump(out, f)
+            f.write("\n")
+        n = sum(1 for e in events if e["ph"] == "X")
+        print(f"trace2chrome: wrote {n} spans to {args.out} "
+              f"(open at chrome://tracing or ui.perfetto.dev)",
+              file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

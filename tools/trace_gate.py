@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Merge fig7_server trace-scenario JSON and enforce the ISSUE 10 gates.
+
+Usage:
+    trace_gate.py --trace trace.json --out BENCH_10.json
+
+Input is a fig7_server --json document from `--scenario trace` (records
+"trace-off" / "trace-on": the same point mix at the same offered rate,
+first with tracing fully disabled — no client stamps, server capture
+disarmed — then fully on, with every request frame carrying a trace
+context under the default tail-biased capture policy). The script writes
+one merged document with a "gates" object and exits nonzero if any gate
+fails:
+
+  * overhead:     trace-on p99 <= 1.03x trace-off p99 at matched achieved
+                  rate (tracing must be cheap enough to leave on in
+                  production; the achieved-rate match makes the p99s
+                  comparable — an off-rate collapse would fake a pass)
+  * slowest-10:   the trace-on record carries 10 slowest requests, each
+                  with a non-empty per-stage span timeline including an
+                  "execute" span (the capture path actually saw the tail)
+  * no-loss:      trace scratch slots all returned (scratch_in_use == 0
+                  in the server's final stats) and scratch exhaustion
+                  never fired at this modest connection count
+
+The overhead gate carries an absolute floor (100 us): on a fast runner
+the baseline p99 can be tens of microseconds, where 3% is far below timer
+and scheduler noise. A trace-on p99 within floor_us of the baseline
+passes regardless of the ratio; above the floor the ratio must hold.
+
+--trace accepts multiple JSON files (repeated paired runs): the gate
+compares the BEST (min) p99 of each side across runs. A shared CI
+runner can stall a whole run for 100+ ms — a stall that lands on either
+side at random and dwarfs any tracing cost. Best-of-N compares the
+achievable latency of each configuration, which is the quantity the
+overhead budget is actually about; every run's records are still merged
+into the output, so the noise stays visible in the trajectory.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def result(docs, prefix):
+    """The best (min-p99) record matching `prefix` across all runs."""
+    best = None
+    for doc in docs:
+        for r in doc.get("results", []):
+            if r.get("mix", "").startswith(prefix):
+                if best is None or r["p99_us"] < best["p99_us"]:
+                    best = r
+    if best is None:
+        sys.exit(f"trace_gate: no '{prefix}*' record in input")
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--trace", required=True, nargs="+",
+                    help="one or more fig7_server --scenario trace JSONs")
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--max-overhead", type=float, default=0.03,
+                    help="max fractional p99 overhead of trace-on")
+    args = ap.parse_args()
+
+    docs = [load(p) for p in args.trace]
+    off = result(docs, "trace-off")
+    on = result(docs, "trace-on")
+
+    slowest = on.get("trace", {}).get("slowest", [])
+    timelines_ok = len(slowest) == 10 and all(
+        r.get("spans") and any(s.get("stage") == "execute" for s in r["spans"])
+        for r in slowest
+    )
+    on_trace_stats = on.get("server", {}).get("trace", {})
+    max_ratio = 1.0 + args.max_overhead
+
+    gates = {
+        "trace_overhead": {
+            "p99_us_off": off["p99_us"],
+            "p99_us_on": on["p99_us"],
+            "achieved_off": off["achieved_rate"],
+            "achieved_on": on["achieved_rate"],
+            "max_ratio": max_ratio,
+            "floor_us": 100.0,
+            "ratio": on["p99_us"] / max(off["p99_us"], 1e-9),
+            "rate_match": on["achieved_rate"] >= 0.95 * off["achieved_rate"],
+            "pass": (
+                on["p99_us"] <= max(max_ratio * off["p99_us"],
+                                    off["p99_us"] + 100.0)
+                and on["achieved_rate"] >= 0.95 * off["achieved_rate"]
+            ),
+        },
+        "trace_slowest_10": {
+            "count": len(slowest),
+            "committed": on_trace_stats.get("committed"),
+            "pass": timelines_ok,
+        },
+        "trace_no_loss": {
+            "scratch_in_use": on_trace_stats.get("scratch_in_use"),
+            "scratch_exhausted": on_trace_stats.get("scratch_exhausted"),
+            "pass": on_trace_stats.get("scratch_in_use") == 0
+            and on_trace_stats.get("scratch_exhausted") == 0,
+        },
+    }
+
+    merged = {
+        "schema": docs[0].get("schema", 1),
+        "bench": "fig7_server",
+        "config": docs[0].get("config", {}),
+        "results": [r for d in docs for r in d.get("results", [])],
+        "gates": gates,
+    }
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+
+    ok = True
+    for name, g in gates.items():
+        status = "PASS" if g["pass"] else "FAIL"
+        ok = ok and g["pass"]
+        detail = {k: v for k, v in g.items() if k != "pass" and k != "slowest"}
+        print(f"trace_gate: {status} {name}: {detail}")
+    if not ok:
+        sys.exit(1)
+    print(f"trace_gate: all gates pass -> {args.out}")
+
+
+if __name__ == "__main__":
+    main()
